@@ -1,0 +1,58 @@
+// Command detbench reproduces the paper's evaluation (§5):
+//
+//	detbench -table1     Table 1 — pointer-analysis scalability on the
+//	                     synthetic jQuery-version workloads, in the three
+//	                     configurations Baseline / Spec / Spec+DetDOM.
+//	detbench -eval       §5.2 — eval elimination over the 28-program corpus,
+//	                     with and without the determinate-DOM assumption.
+//	detbench -all        Both.
+//
+// The -budget flag sets the points-to work budget standing in for the
+// paper's 10-minute timeout; -v prints per-benchmark details.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"determinacy/internal/experiment"
+)
+
+func main() {
+	var (
+		table1 = flag.Bool("table1", false, "reproduce Table 1")
+		evalst = flag.Bool("eval", false, "reproduce the §5.2 eval study")
+		all    = flag.Bool("all", false, "run everything")
+		budget = flag.Int("budget", 0, "points-to work budget (0 = default)")
+		seed   = flag.Uint64("seed", 0, "PRNG seed for the dynamic runs")
+	)
+	flag.Parse()
+	if !*table1 && !*evalst && !*all {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := experiment.Config{Budget: *budget, Seed: *seed}
+
+	if *table1 || *all {
+		fmt.Println("== Table 1: pointer analysis scalability (paper §5.1) ==")
+		rows := experiment.RunTable1(cfg)
+		fmt.Print(experiment.FormatTable1(rows))
+		fmt.Println()
+		fmt.Println("propagation work (budget-limited points-to events):")
+		for _, r := range rows {
+			fmt.Printf("  %-6s baseline=%-8d spec=%-8d spec+detdom=%-8d\n",
+				r.Version, r.Baseline.Propagations, r.Spec.Propagations, r.DetDOM.Propagations)
+		}
+		fmt.Println()
+	}
+
+	if *evalst || *all {
+		fmt.Println("== §5.2: eliminating calls to eval ==")
+		for _, det := range []bool{false, true} {
+			s := experiment.RunEvalStudy(det, cfg)
+			fmt.Print(experiment.FormatEvalStudy(s))
+			fmt.Println()
+		}
+	}
+}

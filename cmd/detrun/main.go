@@ -1,0 +1,115 @@
+// Command detrun runs a mini-JS program under the dynamic determinacy
+// analysis and prints the inferred facts.
+//
+// Usage:
+//
+//	detrun [-dom] [-detdom] [-seed N] [-det-only] [-stats] [-dump-ir] file.js
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"determinacy"
+	"determinacy/internal/ir"
+)
+
+func main() {
+	var (
+		withDOM  = flag.Bool("dom", false, "install the synthetic DOM emulation")
+		detDOM   = flag.Bool("detdom", false, "assume a determinate DOM (implies -dom; unsound, §5.1)")
+		seed     = flag.Uint64("seed", 0, "PRNG seed for Math.random")
+		handlers = flag.Int("handlers", 8, "max DOM event handlers to drive")
+		detOnly  = flag.Bool("det-only", false, "print only determinate facts")
+		stats    = flag.Bool("stats", false, "print run statistics")
+		dumpIR   = flag.Bool("dump-ir", false, "print the lowered IR instead of running")
+		flushes  = flag.Int("max-flushes", 1000, "stop after this many heap flushes (0 = unlimited)")
+		jsonOut  = flag.Bool("json", false, "emit facts as JSON lines instead of rendered text")
+		runs     = flag.Int("runs", 1, "instrumented runs with distinct seeds, merged per the paper's §7")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: detrun [flags] file.js")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *dumpIR {
+		mod, err := ir.Compile(flag.Arg(0), string(src))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(mod.String())
+		return
+	}
+
+	opts := determinacy.Options{
+		Seed:             *seed,
+		WithDOM:          *withDOM || *detDOM,
+		DeterministicDOM: *detDOM,
+		RunHandlers:      *handlers,
+		MaxFlushes:       *flushes,
+		Out:              os.Stdout,
+	}
+	if *jsonOut {
+		// Keep stdout clean for the fact dump.
+		opts.Out = os.Stderr
+	}
+	var res *determinacy.Result
+	if *runs > 1 {
+		seeds := make([]uint64, *runs)
+		for i := range seeds {
+			seeds[i] = *seed + uint64(i)
+		}
+		res, err = determinacy.AnalyzeRuns(string(src), opts, seeds...)
+	} else {
+		res, err = determinacy.AnalyzeFile(flag.Arg(0), string(src), opts)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if res.Stopped != nil {
+		fmt.Fprintf(os.Stderr, "note: analysis stopped early: %v\n", res.Stopped)
+	}
+
+	if *jsonOut {
+		if err := res.Store().Encode(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fs := res.Facts()
+	if *detOnly {
+		fs = res.DeterminateFacts()
+	}
+	for _, f := range fs {
+		fmt.Println(f)
+	}
+
+	if *stats {
+		st := res.Stats
+		fmt.Fprintf(os.Stderr, "facts: %d (%d determinate)\n", res.NumFacts(), res.NumDeterminate())
+		fmt.Fprintf(os.Stderr, "steps: %d, heap flushes: %d, counterfactuals: %d (aborts %d)\n",
+			st.Steps, st.HeapFlushes, st.Counterfacts, st.CFAborts)
+		var reasons []string
+		for r := range st.FlushReasons {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		for _, r := range reasons {
+			fmt.Fprintf(os.Stderr, "  flush %-22s %d\n", r, st.FlushReasons[r])
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "detrun:", err)
+	os.Exit(1)
+}

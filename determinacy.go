@@ -1,0 +1,455 @@
+// Package determinacy is a Go implementation of dynamic determinacy
+// analysis for a JavaScript subset (mini-JS), reproducing "Dynamic
+// Determinacy Analysis" (Schäfer, Sridharan, Dolby, Tip — PLDI 2013).
+//
+// The analysis instruments a single program execution and infers
+// determinacy facts — statements of the form ⟦e⟧ c = v meaning the
+// expression at program point e has value v under calling context c in
+// *every* execution. Facts drive two clients: specializing a static
+// points-to analysis (branch pruning, staticizing dynamic property
+// accesses, loop unrolling, context cloning) and eliminating eval calls.
+//
+// Quick start:
+//
+//	result, err := determinacy.Analyze(src, determinacy.Options{})
+//	for _, f := range result.Facts() {
+//	    fmt.Println(f)
+//	}
+//	spec, err := result.Specialize(determinacy.SpecializeOptions{})
+//	fmt.Println(spec.Source)
+//
+// The runnable programs under examples/ and the experiment harness in
+// cmd/detbench exercise the full pipeline; DESIGN.md maps every paper
+// artifact to its implementation.
+package determinacy
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"determinacy/internal/ast"
+	"determinacy/internal/core"
+	"determinacy/internal/dom"
+	"determinacy/internal/facts"
+	"determinacy/internal/interp"
+	"determinacy/internal/ir"
+	"determinacy/internal/parser"
+	"determinacy/internal/pointsto"
+	"determinacy/internal/specialize"
+)
+
+// Options configures a dynamic determinacy analysis run.
+type Options struct {
+	// Seed drives Math.random (an indeterminate source; the seed only
+	// selects the concrete witness execution).
+	Seed uint64
+	// Now backs Date.now (indeterminate source).
+	Now float64
+	// Inputs backs the __input(name) native (indeterminate sources).
+	Inputs map[string]Value
+	// Out receives console.log output; nil discards it.
+	Out io.Writer
+	// WithDOM installs the synthetic DOM emulation (document, window,
+	// navigator, timers). DeterministicDOM additionally applies the paper's
+	// Spec+DetDOM assumption (§5.1): DOM reads are determinate.
+	WithDOM          bool
+	DeterministicDOM bool
+	// RunHandlers drives up to this many registered DOM event handlers
+	// after the main script (each entry flushes the heap, §4).
+	RunHandlers int
+	// MaxCounterfactualDepth is the cut-off k for nested counterfactual
+	// executions (0 = default 4).
+	MaxCounterfactualDepth int
+	// MaxFlushes stops the analysis after this many heap flushes
+	// (0 = unlimited; the paper uses 1000). Facts gathered before the stop
+	// remain sound.
+	MaxFlushes int
+	// MaxSteps bounds the executed instruction count (0 = default).
+	MaxSteps int
+
+	// Ablations (see DESIGN.md): disable counterfactual execution,
+	// information-flow-style immediate tainting, µJS-faithful locals.
+	DisableCounterfactual bool
+	ImmediateTaint        bool
+	MuJSLocals            bool
+}
+
+// Value is a concrete input value for Options.Inputs.
+type Value = interp.Value
+
+// Convenience constructors for input values.
+var (
+	NumberValue = interp.NumberVal
+	StringValue = interp.StringVal
+	BoolValue   = interp.BoolVal
+)
+
+// Fact is one determinacy fact, rendered for consumption.
+type Fact struct {
+	// Line and Col locate the program point in the source.
+	Line, Col int
+	// Point describes the instruction at the program point.
+	Point string
+	// Context renders the qualifying call stack (site lines with
+	// occurrence indices), empty for top-level facts.
+	Context string
+	// Determinate reports ⟦e⟧c = v (true) versus ⟦e⟧c = ? (false).
+	Determinate bool
+	// Value renders v for determinate facts (and the concretely observed
+	// value otherwise).
+	Value string
+}
+
+func (f Fact) String() string {
+	ctx := f.Context
+	if ctx == "" {
+		ctx = "·"
+	}
+	v := f.Value
+	if !f.Determinate {
+		v = "?"
+	}
+	return fmt.Sprintf("[[ %s @%d:%d ]] %s = %s", f.Point, f.Line, f.Col, ctx, v)
+}
+
+// Result holds the outcome of an analysis run.
+type Result struct {
+	prog  *ast.Program
+	mod   *ir.Module
+	store *facts.Store
+	// staticInstrs is the instruction count before execution; program
+	// points at or beyond it belong to runtime-lowered eval code.
+	staticInstrs int
+
+	// Stats summarizes the run: heap flushes by reason, counterfactual
+	// executions and aborts, executed steps.
+	Stats core.Stats
+	// Stopped is non-nil when the analysis stopped early at the flush
+	// limit; the collected facts are still sound.
+	Stopped error
+	// HandlersRan counts DOM event handlers driven after the main script.
+	HandlersRan int
+}
+
+// Analyze parses src, runs it under the instrumented semantics and collects
+// determinacy facts.
+func Analyze(src string, opts Options) (*Result, error) {
+	return AnalyzeFile("program.js", src, opts)
+}
+
+// AnalyzeFile is Analyze with an explicit display name for diagnostics.
+func AnalyzeFile(name, src string, opts Options) (*Result, error) {
+	prog, err := parser.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := ir.Lower(prog)
+	if err != nil {
+		return nil, err
+	}
+	store := facts.NewStore()
+	a := core.New(mod, store, core.Options{
+		Seed:                   opts.Seed,
+		Now:                    opts.Now,
+		Inputs:                 opts.Inputs,
+		Out:                    opts.Out,
+		MaxCounterfactualDepth: opts.MaxCounterfactualDepth,
+		MaxFlushes:             opts.MaxFlushes,
+		MaxSteps:               opts.MaxSteps,
+		DisableCounterfactual:  opts.DisableCounterfactual,
+		ImmediateTaint:         opts.ImmediateTaint,
+		MuJSLocals:             opts.MuJSLocals,
+	})
+	res := &Result{prog: prog, mod: mod, store: store, staticInstrs: mod.NumInstrs}
+
+	var binding *dom.CoreBinding
+	if opts.WithDOM {
+		binding = dom.InstallCore(a, dom.NewDocument(dom.Options{}), opts.DeterministicDOM)
+	}
+	_, runErr := a.Run()
+	if runErr != nil && !errors.Is(runErr, core.ErrFlushLimit) {
+		var thrown *core.Thrown
+		if errors.As(runErr, &thrown) {
+			return nil, fmt.Errorf("determinacy: uncaught exception in analyzed program")
+		}
+		return nil, runErr
+	}
+	if binding != nil && runErr == nil && opts.RunHandlers > 0 {
+		n, herr := binding.RunHandlers(opts.RunHandlers)
+		res.HandlersRan = n
+		if herr != nil {
+			return nil, herr
+		}
+	}
+	if errors.Is(runErr, core.ErrFlushLimit) {
+		res.Stopped = runErr
+	}
+	res.Stats = a.Stats()
+	return res, nil
+}
+
+// AnalyzeRuns performs several instrumented runs with different seeds and
+// merges their fact stores, per the paper's §7: "running the determinacy
+// analysis on different inputs yields more facts, which are all sound and
+// hence can be used together". The merged store joins disagreeing
+// observations to indeterminate; two runs claiming different determinate
+// values at the same key would indicate an analysis bug and is surfaced as
+// an error.
+func AnalyzeRuns(src string, opts Options, seeds ...uint64) (*Result, error) {
+	if len(seeds) == 0 {
+		seeds = []uint64{0}
+	}
+	var merged *Result
+	for _, seed := range seeds {
+		o := opts
+		o.Seed = seed
+		res, err := AnalyzeFile("program.js", src, o)
+		if err != nil {
+			return nil, fmt.Errorf("determinacy: run with seed %d: %w", seed, err)
+		}
+		// Runtime-lowered eval code gets fresh instruction IDs per run, so
+		// only facts at static program points merge across runs.
+		res.store = res.store.Restrict(ir.ID(res.staticInstrs))
+		if merged == nil {
+			merged = res
+			continue
+		}
+		merged.store.Merge(res.store)
+		merged.Stats.HeapFlushes += res.Stats.HeapFlushes
+		merged.Stats.Counterfacts += res.Stats.Counterfacts
+		merged.Stats.Steps += res.Stats.Steps
+	}
+	if len(merged.store.Conflicts) > 0 {
+		return nil, fmt.Errorf("determinacy: %d conflicting determinate facts across runs (analysis bug)",
+			len(merged.store.Conflicts))
+	}
+	return merged, nil
+}
+
+// Run executes src under the plain concrete interpreter (no
+// instrumentation), returning everything printed to console.
+func Run(src string, opts Options) (string, error) {
+	mod, err := ir.Compile("program.js", src)
+	if err != nil {
+		return "", err
+	}
+	var buf writerBuffer
+	out := io.Writer(&buf)
+	if opts.Out != nil {
+		out = io.MultiWriter(&buf, opts.Out)
+	}
+	it := interp.New(mod, interp.Options{
+		Seed: opts.Seed, Now: opts.Now, Inputs: opts.Inputs, Out: out,
+		MaxSteps: opts.MaxSteps,
+	})
+	var binding *dom.Binding
+	if opts.WithDOM {
+		binding = dom.Install(it, dom.NewDocument(dom.Options{}))
+	}
+	if _, err := it.Run(); err != nil {
+		return buf.String(), err
+	}
+	if binding != nil && opts.RunHandlers > 0 {
+		if _, err := binding.RunHandlers(opts.RunHandlers); err != nil {
+			return buf.String(), err
+		}
+	}
+	return buf.String(), nil
+}
+
+type writerBuffer struct{ b []byte }
+
+func (w *writerBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+func (w *writerBuffer) String() string { return string(w.b) }
+
+// Facts returns every recorded fact in stable order.
+func (r *Result) Facts() []Fact {
+	var out []Fact
+	for _, f := range r.store.Sorted() {
+		out = append(out, r.renderFact(f))
+	}
+	return out
+}
+
+// DeterminateFacts returns only the determinate facts.
+func (r *Result) DeterminateFacts() []Fact {
+	var out []Fact
+	for _, f := range r.store.Sorted() {
+		if f.Det {
+			out = append(out, r.renderFact(f))
+		}
+	}
+	return out
+}
+
+// FactsAtLine returns the facts whose program point lies on a source line.
+func (r *Result) FactsAtLine(line int) []Fact {
+	var out []Fact
+	for _, f := range r.store.Sorted() {
+		if in := r.mod.InstrAt(f.Instr); in != nil && in.IPos().Line == line {
+			out = append(out, r.renderFact(f))
+		}
+	}
+	return out
+}
+
+// NumFacts and NumDeterminate report store sizes.
+func (r *Result) NumFacts() int         { return r.store.Len() }
+func (r *Result) NumDeterminate() int   { return r.store.NumDeterminate() }
+func (r *Result) Store() *facts.Store   { return r.store }
+func (r *Result) Module() *ir.Module    { return r.mod }
+func (r *Result) Program() *ast.Program { return r.prog }
+
+func (r *Result) renderFact(f *facts.Fact) Fact {
+	out := Fact{Determinate: f.Det, Value: f.Val.String()}
+	if in := r.mod.InstrAt(f.Instr); in != nil {
+		out.Line = in.IPos().Line
+		out.Col = in.IPos().Col
+		out.Point = ir.InstrString(in)
+	}
+	ctx := ""
+	for i, e := range f.Ctx {
+		if i > 0 {
+			ctx += "→"
+		}
+		if in := r.mod.InstrAt(e.Site); in != nil {
+			ctx += fmt.Sprintf("L%d_%d", in.IPos().Line, e.Seq)
+		}
+	}
+	if f.Seq > 0 {
+		ctx += fmt.Sprintf("(occ %d)", f.Seq)
+	}
+	out.Context = ctx
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Clients
+
+// SpecializeOptions configures fact-driven specialization (§2.2/§5.1).
+type SpecializeOptions struct {
+	// MaxUnroll bounds loop unrolling (0 = default 32).
+	MaxUnroll int
+	// MaxCloneDepth bounds context-clone nesting (0 = default 4).
+	MaxCloneDepth int
+	// EliminateEval also replaces determinate eval calls with parsed code
+	// (§2.3/§5.2).
+	EliminateEval bool
+	// Generalize additionally applies context-insensitive fact projections
+	// (the paper's §7 "shallower calling contexts"), specializing original
+	// function bodies in place when every observed context agrees.
+	Generalize bool
+}
+
+// Specialized is the output of Result.Specialize.
+type Specialized struct {
+	// Source is the specialized program.
+	Source string
+	// Stats counts the applied specializations.
+	Stats specialize.Stats
+	// EvalSites classifies each syntactic eval call site (when
+	// EliminateEval was set).
+	EvalSites []specialize.EvalSite
+	// DeadBranches lists conditionals proven one-sided under specific
+	// contexts — the dead-code-detection client the paper's introduction
+	// motivates with Figure 1.
+	DeadBranches []specialize.DeadBranch
+}
+
+// Specialize rewrites the analyzed program using the collected facts.
+func (r *Result) Specialize(opts SpecializeOptions) (*Specialized, error) {
+	res, err := specialize.Specialize(r.prog, r.mod, r.store, specialize.Options{
+		MaxUnroll:     opts.MaxUnroll,
+		MaxCloneDepth: opts.MaxCloneDepth,
+		EliminateEval: opts.EliminateEval,
+		Generalize:    opts.Generalize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Specialized{
+		Source:       ast.Print(res.Program),
+		Stats:        res.Stats,
+		EvalSites:    res.EvalSites,
+		DeadBranches: res.DeadBranches,
+	}, nil
+}
+
+// SpecializeWithFacts specializes src using a previously serialized fact
+// store (see Result.Store().Encode and cmd/detrun -json). Instruction IDs
+// are deterministic per source text, so facts recorded against the same
+// program apply directly.
+func SpecializeWithFacts(name, src string, factsJSON io.Reader, opts SpecializeOptions) (*Specialized, error) {
+	prog, err := parser.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := ir.Lower(prog)
+	if err != nil {
+		return nil, err
+	}
+	store, err := facts.Decode(factsJSON)
+	if err != nil {
+		return nil, err
+	}
+	res, err := specialize.Specialize(prog, mod, store, specialize.Options{
+		MaxUnroll:     opts.MaxUnroll,
+		MaxCloneDepth: opts.MaxCloneDepth,
+		EliminateEval: opts.EliminateEval,
+		Generalize:    opts.Generalize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Specialized{
+		Source:       ast.Print(res.Program),
+		Stats:        res.Stats,
+		EvalSites:    res.EvalSites,
+		DeadBranches: res.DeadBranches,
+	}, nil
+}
+
+// PointsToOptions configures the static points-to client.
+type PointsToOptions struct {
+	// Budget bounds solver work (0 = default); exceeding it reports
+	// BudgetExceeded, the stand-in for the paper's analysis timeout.
+	Budget int
+}
+
+// PointsToReport summarizes a points-to run.
+type PointsToReport struct {
+	BudgetExceeded bool
+	Propagations   int
+	ReachableFuncs int
+	// MaxCallees is the largest callee set of any call site, a precision
+	// indicator (1 = monomorphic resolution everywhere it matters).
+	MaxCallees int
+	// EvalSites counts call sites that resolve only to the eval native.
+	EvalSites int
+}
+
+// PointsTo runs the Andersen-style points-to analysis over source text.
+func PointsTo(src string, opts PointsToOptions) (*PointsToReport, error) {
+	mod, err := ir.Compile("program.js", src)
+	if err != nil {
+		return nil, err
+	}
+	res := pointsto.Analyze(mod, pointsto.Options{Budget: opts.Budget})
+	rep := &PointsToReport{
+		BudgetExceeded: res.BudgetExceeded,
+		Propagations:   res.Propagations,
+		ReachableFuncs: res.ReachableFuncs,
+		EvalSites:      len(res.EvalSites),
+	}
+	for _, cs := range res.Callees {
+		if len(cs) > rep.MaxCallees {
+			rep.MaxCallees = len(cs)
+		}
+	}
+	return rep, nil
+}

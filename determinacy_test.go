@@ -1,0 +1,255 @@
+package determinacy_test
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"determinacy"
+)
+
+func TestAnalyzeQuickstart(t *testing.T) {
+	res, err := determinacy.Analyze(`
+		var a = 1 + 2;
+		var b = Math.random();
+		var c = a * 10;
+	`, determinacy.Options{Out: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumFacts() == 0 || res.NumDeterminate() == 0 {
+		t.Fatalf("no facts collected: %d/%d", res.NumDeterminate(), res.NumFacts())
+	}
+	if res.NumDeterminate() >= res.NumFacts() {
+		t.Error("Math.random must yield at least one indeterminate fact")
+	}
+	sawC := false
+	for _, f := range res.FactsAtLine(4) {
+		if strings.Contains(f.Point, "*") {
+			if !f.Determinate || f.Value != "30" {
+				t.Errorf("fact for a*10: %+v", f)
+			}
+			sawC = true
+		}
+	}
+	if !sawC {
+		t.Error("no fact for the multiplication at line 4")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := determinacy.Analyze("var x = ;", determinacy.Options{}); err == nil {
+		t.Error("syntax error must be reported")
+	}
+	if _, err := determinacy.Analyze("undefinedFn();", determinacy.Options{}); err == nil {
+		t.Error("uncaught exception must be reported")
+	}
+}
+
+func TestRunMatchesAnalyzeOutput(t *testing.T) {
+	src := `
+		var parts = [];
+		for (var i = 0; i < 3; i++) parts.push("v" + i);
+		console.log(parts.join(","));
+	`
+	var runOut, anaOut strings.Builder
+	if _, err := determinacy.Run(src, determinacy.Options{Out: &runOut}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := determinacy.Analyze(src, determinacy.Options{Out: &anaOut}); err != nil {
+		t.Fatal(err)
+	}
+	if runOut.String() != anaOut.String() {
+		t.Errorf("instrumentation changed behaviour: %q vs %q", runOut.String(), anaOut.String())
+	}
+	if !strings.Contains(runOut.String(), "v0,v1,v2") {
+		t.Errorf("unexpected output %q", runOut.String())
+	}
+}
+
+func TestInputsFlowIndeterminate(t *testing.T) {
+	res, err := determinacy.Analyze(`var x = __input("n") + 1;`, determinacy.Options{
+		Inputs: map[string]determinacy.Value{"n": determinacy.NumberValue(41)},
+		Out:    io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.FactsAtLine(1) {
+		if strings.Contains(f.Point, "+") && f.Determinate {
+			t.Errorf("input-derived value must be indeterminate: %+v", f)
+		}
+	}
+}
+
+func TestSpecializeEndToEnd(t *testing.T) {
+	src := `
+		var cfg = {mode: "fast"};
+		if (cfg.mode === "fast") { console.log("F"); } else { console.log("S"); }
+	`
+	res, err := determinacy.Analyze(src, determinacy.Options{Out: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := res.Specialize(determinacy.SpecializeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Stats.BranchesPruned != 1 {
+		t.Errorf("stats: %+v", spec.Stats)
+	}
+	if strings.Contains(spec.Source, `"S"`) {
+		t.Errorf("dead branch survived:\n%s", spec.Source)
+	}
+	out, err := determinacy.Run(spec.Source, determinacy.Options{})
+	if err != nil || !strings.Contains(out, "F") {
+		t.Errorf("specialized program misbehaves: %q, %v", out, err)
+	}
+}
+
+func TestDeadBranchReport(t *testing.T) {
+	src := `
+		function classify(x) {
+			if (typeof x === "string") { return "s"; }
+			return "o";
+		}
+		classify("hello");
+		classify(42);
+	`
+	res, err := determinacy.Analyze(src, determinacy.Options{Out: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := res.Specialize(determinacy.SpecializeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.DeadBranches) != 2 {
+		t.Fatalf("dead branches: %+v, want one per context", spec.DeadBranches)
+	}
+	var taken, notTaken bool
+	for _, db := range spec.DeadBranches {
+		if db.Line != 3 {
+			t.Errorf("dead branch at line %d, want 3", db.Line)
+		}
+		if db.Taken {
+			taken = true
+		} else {
+			notTaken = true
+		}
+	}
+	if !taken || !notTaken {
+		t.Errorf("expected one live-then and one live-else context: %+v", spec.DeadBranches)
+	}
+}
+
+func TestPointsToAPI(t *testing.T) {
+	rep, err := determinacy.PointsTo(`
+		function f() { return 1; }
+		f();
+		var r = eval("2");
+	`, determinacy.PointsToOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BudgetExceeded {
+		t.Error("tiny program exceeded the budget")
+	}
+	if rep.EvalSites != 1 {
+		t.Errorf("eval sites = %d, want 1", rep.EvalSites)
+	}
+	if rep.ReachableFuncs != 2 {
+		t.Errorf("reachable funcs = %d, want 2", rep.ReachableFuncs)
+	}
+}
+
+func TestDOMOptions(t *testing.T) {
+	src := `console.log(document.getElementById("main").tagName);`
+	out, err := determinacy.Run(src, determinacy.Options{WithDOM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "DIV" {
+		t.Errorf("got %q", out)
+	}
+	res, err := determinacy.Analyze(src, determinacy.Options{WithDOM: true, Out: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumFacts() == 0 {
+		t.Error("no facts with DOM")
+	}
+}
+
+func TestFlushLimitSurfacesAsStopped(t *testing.T) {
+	res, err := determinacy.Analyze(`
+		var fns = [function(){ return 1; }, function(){ return 2; }];
+		for (var i = 0; i < 50; i++) {
+			fns[Math.random() < 0.5 ? 0 : 1]();
+		}
+	`, determinacy.Options{MaxFlushes: 5, Out: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped == nil {
+		t.Error("expected the flush limit to stop the analysis")
+	}
+	if res.NumFacts() == 0 {
+		t.Error("facts collected before the stop must be available")
+	}
+}
+
+func TestAnalyzeRunsMergesSoundly(t *testing.T) {
+	// A program whose coverage depends on the random seed: different runs
+	// observe different branches, and merged facts stay consistent.
+	src := `
+		var mode = Math.random() < 0.5;
+		var out;
+		if (mode) { out = "low"; } else { out = "high"; }
+		var stable = 1 + 2;
+		var r = eval("stable + 39");
+	`
+	res, err := determinacy.AnalyzeRuns(src, determinacy.Options{Out: io.Discard}, 1, 2, 3, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawStable := false
+	for _, f := range res.FactsAtLine(5) {
+		if strings.Contains(f.Point, "+") {
+			if !f.Determinate || f.Value != "3" {
+				t.Errorf("stable fact lost in merge: %+v", f)
+			}
+			sawStable = true
+		}
+	}
+	if !sawStable {
+		t.Error("missing merged fact for the stable computation")
+	}
+	for _, f := range res.FactsAtLine(4) {
+		if f.Determinate && (f.Value == `"low"` || f.Value == `"high"`) && strings.Contains(f.Point, "const") {
+			// Constants inside branches stay determinate; that is fine. The
+			// loaded value of `out` afterwards must not be determinate.
+			continue
+		}
+	}
+}
+
+func TestAblationOptionsExposed(t *testing.T) {
+	src := `
+		var o = {p: 1};
+		if (Math.random() > 2) { o.p = 9; }
+		var probe = o.p;
+	`
+	normal, err := determinacy.Analyze(src, determinacy.Options{Out: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ablated, err := determinacy.Analyze(src, determinacy.Options{DisableCounterfactual: true, Out: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if normal.Stats.HeapFlushes >= ablated.Stats.HeapFlushes {
+		t.Errorf("counterfactual should avoid flushes: %d vs %d",
+			normal.Stats.HeapFlushes, ablated.Stats.HeapFlushes)
+	}
+}

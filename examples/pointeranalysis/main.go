@@ -1,0 +1,77 @@
+// Pointer analysis improvement: the paper's Figure 3 Rectangle program
+// defines accessors through computed property names. A baseline 0-CFA
+// smears the dynamic writes over every property, so r.getWidth() resolves
+// to getters, setters and toString alike. Determinacy facts let the
+// specializer unroll the definition loop and staticize the writes, after
+// which the same analysis resolves the call precisely (§2.2).
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+
+	"determinacy"
+)
+
+const figure3 = `
+function Rectangle(w, h) {
+	this.width = w;
+	this.height = h;
+}
+Rectangle.prototype.toString = function() {
+	return "[" + this.width + "x" + this.height + "]";
+};
+String.prototype.cap = function() {
+	return this[0].toUpperCase() + this.substr(1);
+};
+function defAccessors(prop) {
+	Rectangle.prototype["get" + prop.cap()] =
+		function() { return this[prop]; };
+	Rectangle.prototype["set" + prop.cap()] =
+		function(v) { this[prop] = v; };
+}
+var props = ["width", "height"];
+for (var i = 0; i < props.length; i++)
+	defAccessors(props[i]);
+var r = new Rectangle(20, 30);
+r.setWidth(r.getWidth() + 20);
+alert(r.toString());
+`
+
+func main() {
+	base, err := determinacy.PointsTo(figure3, determinacy.PointsToOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline 0-CFA:    worst call site resolves to %d callees (%d propagation events)\n",
+		base.MaxCallees, base.Propagations)
+
+	res, err := determinacy.Analyze(figure3, determinacy.Options{Out: io.Discard})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := res.Specialize(determinacy.SpecializeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("specialization:    loop unrolled %dx, %d accesses staticized, %d clones\n",
+		spec.Stats.UnrolledIterations, spec.Stats.AccessesStaticized, spec.Stats.ClonesCreated)
+
+	after, err := determinacy.PointsTo(spec.Source, determinacy.PointsToOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("specialized 0-CFA: worst call site resolves to %d callees (%d propagation events)\n",
+		after.MaxCallees, after.Propagations)
+
+	fmt.Println()
+	fmt.Println("specialized program:")
+	fmt.Println(spec.Source)
+
+	out, err := determinacy.Run(spec.Source, determinacy.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("specialized program still prints: %s", out)
+}

@@ -1,0 +1,3 @@
+module determinacy
+
+go 1.22

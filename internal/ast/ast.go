@@ -1,0 +1,379 @@
+// Package ast defines the abstract syntax tree for mini-JS, the JavaScript
+// subset used throughout this repository. The parser produces these nodes;
+// the IR lowering in internal/ir consumes them; the specializer in
+// internal/specialize rewrites them.
+package ast
+
+import "determinacy/internal/lexer"
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() lexer.Pos
+}
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Body []Stmt
+	// Source is the original source text, retained so diagnostics and
+	// determinacy facts can quote line numbers meaningfully.
+	Source string
+	// File is an optional display name for the source.
+	File string
+}
+
+func (p *Program) Pos() lexer.Pos {
+	if len(p.Body) > 0 {
+		return p.Body[0].Pos()
+	}
+	return lexer.Pos{}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	Value float64
+	P     lexer.Pos
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	Value string
+	P     lexer.Pos
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Value bool
+	P     lexer.Pos
+}
+
+// NullLit is the null literal.
+type NullLit struct{ P lexer.Pos }
+
+// UndefinedLit is the undefined literal. The parser resolves the identifier
+// "undefined" to this node.
+type UndefinedLit struct{ P lexer.Pos }
+
+// Ident is a variable reference.
+type Ident struct {
+	Name string
+	P    lexer.Pos
+}
+
+// ThisExpr is the this keyword.
+type ThisExpr struct{ P lexer.Pos }
+
+// FunctionLit is a function expression or the value of a function
+// declaration.
+type FunctionLit struct {
+	Name   string // optional; "" for anonymous functions
+	Params []string
+	Body   []Stmt
+	P      lexer.Pos
+}
+
+// Property is one key-value pair in an object literal.
+type Property struct {
+	Key   string
+	Value Expr
+}
+
+// ObjectLit is an object literal {k1: v1, ...}.
+type ObjectLit struct {
+	Props []Property
+	P     lexer.Pos
+}
+
+// ArrayLit is an array literal [e1, ...].
+type ArrayLit struct {
+	Elems []Expr
+	P     lexer.Pos
+}
+
+// Member is a static property access obj.Prop.
+type Member struct {
+	Obj  Expr
+	Prop string
+	P    lexer.Pos
+}
+
+// Index is a dynamic (computed) property access obj[index].
+type Index struct {
+	Obj   Expr
+	Index Expr
+	P     lexer.Pos
+}
+
+// Call is a function or method call. When Callee is a Member or Index the
+// call is a method call and the receiver becomes `this`.
+type Call struct {
+	Callee Expr
+	Args   []Expr
+	P      lexer.Pos
+}
+
+// New is a constructor invocation new Callee(Args...).
+type New struct {
+	Callee Expr
+	Args   []Expr
+	P      lexer.Pos
+}
+
+// Unary is a prefix unary operator: ! - + ~ typeof delete.
+type Unary struct {
+	Op string
+	X  Expr
+	P  lexer.Pos
+}
+
+// Update is ++ or -- in prefix or postfix position.
+type Update struct {
+	Op     string // "++" or "--"
+	X      Expr   // Ident, Member or Index
+	Prefix bool
+	P      lexer.Pos
+}
+
+// Binary is a binary operator with strict evaluation of both operands.
+type Binary struct {
+	Op   string
+	L, R Expr
+	P    lexer.Pos
+}
+
+// Logical is && or || with short-circuit evaluation.
+type Logical struct {
+	Op   string // "&&" or "||"
+	L, R Expr
+	P    lexer.Pos
+}
+
+// Cond is the ternary operator test ? cons : alt.
+type Cond struct {
+	Test, Cons, Alt Expr
+	P               lexer.Pos
+}
+
+// Assign is an assignment; Op is "=" or a compound operator like "+=".
+// Target is an Ident, Member or Index.
+type Assign struct {
+	Op     string
+	Target Expr
+	Value  Expr
+	P      lexer.Pos
+}
+
+// Seq is the comma operator: evaluate L, discard, yield R.
+type Seq struct {
+	L, R Expr
+	P    lexer.Pos
+}
+
+func (e *NumberLit) Pos() lexer.Pos    { return e.P }
+func (e *StringLit) Pos() lexer.Pos    { return e.P }
+func (e *BoolLit) Pos() lexer.Pos      { return e.P }
+func (e *NullLit) Pos() lexer.Pos      { return e.P }
+func (e *UndefinedLit) Pos() lexer.Pos { return e.P }
+func (e *Ident) Pos() lexer.Pos        { return e.P }
+func (e *ThisExpr) Pos() lexer.Pos     { return e.P }
+func (e *FunctionLit) Pos() lexer.Pos  { return e.P }
+func (e *ObjectLit) Pos() lexer.Pos    { return e.P }
+func (e *ArrayLit) Pos() lexer.Pos     { return e.P }
+func (e *Member) Pos() lexer.Pos       { return e.P }
+func (e *Index) Pos() lexer.Pos        { return e.P }
+func (e *Call) Pos() lexer.Pos         { return e.P }
+func (e *New) Pos() lexer.Pos          { return e.P }
+func (e *Unary) Pos() lexer.Pos        { return e.P }
+func (e *Update) Pos() lexer.Pos       { return e.P }
+func (e *Binary) Pos() lexer.Pos       { return e.P }
+func (e *Logical) Pos() lexer.Pos      { return e.P }
+func (e *Cond) Pos() lexer.Pos         { return e.P }
+func (e *Assign) Pos() lexer.Pos       { return e.P }
+func (e *Seq) Pos() lexer.Pos          { return e.P }
+
+func (*NumberLit) exprNode()    {}
+func (*StringLit) exprNode()    {}
+func (*BoolLit) exprNode()      {}
+func (*NullLit) exprNode()      {}
+func (*UndefinedLit) exprNode() {}
+func (*Ident) exprNode()        {}
+func (*ThisExpr) exprNode()     {}
+func (*FunctionLit) exprNode()  {}
+func (*ObjectLit) exprNode()    {}
+func (*ArrayLit) exprNode()     {}
+func (*Member) exprNode()       {}
+func (*Index) exprNode()        {}
+func (*Call) exprNode()         {}
+func (*New) exprNode()          {}
+func (*Unary) exprNode()        {}
+func (*Update) exprNode()       {}
+func (*Binary) exprNode()       {}
+func (*Logical) exprNode()      {}
+func (*Cond) exprNode()         {}
+func (*Assign) exprNode()       {}
+func (*Seq) exprNode()          {}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// VarDecl declares one or more variables: var x = e, y;
+type VarDecl struct {
+	Decls []Declarator
+	P     lexer.Pos
+}
+
+// Declarator is a single name with an optional initializer.
+type Declarator struct {
+	Name string
+	Init Expr // nil when absent
+}
+
+// ExprStmt is an expression evaluated for effect.
+type ExprStmt struct {
+	X Expr
+	P lexer.Pos
+}
+
+// Block is a braced statement list.
+type Block struct {
+	Body []Stmt
+	P    lexer.Pos
+}
+
+// If is a conditional with optional else.
+type If struct {
+	Test Expr
+	Cons Stmt
+	Alt  Stmt // nil when absent
+	P    lexer.Pos
+}
+
+// While is a while loop.
+type While struct {
+	Test Expr
+	Body Stmt
+	P    lexer.Pos
+}
+
+// DoWhile is a do-while loop.
+type DoWhile struct {
+	Body Stmt
+	Test Expr
+	P    lexer.Pos
+}
+
+// For is a C-style for loop. Init may be a *VarDecl or *ExprStmt or nil;
+// Test and Update may be nil.
+type For struct {
+	Init   Stmt
+	Test   Expr
+	Update Expr
+	Body   Stmt
+	P      lexer.Pos
+}
+
+// ForIn is for (x in obj) or for (var x in obj).
+type ForIn struct {
+	Name    string
+	Declare bool
+	Obj     Expr
+	Body    Stmt
+	P       lexer.Pos
+}
+
+// Return is a return statement; Value may be nil.
+type Return struct {
+	Value Expr
+	P     lexer.Pos
+}
+
+// Break exits the innermost loop or switch.
+type Break struct{ P lexer.Pos }
+
+// Continue continues the innermost loop.
+type Continue struct{ P lexer.Pos }
+
+// Throw raises an exception.
+type Throw struct {
+	Value Expr
+	P     lexer.Pos
+}
+
+// Try is try/catch/finally. Catch may be nil only if Finally is present.
+type Try struct {
+	Block      *Block
+	CatchParam string
+	Catch      *Block // nil when absent
+	Finally    *Block // nil when absent
+	P          lexer.Pos
+}
+
+// FunctionDecl is a hoisted function declaration.
+type FunctionDecl struct {
+	Fn *FunctionLit
+	P  lexer.Pos
+}
+
+// Case is one arm of a switch.
+type Case struct {
+	Test Expr // nil for default
+	Body []Stmt
+}
+
+// Switch is a switch statement.
+type Switch struct {
+	Disc  Expr
+	Cases []Case
+	P     lexer.Pos
+}
+
+// Empty is a lone semicolon.
+type Empty struct{ P lexer.Pos }
+
+func (s *VarDecl) Pos() lexer.Pos      { return s.P }
+func (s *ExprStmt) Pos() lexer.Pos     { return s.P }
+func (s *Block) Pos() lexer.Pos        { return s.P }
+func (s *If) Pos() lexer.Pos           { return s.P }
+func (s *While) Pos() lexer.Pos        { return s.P }
+func (s *DoWhile) Pos() lexer.Pos      { return s.P }
+func (s *For) Pos() lexer.Pos          { return s.P }
+func (s *ForIn) Pos() lexer.Pos        { return s.P }
+func (s *Return) Pos() lexer.Pos       { return s.P }
+func (s *Break) Pos() lexer.Pos        { return s.P }
+func (s *Continue) Pos() lexer.Pos     { return s.P }
+func (s *Throw) Pos() lexer.Pos        { return s.P }
+func (s *Try) Pos() lexer.Pos          { return s.P }
+func (s *FunctionDecl) Pos() lexer.Pos { return s.P }
+func (s *Switch) Pos() lexer.Pos       { return s.P }
+func (s *Empty) Pos() lexer.Pos        { return s.P }
+
+func (*VarDecl) stmtNode()      {}
+func (*ExprStmt) stmtNode()     {}
+func (*Block) stmtNode()        {}
+func (*If) stmtNode()           {}
+func (*While) stmtNode()        {}
+func (*DoWhile) stmtNode()      {}
+func (*For) stmtNode()          {}
+func (*ForIn) stmtNode()        {}
+func (*Return) stmtNode()       {}
+func (*Break) stmtNode()        {}
+func (*Continue) stmtNode()     {}
+func (*Throw) stmtNode()        {}
+func (*Try) stmtNode()          {}
+func (*FunctionDecl) stmtNode() {}
+func (*Switch) stmtNode()       {}
+func (*Empty) stmtNode()        {}

@@ -1,0 +1,192 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"determinacy/internal/ast"
+	"determinacy/internal/lexer"
+	"determinacy/internal/parser"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.Parse("t.js", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestWalkVisitsEverything(t *testing.T) {
+	prog := mustParse(t, `
+		function f(a) {
+			for (var i = 0; i < a.length; i++) {
+				try { g(a[i]); } catch (e) { throw e; } finally { done(); }
+			}
+			switch (a.kind) { case 1: return {x: [1, 2]}; default: break; }
+			do { a = a ? a - 1 : 0; } while (a && !stop);
+			for (var k in a) delete a[k];
+			return typeof new Box(a).v;
+		}
+	`)
+	counts := map[string]int{}
+	ast.Walk(prog, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.For:
+			counts["for"]++
+		case *ast.ForIn:
+			counts["forin"]++
+		case *ast.Try:
+			counts["try"]++
+		case *ast.Switch:
+			counts["switch"]++
+		case *ast.DoWhile:
+			counts["dowhile"]++
+		case *ast.New:
+			counts["new"]++
+		case *ast.Cond:
+			counts["cond"]++
+		case *ast.Logical:
+			counts["logical"]++
+		case *ast.ObjectLit:
+			counts["object"]++
+		case *ast.ArrayLit:
+			counts["array"]++
+		case *ast.Unary:
+			counts["unary"]++
+		case *ast.Ident:
+			counts["ident"]++
+		}
+		return true
+	})
+	for _, k := range []string{"for", "forin", "try", "switch", "dowhile", "new", "cond", "logical", "object", "array", "unary"} {
+		if counts[k] == 0 {
+			t.Errorf("walk missed %s nodes", k)
+		}
+	}
+	if counts["ident"] < 10 {
+		t.Errorf("suspiciously few identifiers visited: %d", counts["ident"])
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	prog := mustParse(t, `function outer() { var inner = 1; } var outside = 2;`)
+	sawInner := false
+	ast.Walk(prog, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FunctionLit); ok {
+			return false // prune
+		}
+		if id, ok := n.(*ast.VarDecl); ok && id.Decls[0].Name == "inner" {
+			sawInner = true
+		}
+		return true
+	})
+	if sawInner {
+		t.Error("pruned subtree was visited")
+	}
+}
+
+func TestQuoteString(t *testing.T) {
+	cases := map[string]string{
+		"plain":   `"plain"`,
+		`q"q`:     `"q\"q"`,
+		"a\nb":    `"a\nb"`,
+		"tab\t":   `"tab\t"`,
+		"back\\":  `"back\\"`,
+		"\x01ctl": "\"\\u0001ctl\"",
+		"日本語":     `"日本語"`,
+	}
+	for in, want := range cases {
+		if got := ast.QuoteString(in); got != want {
+			t.Errorf("QuoteString(%q) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+// TestQuoteStringRoundTrip: every string must survive quote→lex.
+func TestQuoteStringRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		if !validUTF8(s) {
+			return true
+		}
+		quoted := ast.QuoteString(s)
+		l := lexer.New(quoted)
+		tok := l.Next()
+		if l.Err() != nil || tok.Kind != lexer.String {
+			return false
+		}
+		return tok.Str == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func validUTF8(s string) bool {
+	for _, r := range s {
+		if r == 0xFFFD {
+			return false // replacement introduced by invalid input bytes
+		}
+		if r == '\r' {
+			// The lexer normalizes nothing, but raw CR inside a literal is
+			// re-escaped as \r and round-trips; allow it.
+			continue
+		}
+	}
+	return true
+}
+
+func TestFormatNumber(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1:       "1",
+		-3:      "-3",
+		2.5:     "2.5",
+		1e20:    "100000000000000000000",
+		1e21:    "1e+21",
+		0.00001: "1e-05",
+	}
+	for in, want := range cases {
+		if got := ast.FormatNumber(in); got != want {
+			t.Errorf("FormatNumber(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPrinterParenthesization(t *testing.T) {
+	// Build trees directly to force precedence-sensitive printing.
+	p := lexer.Pos{Line: 1, Col: 1}
+	num := func(n float64) ast.Expr { return &ast.NumberLit{Value: n, P: p} }
+	mul := &ast.Binary{Op: "*", P: p,
+		L: &ast.Binary{Op: "+", L: num(1), R: num(2), P: p},
+		R: num(3),
+	}
+	if got := ast.PrintExpr(mul); got != "(1 + 2) * 3" {
+		t.Errorf("got %q", got)
+	}
+	negneg := &ast.Unary{Op: "-", X: &ast.Unary{Op: "-", X: num(7), P: p}, P: p}
+	if got := ast.PrintExpr(negneg); got != "- -7" {
+		t.Errorf("nested unary minus: %q", got)
+	}
+	seqArg := &ast.Call{P: p, Callee: &ast.Ident{Name: "f", P: p},
+		Args: []ast.Expr{&ast.Seq{L: num(1), R: num(2), P: p}}}
+	if got := ast.PrintExpr(seqArg); got != "f((1, 2))" {
+		t.Errorf("comma in argument: %q", got)
+	}
+}
+
+func TestPrintStmtForms(t *testing.T) {
+	srcs := map[string]string{
+		"var a;":                  "var a;",
+		"a = {f: function() {}};": "a = {f: function() {\n}};",
+	}
+	for src, want := range srcs {
+		prog := mustParse(t, src)
+		got := strings.TrimSpace(ast.PrintStmt(prog.Body[0]))
+		if got != want {
+			t.Errorf("PrintStmt(%q) = %q, want %q", src, got, want)
+		}
+	}
+}

@@ -1,0 +1,521 @@
+package ast
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"determinacy/internal/lexer"
+)
+
+// Print renders a program back to mini-JS source. The output parses to an
+// equivalent tree (modulo positions); it is used by the specializer and the
+// eval eliminator to emit transformed programs.
+func Print(p *Program) string {
+	var pr printer
+	pr.stmts(p.Body)
+	return pr.b.String()
+}
+
+// PrintStmt renders a single statement.
+func PrintStmt(s Stmt) string {
+	var pr printer
+	pr.stmt(s)
+	return pr.b.String()
+}
+
+// PrintExpr renders a single expression.
+func PrintExpr(e Expr) string {
+	var pr printer
+	pr.expr(e, precLowest)
+	return pr.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) w(s string)           { p.b.WriteString(s) }
+func (p *printer) f(s string, a ...any) { fmt.Fprintf(&p.b, s, a...) }
+func (p *printer) nl()                  { p.w("\n"); p.w(strings.Repeat("  ", p.indent)) }
+func (p *printer) stmts(ss []Stmt) {
+	for _, s := range ss {
+		p.stmt(s)
+		p.nl()
+	}
+}
+
+func (p *printer) block(ss []Stmt) {
+	p.w("{")
+	p.indent++
+	for _, s := range ss {
+		p.nl()
+		p.stmt(s)
+	}
+	p.indent--
+	p.nl()
+	p.w("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *VarDecl:
+		p.w("var ")
+		for i, d := range s.Decls {
+			if i > 0 {
+				p.w(", ")
+			}
+			p.w(d.Name)
+			if d.Init != nil {
+				p.w(" = ")
+				p.expr(d.Init, precAssign)
+			}
+		}
+		p.w(";")
+	case *ExprStmt:
+		// Parenthesize leading function literals and object literals so the
+		// statement does not parse as a declaration or block.
+		if needsStmtParens(s.X) {
+			p.w("(")
+			p.expr(s.X, precLowest)
+			p.w(")")
+		} else {
+			p.expr(s.X, precLowest)
+		}
+		p.w(";")
+	case *Block:
+		p.block(s.Body)
+	case *If:
+		p.w("if (")
+		p.expr(s.Test, precLowest)
+		p.w(") ")
+		p.nested(s.Cons)
+		if s.Alt != nil {
+			p.w(" else ")
+			p.nested(s.Alt)
+		}
+	case *While:
+		p.w("while (")
+		p.expr(s.Test, precLowest)
+		p.w(") ")
+		p.nested(s.Body)
+	case *DoWhile:
+		p.w("do ")
+		p.nested(s.Body)
+		p.w(" while (")
+		p.expr(s.Test, precLowest)
+		p.w(");")
+	case *For:
+		p.w("for (")
+		switch init := s.Init.(type) {
+		case nil:
+		case *VarDecl:
+			p.w("var ")
+			for i, d := range init.Decls {
+				if i > 0 {
+					p.w(", ")
+				}
+				p.w(d.Name)
+				if d.Init != nil {
+					p.w(" = ")
+					p.expr(d.Init, precAssign)
+				}
+			}
+		case *ExprStmt:
+			p.expr(init.X, precLowest)
+		}
+		p.w("; ")
+		if s.Test != nil {
+			p.expr(s.Test, precLowest)
+		}
+		p.w("; ")
+		if s.Update != nil {
+			p.expr(s.Update, precLowest)
+		}
+		p.w(") ")
+		p.nested(s.Body)
+	case *ForIn:
+		p.w("for (")
+		if s.Declare {
+			p.w("var ")
+		}
+		p.w(s.Name)
+		p.w(" in ")
+		p.expr(s.Obj, precLowest)
+		p.w(") ")
+		p.nested(s.Body)
+	case *Return:
+		p.w("return")
+		if s.Value != nil {
+			p.w(" ")
+			p.expr(s.Value, precLowest)
+		}
+		p.w(";")
+	case *Break:
+		p.w("break;")
+	case *Continue:
+		p.w("continue;")
+	case *Throw:
+		p.w("throw ")
+		p.expr(s.Value, precLowest)
+		p.w(";")
+	case *Try:
+		p.w("try ")
+		p.block(s.Block.Body)
+		if s.Catch != nil {
+			p.f(" catch (%s) ", s.CatchParam)
+			p.block(s.Catch.Body)
+		}
+		if s.Finally != nil {
+			p.w(" finally ")
+			p.block(s.Finally.Body)
+		}
+	case *FunctionDecl:
+		p.function(s.Fn)
+	case *Switch:
+		p.w("switch (")
+		p.expr(s.Disc, precLowest)
+		p.w(") {")
+		p.indent++
+		for _, c := range s.Cases {
+			p.nl()
+			if c.Test == nil {
+				p.w("default:")
+			} else {
+				p.w("case ")
+				p.expr(c.Test, precLowest)
+				p.w(":")
+			}
+			p.indent++
+			for _, b := range c.Body {
+				p.nl()
+				p.stmt(b)
+			}
+			p.indent--
+		}
+		p.indent--
+		p.nl()
+		p.w("}")
+	case *Empty:
+		p.w(";")
+	default:
+		p.f("/* unknown stmt %T */;", s)
+	}
+}
+
+// nested prints a statement that is the body of a control construct.
+func (p *printer) nested(s Stmt) {
+	if b, ok := s.(*Block); ok {
+		p.block(b.Body)
+		return
+	}
+	p.indent++
+	p.nl()
+	p.stmt(s)
+	p.indent--
+}
+
+func needsStmtParens(e Expr) bool {
+	switch e := e.(type) {
+	case *FunctionLit, *ObjectLit:
+		return true
+	case *Call:
+		return needsStmtParens(e.Callee)
+	case *Member:
+		return needsStmtParens(e.Obj)
+	case *Index:
+		return needsStmtParens(e.Obj)
+	case *Assign:
+		return needsStmtParens(e.Target)
+	case *Binary:
+		return needsStmtParens(e.L)
+	case *Seq:
+		return needsStmtParens(e.L)
+	}
+	return false
+}
+
+// Operator precedence levels, loosest to tightest, mirroring the parser.
+const (
+	precLowest = iota
+	precSeq
+	precAssign
+	precCond
+	precOr
+	precAnd
+	precBitOr
+	precBitXor
+	precBitAnd
+	precEq
+	precRel
+	precShift
+	precAdd
+	precMul
+	precUnary
+	precPostfix
+	precCallMember
+)
+
+func binaryPrec(op string) int {
+	switch op {
+	case "||":
+		return precOr
+	case "&&":
+		return precAnd
+	case "|":
+		return precBitOr
+	case "^":
+		return precBitXor
+	case "&":
+		return precBitAnd
+	case "==", "!=", "===", "!==":
+		return precEq
+	case "<", ">", "<=", ">=", "in", "instanceof":
+		return precRel
+	case "<<", ">>", ">>>":
+		return precShift
+	case "+", "-":
+		return precAdd
+	case "*", "/", "%":
+		return precMul
+	}
+	return precLowest
+}
+
+func (p *printer) expr(e Expr, outer int) {
+	prec := exprPrec(e)
+	if prec < outer {
+		p.w("(")
+		p.exprInner(e)
+		p.w(")")
+		return
+	}
+	p.exprInner(e)
+}
+
+func exprPrec(e Expr) int {
+	switch e := e.(type) {
+	case *Seq:
+		return precSeq
+	case *Assign:
+		return precAssign
+	case *Cond:
+		return precCond
+	case *Logical:
+		return binaryPrec(e.Op)
+	case *Binary:
+		return binaryPrec(e.Op)
+	case *Unary:
+		return precUnary
+	case *Update:
+		if e.Prefix {
+			return precUnary
+		}
+		return precPostfix
+	default:
+		return precCallMember
+	}
+}
+
+func (p *printer) exprInner(e Expr) {
+	switch e := e.(type) {
+	case *NumberLit:
+		p.w(FormatNumber(e.Value))
+	case *StringLit:
+		p.w(QuoteString(e.Value))
+	case *BoolLit:
+		p.w(strconv.FormatBool(e.Value))
+	case *NullLit:
+		p.w("null")
+	case *UndefinedLit:
+		p.w("undefined")
+	case *Ident:
+		p.w(e.Name)
+	case *ThisExpr:
+		p.w("this")
+	case *FunctionLit:
+		p.function(e)
+	case *ObjectLit:
+		p.w("{")
+		for i, prop := range e.Props {
+			if i > 0 {
+				p.w(", ")
+			}
+			if isIdentName(prop.Key) {
+				p.w(prop.Key)
+			} else {
+				p.w(QuoteString(prop.Key))
+			}
+			p.w(": ")
+			p.expr(prop.Value, precAssign)
+		}
+		p.w("}")
+	case *ArrayLit:
+		p.w("[")
+		for i, el := range e.Elems {
+			if i > 0 {
+				p.w(", ")
+			}
+			p.expr(el, precAssign)
+		}
+		p.w("]")
+	case *Member:
+		p.expr(e.Obj, precCallMember)
+		p.w(".")
+		p.w(e.Prop)
+	case *Index:
+		p.expr(e.Obj, precCallMember)
+		p.w("[")
+		p.expr(e.Index, precLowest)
+		p.w("]")
+	case *Call:
+		p.expr(e.Callee, precCallMember)
+		p.args(e.Args)
+	case *New:
+		p.w("new ")
+		p.expr(e.Callee, precCallMember)
+		p.args(e.Args)
+	case *Unary:
+		p.w(e.Op)
+		if e.Op == "typeof" || e.Op == "delete" {
+			p.w(" ")
+		} else if needsUnarySpace(e.Op, e.X) {
+			// Avoid "- -x" fusing into the decrement operator "--x".
+			p.w(" ")
+		}
+		p.expr(e.X, precUnary)
+	case *Update:
+		if e.Prefix {
+			p.w(e.Op)
+			p.expr(e.X, precUnary)
+		} else {
+			p.expr(e.X, precPostfix)
+			p.w(e.Op)
+		}
+	case *Binary:
+		prec := binaryPrec(e.Op)
+		p.expr(e.L, prec)
+		p.f(" %s ", e.Op)
+		p.expr(e.R, prec+1)
+	case *Logical:
+		prec := binaryPrec(e.Op)
+		p.expr(e.L, prec)
+		p.f(" %s ", e.Op)
+		p.expr(e.R, prec+1)
+	case *Cond:
+		p.expr(e.Test, precOr)
+		p.w(" ? ")
+		p.expr(e.Cons, precAssign)
+		p.w(" : ")
+		p.expr(e.Alt, precAssign)
+	case *Assign:
+		p.expr(e.Target, precCallMember)
+		p.f(" %s ", e.Op)
+		p.expr(e.Value, precAssign)
+	case *Seq:
+		p.expr(e.L, precSeq)
+		p.w(", ")
+		p.expr(e.R, precAssign)
+	default:
+		p.f("/* unknown expr %T */", e)
+	}
+}
+
+// needsUnarySpace reports whether a space must separate a prefix +/- from
+// its operand to avoid fusing into ++/--.
+func needsUnarySpace(op string, inner Expr) bool {
+	if op != "-" && op != "+" {
+		return false
+	}
+	switch x := inner.(type) {
+	case *Unary:
+		return x.Op == op
+	case *Update:
+		return x.Prefix && x.Op[:1] == op
+	}
+	return false
+}
+
+func (p *printer) function(fn *FunctionLit) {
+	p.w("function")
+	if fn.Name != "" {
+		p.w(" ")
+		p.w(fn.Name)
+	}
+	p.w("(")
+	p.w(strings.Join(fn.Params, ", "))
+	p.w(") ")
+	p.block(fn.Body)
+}
+
+func (p *printer) args(args []Expr) {
+	p.w("(")
+	for i, a := range args {
+		if i > 0 {
+			p.w(", ")
+		}
+		p.expr(a, precAssign)
+	}
+	p.w(")")
+}
+
+func isIdentName(s string) bool {
+	if s == "" || lexer.IsKeyword(s) {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == '$' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatNumber renders a float64 the way JavaScript's default number
+// formatting does for the common cases our programs produce.
+func FormatNumber(f float64) string {
+	if math.IsNaN(f) {
+		return "NaN"
+	}
+	if math.IsInf(f, 1) {
+		return "Infinity"
+	}
+	if math.IsInf(f, -1) {
+		return "-Infinity"
+	}
+	if f == math.Trunc(f) && math.Abs(f) < 1e21 {
+		return strconv.FormatFloat(f, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// QuoteString renders s as a double-quoted mini-JS string literal.
+func QuoteString(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString("\\\"")
+		case '\\':
+			b.WriteString("\\\\")
+		case '\n':
+			b.WriteString("\\n")
+		case '\t':
+			b.WriteString("\\t")
+		case '\r':
+			b.WriteString("\\r")
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(&b, "\\u%04x", r)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package ast
+
+// Visit is called by Walk for every node in pre-order. Returning false
+// prunes the subtree below the node.
+type Visit func(Node) bool
+
+// Walk traverses the tree rooted at n in pre-order, calling v for each node.
+// A nil node is ignored.
+func Walk(n Node, v Visit) {
+	if n == nil || !v(n) {
+		return
+	}
+	switch n := n.(type) {
+	case *Program:
+		walkStmts(n.Body, v)
+	case *FunctionLit:
+		walkStmts(n.Body, v)
+	case *ObjectLit:
+		for _, p := range n.Props {
+			Walk(p.Value, v)
+		}
+	case *ArrayLit:
+		for _, e := range n.Elems {
+			Walk(e, v)
+		}
+	case *Member:
+		Walk(n.Obj, v)
+	case *Index:
+		Walk(n.Obj, v)
+		Walk(n.Index, v)
+	case *Call:
+		Walk(n.Callee, v)
+		for _, a := range n.Args {
+			Walk(a, v)
+		}
+	case *New:
+		Walk(n.Callee, v)
+		for _, a := range n.Args {
+			Walk(a, v)
+		}
+	case *Unary:
+		Walk(n.X, v)
+	case *Update:
+		Walk(n.X, v)
+	case *Binary:
+		Walk(n.L, v)
+		Walk(n.R, v)
+	case *Logical:
+		Walk(n.L, v)
+		Walk(n.R, v)
+	case *Cond:
+		Walk(n.Test, v)
+		Walk(n.Cons, v)
+		Walk(n.Alt, v)
+	case *Assign:
+		Walk(n.Target, v)
+		Walk(n.Value, v)
+	case *Seq:
+		Walk(n.L, v)
+		Walk(n.R, v)
+	case *VarDecl:
+		for _, d := range n.Decls {
+			if d.Init != nil {
+				Walk(d.Init, v)
+			}
+		}
+	case *ExprStmt:
+		Walk(n.X, v)
+	case *Block:
+		walkStmts(n.Body, v)
+	case *If:
+		Walk(n.Test, v)
+		Walk(n.Cons, v)
+		if n.Alt != nil {
+			Walk(n.Alt, v)
+		}
+	case *While:
+		Walk(n.Test, v)
+		Walk(n.Body, v)
+	case *DoWhile:
+		Walk(n.Body, v)
+		Walk(n.Test, v)
+	case *For:
+		if n.Init != nil {
+			Walk(n.Init, v)
+		}
+		if n.Test != nil {
+			Walk(n.Test, v)
+		}
+		if n.Update != nil {
+			Walk(n.Update, v)
+		}
+		Walk(n.Body, v)
+	case *ForIn:
+		Walk(n.Obj, v)
+		Walk(n.Body, v)
+	case *Return:
+		if n.Value != nil {
+			Walk(n.Value, v)
+		}
+	case *Throw:
+		Walk(n.Value, v)
+	case *Try:
+		Walk(n.Block, v)
+		if n.Catch != nil {
+			Walk(n.Catch, v)
+		}
+		if n.Finally != nil {
+			Walk(n.Finally, v)
+		}
+	case *FunctionDecl:
+		Walk(n.Fn, v)
+	case *Switch:
+		Walk(n.Disc, v)
+		for _, c := range n.Cases {
+			if c.Test != nil {
+				Walk(c.Test, v)
+			}
+			walkStmts(c.Body, v)
+		}
+	}
+}
+
+func walkStmts(ss []Stmt, v Visit) {
+	for _, s := range ss {
+		Walk(s, v)
+	}
+}

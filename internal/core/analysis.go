@@ -1,0 +1,740 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"determinacy/internal/facts"
+	"determinacy/internal/interp"
+	"determinacy/internal/ir"
+)
+
+// Errors reported by the analysis.
+var (
+	// ErrBudget means the instrumented execution exceeded its step budget.
+	ErrBudget = errors.New("core: step budget exhausted")
+	// ErrStack means the call stack exceeded its limit.
+	ErrStack = errors.New("core: call stack overflow")
+	// ErrFlushLimit means the analysis stopped after too many heap flushes
+	// (the paper stops after 1000, "since at this point it is unlikely to
+	// detect new determinacy facts"). Facts gathered so far remain sound.
+	ErrFlushLimit = errors.New("core: heap flush limit reached")
+)
+
+// Thrown wraps an uncaught instrumented exception.
+type Thrown struct {
+	Val Value
+}
+
+func (t *Thrown) Error() string { return "js exception (instrumented)" }
+
+// Options configures the analysis.
+type Options struct {
+	// MaxSteps bounds executed instructions (0 = default).
+	MaxSteps int
+	// MaxDepth bounds call-stack depth (0 = default 1000).
+	MaxDepth int
+	// Out receives console output (suppressed during counterfactual
+	// execution); nil discards.
+	Out io.Writer
+	// Seed drives Math.random; Now backs Date.now; Inputs backs __input.
+	// All three are indeterminate sources regardless of their concrete
+	// values.
+	Seed   uint64
+	Now    float64
+	Inputs map[string]interp.Value
+
+	// MaxCounterfactualDepth is the paper's cut-off k for nested
+	// counterfactual executions (rule CNTRABORT). 0 means the default of 4.
+	MaxCounterfactualDepth int
+	// DisableCounterfactual ablates counterfactual execution: an
+	// indeterminate-false branch is handled by the conservative
+	// CNTRABORT rule (heap flush + static write-set marking) instead.
+	DisableCounterfactual bool
+	// ImmediateTaint ablates post-branch marking: values written under an
+	// indeterminate condition are marked indeterminate at write time, as a
+	// classical dynamic information-flow analysis would. This loses facts
+	// like the paper's ⟦r.g⟧ 18→5→10 = 42.
+	ImmediateTaint bool
+	// MuJSLocals reproduces the paper's µJS-faithful treatment of locals:
+	// indeterminate calls flush only the heap, not environments. Full
+	// JavaScript closures make this unsound (see DESIGN.md), so the default
+	// performs an environment flush as well.
+	MuJSLocals bool
+	// AbortCFOnNativeWrite mimics the paper's implementation, which aborts
+	// counterfactual execution at any native call that is not known to be
+	// side-effect free. Our natives mutate the instrumented heap through
+	// journaled operations and are therefore undoable; the default only
+	// aborts on External natives (DOM and console-like effects).
+	AbortCFOnNativeWrite bool
+	// MaxFlushes stops the analysis after this many heap flushes (0 =
+	// unlimited). The paper uses 1000.
+	MaxFlushes int
+}
+
+// Stats summarizes one instrumented run.
+type Stats struct {
+	Steps        int
+	HeapFlushes  int
+	EnvFlushes   int
+	FlushReasons map[string]int
+	Counterfacts int // counterfactual branch executions
+	CFAborts     int // counterfactual aborts (depth, native, exception)
+}
+
+// Analysis is the instrumented interpreter. Create with New, execute with
+// Run, and read facts from Facts.
+type Analysis struct {
+	Mod    *ir.Module
+	Global *DObj
+	Facts  *facts.Store
+
+	ObjectProto   *DObj
+	FunctionProto *DObj
+	ArrayProto    *DObj
+	StringProto   *DObj
+	NumberProto   *DObj
+	BooleanProto  *DObj
+	ErrorProto    *DObj
+
+	// OnFlush, when set, observes every heap flush with its reason.
+	OnFlush func(reason string)
+
+	opts      Options
+	stats     Stats
+	heapEpoch uint64
+	envEpoch  uint64
+	nalloc    int
+	frames    []*DFrame
+	branches  []*branchFrame
+	cfDepth   int
+	evalCache map[string]*ir.Function
+	rng       uint64
+	stopped   error
+}
+
+// DFrame is one instrumented activation record.
+type DFrame struct {
+	Fn       *ir.Function
+	Env      *DEnv
+	Regs     []Value
+	CallSite ir.ID
+	Ctx      facts.Context
+	siteSeq  map[ir.ID]int
+	instrSeq map[ir.ID]int
+	// taintedSeq marks instructions whose occurrence numbering in this
+	// activation is no longer stable across executions (an arrival happened
+	// under an indeterminate branch inside a loop). Facts at such points
+	// would be keyed by indices other executions may not share, so they are
+	// recorded indeterminate.
+	taintedSeq map[ir.ID]bool
+	// allSeqTainted poisons the whole activation's occurrence numbering; it
+	// is set when a counterfactual was aborted, leaving an unexecuted block
+	// whose arrivals other executions may perform.
+	allSeqTainted bool
+	// ctxUnstable marks frames whose calling context contains an
+	// occurrence-unstable entry; all facts recorded under it are
+	// indeterminate.
+	ctxUnstable bool
+}
+
+// New creates an analysis for mod. Pass a fact store to collect facts, or
+// nil to run for statistics only.
+func New(mod *ir.Module, store *facts.Store, opts Options) *Analysis {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 20_000_000
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 1000
+	}
+	if opts.Out == nil {
+		opts.Out = io.Discard
+	}
+	if opts.MaxCounterfactualDepth == 0 {
+		opts.MaxCounterfactualDepth = 4
+	}
+	a := &Analysis{
+		Mod:       mod,
+		Facts:     store,
+		opts:      opts,
+		rng:       opts.Seed*2862933555777941757 + 3037000493,
+		evalCache: make(map[string]*ir.Function),
+		stats:     Stats{FlushReasons: map[string]int{}},
+	}
+	a.setupRuntime()
+	return a
+}
+
+// Stats returns run statistics.
+func (a *Analysis) Stats() Stats { return a.stats }
+
+// Options returns the analysis configuration.
+func (a *Analysis) Options() Options { return a.opts }
+
+// ---------------------------------------------------------------------------
+// Allocation
+
+// NewObj allocates an instrumented object closed under the current epoch.
+func (a *Analysis) NewObj(class string, proto *DObj) *DObj {
+	a.nalloc++
+	return &DObj{Class: class, Proto: proto, ProtoDet: true, createdEpoch: a.heapEpoch, Alloc: a.nalloc}
+}
+
+// NewPlainObj allocates an object inheriting from Object.prototype.
+func (a *Analysis) NewPlainObj() *DObj { return a.NewObj("Object", a.ObjectProto) }
+
+// NewArrayObj allocates an array with the given annotated elements.
+func (a *Analysis) NewArrayObj(elems []Value) *DObj {
+	o := a.NewObj("Array", a.ArrayProto)
+	a.setRawProp(o, "length", NumberV(float64(len(elems)), true))
+	for i, e := range elems {
+		a.setRawProp(o, fmt.Sprint(i), e)
+	}
+	return o
+}
+
+// NewNativeObj wraps a native implementation as a callable object.
+func (a *Analysis) NewNativeObj(name string, fn func(*Analysis, Value, []Value) (Value, error)) *DObj {
+	o := a.NewObj("Function", a.FunctionProto)
+	o.Native = &DNative{Name: name, Fn: fn}
+	return o
+}
+
+// NewClosureObj creates a function object for fn closing over env.
+func (a *Analysis) NewClosureObj(fn *ir.Function, env *DEnv) *DObj {
+	c := a.NewObj("Function", a.FunctionProto)
+	c.Fn = fn
+	c.Env = env
+	proto := a.NewPlainObj()
+	a.setOwn(proto, "constructor", ObjV(c, true))
+	a.setOwn(c, "prototype", ObjV(proto, true))
+	a.setOwn(c, "length", NumberV(float64(len(fn.Params)), true))
+	return c
+}
+
+// NewErrorObj creates an instrumented error object; det annotates both name
+// and message.
+func (a *Analysis) NewErrorObj(name, msg string, det bool) *DObj {
+	e := a.NewObj("Error", a.ErrorProto)
+	a.setOwn(e, "name", StringV(name, det))
+	a.setOwn(e, "message", StringV(msg, det))
+	return e
+}
+
+// SetGlobal defines a global binding (for embedders like the DOM bridge).
+func (a *Analysis) SetGlobal(name string, v Value) { a.setOwn(a.Global, name, v) }
+
+// SetProp writes a property through the journaled write path.
+func (a *Analysis) SetProp(o *DObj, name string, v Value) { a.setOwn(o, name, v) }
+
+// GetProp reads an own property of o.
+func (a *Analysis) GetProp(o *DObj, name string) (Value, bool) { return a.getOwn(o, name) }
+
+// ToNumberPub exposes JavaScript ToNumber for embedders.
+func (a *Analysis) ToNumberPub(v Value) float64 { return a.toNumber(v) }
+
+// ToStringPub exposes JavaScript ToString for embedders, with the
+// conversion's determinacy.
+func (a *Analysis) ToStringPub(v Value) (string, bool) { return a.toString(v) }
+
+// DefNativeOn installs a native function as a property of o. When external,
+// the native aborts counterfactual execution (it has effects outside the
+// instrumented, journal-protected heap).
+func (a *Analysis) DefNativeOn(o *DObj, name string, fn func(*Analysis, Value, []Value) (Value, error), external bool) {
+	nat := a.NewNativeObj(name, fn)
+	nat.Native.External = external
+	a.setOwn(o, name, ObjV(nat, true))
+}
+
+// MarkObjectIndeterminate forces every property of o indeterminate and the
+// record open, used by embedders importing host data with an indeterminacy
+// policy (e.g. DOM node lists).
+func (a *Analysis) MarkObjectIndeterminate(o *DObj) {
+	a.openRecord(o, false)
+}
+
+// LookupGlobal reads a global binding (for embedders and tests), returning
+// the value, whether it exists, and whether the lookup path is determinate.
+func (a *Analysis) LookupGlobal(name string) (Value, bool, bool) {
+	v, found, det := a.lookup(a.Global, name)
+	return v, found, det
+}
+
+// DisplayValue renders a value using JavaScript ToString semantics.
+func (a *Analysis) DisplayValue(v Value) string {
+	s, _ := a.toString(v)
+	return s
+}
+
+// Random steps the deterministic PRNG (concrete value; always annotated
+// indeterminate by the Math.random model).
+func (a *Analysis) Random() float64 {
+	a.rng ^= a.rng >> 12
+	a.rng ^= a.rng << 25
+	a.rng ^= a.rng >> 27
+	return float64((a.rng*2685821657736338717)>>11) / float64(1<<53)
+}
+
+// ---------------------------------------------------------------------------
+// Flushing
+
+// FlushHeap performs a heap flush (§4): a single epoch increment marks every
+// property of every object indeterminate and every record open.
+func (a *Analysis) FlushHeap(reason string) {
+	a.heapEpoch++
+	a.stats.HeapFlushes++
+	a.stats.FlushReasons[reason]++
+	if a.OnFlush != nil {
+		a.OnFlush(reason)
+	}
+	if a.opts.MaxFlushes > 0 && a.stats.HeapFlushes > a.opts.MaxFlushes && a.stopped == nil {
+		a.stopped = ErrFlushLimit
+	}
+}
+
+// flushEnv marks every local slot of every live environment indeterminate.
+// See Options.MuJSLocals for when this runs.
+func (a *Analysis) flushEnv() {
+	a.envEpoch++
+	a.stats.EnvFlushes++
+}
+
+// flushAll is the conservative merge used for indeterminate calls and
+// escapes: heap plus (unless in µJS-locals mode) environments.
+func (a *Analysis) flushAll(reason string) {
+	a.FlushHeap(reason)
+	if !a.opts.MuJSLocals {
+		a.flushEnv()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Environment access with epochs
+
+func (a *Analysis) loadSlot(env *DEnv, hops, slot int) Value {
+	e := env.at(hops)
+	v := e.Slots[slot]
+	v.Det = v.Det && e.Epochs[slot] >= a.envEpoch
+	return v
+}
+
+func (a *Analysis) storeSlot(env *DEnv, hops, slot int, v Value) {
+	e := env.at(hops)
+	a.journalVar(e, slot)
+	if a.opts.ImmediateTaint && a.inIndetBranch() {
+		v.Det = false
+	}
+	e.Slots[slot] = v
+	e.Epochs[slot] = a.envEpoch
+}
+
+// newEnv creates an environment frame with all slots undefined-determinate.
+func (a *Analysis) newEnv(parent *DEnv, fn *ir.Function) *DEnv {
+	e := &DEnv{Parent: parent, Fn: fn, Slots: make([]Value, fn.NumSlots), Epochs: make([]uint64, fn.NumSlots)}
+	for i := range e.Slots {
+		e.Slots[i] = UndefD
+		e.Epochs[i] = a.envEpoch
+	}
+	return e
+}
+
+// ---------------------------------------------------------------------------
+// Branch frames and the write journal
+
+type writeKind uint8
+
+const (
+	wVar writeKind = iota
+	wReg
+	wProp
+	// wOpen records a transition of an object to forced-open (rule ŜTO with
+	// an indeterminate property name), so counterfactual undo can close it
+	// again.
+	wOpen
+)
+
+type writeRec struct {
+	kind writeKind
+	// var writes
+	env  *DEnv
+	slot int
+	// reg writes
+	regs []Value
+	reg  ir.Reg
+	// prop writes
+	obj  *DObj
+	name string
+
+	oldVal   Value
+	oldEpoch uint64
+	oldProp  dprop
+	existed  bool
+	// oldKeyLen snapshots key-order length for exact undo of insertions.
+	oldForcedOpen bool
+	kindProp      bool
+}
+
+// branchFrame tracks writes performed while executing a branch guarded by an
+// indeterminate condition (or counterfactually).
+type branchFrame struct {
+	journal        []writeRec
+	counterfactual bool
+	// isLoop marks frames opened for a loop continuation under an
+	// indeterminate condition (rules ÎF1/CNTR applied to the while
+	// desugaring). Occurrence indices of instructions inside such frames
+	// remain stable — the k-th arrival at a loop-body point is iteration k
+	// in every execution — so fact recording does not taint them until the
+	// loop ends (see seqStable and tainStamp below). Non-loop frames
+	// destabilize reentrant occurrence counting immediately.
+	isLoop bool
+	// recorded collects the fact observations made while this frame was
+	// innermost, so loop frames can taint their occurrence counters once
+	// the loop is over.
+	recorded map[*DFrame]map[ir.ID]bool
+	// indet marks frames created for indeterminate-condition branches; all
+	// current frames of this analysis are indet frames, but the flag keeps
+	// the intent explicit.
+	indet bool
+}
+
+func (a *Analysis) inIndetBranch() bool { return len(a.branches) > 0 }
+
+// hasNonLoopBranch reports whether any active indeterminate frame is a
+// non-loop frame (if-branch, counterfactual of a branch, indeterminate
+// for-in or eval), which makes reentrant occurrence counting unstable.
+func (a *Analysis) hasNonLoopBranch() bool {
+	for _, bf := range a.branches {
+		if !bf.isLoop {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Analysis) pushBranch(counterfactual bool) *branchFrame {
+	return a.pushBranchKind(counterfactual, false)
+}
+
+func (a *Analysis) pushLoopBranch(counterfactual bool) *branchFrame {
+	return a.pushBranchKind(counterfactual, true)
+}
+
+func (a *Analysis) pushBranchKind(counterfactual, isLoop bool) *branchFrame {
+	bf := &branchFrame{counterfactual: counterfactual, isLoop: isLoop, indet: true}
+	a.branches = append(a.branches, bf)
+	if counterfactual {
+		a.cfDepth++
+		a.stats.Counterfacts++
+	}
+	return bf
+}
+
+// noteRecorded registers a fact observation with the innermost frame.
+func (a *Analysis) noteRecorded(f *DFrame, id ir.ID) {
+	if len(a.branches) == 0 {
+		return
+	}
+	bf := a.branches[len(a.branches)-1]
+	if bf.recorded == nil {
+		bf.recorded = map[*DFrame]map[ir.ID]bool{}
+	}
+	m := bf.recorded[f]
+	if m == nil {
+		m = map[ir.ID]bool{}
+		bf.recorded[f] = m
+	}
+	m[id] = true
+}
+
+// applyLoopTaints marks every observation made under a popped loop frame as
+// occurrence-unstable for the rest of its activation: arrivals after the
+// loop (e.g. via an enclosing loop) no longer align across executions.
+func (a *Analysis) applyLoopTaints(bf *branchFrame) {
+	for df, ids := range bf.recorded {
+		if df.taintedSeq == nil {
+			df.taintedSeq = make(map[ir.ID]bool, len(ids))
+		}
+		for id := range ids {
+			df.taintedSeq[id] = true
+		}
+	}
+	bf.recorded = nil
+}
+
+// popBranch removes the frame; callers then invoke markIndeterminate or
+// undoAndMark on it.
+func (a *Analysis) popBranch(bf *branchFrame) {
+	a.branches = a.branches[:len(a.branches)-1]
+	if bf.counterfactual {
+		a.cfDepth--
+	}
+}
+
+func (a *Analysis) journalVar(env *DEnv, slot int) {
+	if len(a.branches) == 0 {
+		return
+	}
+	bf := a.branches[len(a.branches)-1]
+	bf.journal = append(bf.journal, writeRec{
+		kind: wVar, env: env, slot: slot,
+		oldVal: env.Slots[slot], oldEpoch: env.Epochs[slot],
+	})
+}
+
+func (a *Analysis) journalReg(regs []Value, reg ir.Reg) {
+	if len(a.branches) == 0 {
+		return
+	}
+	bf := a.branches[len(a.branches)-1]
+	bf.journal = append(bf.journal, writeRec{
+		kind: wReg, regs: regs, reg: reg, oldVal: regs[reg],
+	})
+}
+
+func (a *Analysis) journalProp(o *DObj, name string) {
+	if len(a.branches) == 0 {
+		return
+	}
+	bf := a.branches[len(a.branches)-1]
+	p, existed := o.props[name]
+	bf.journal = append(bf.journal, writeRec{
+		kind: wProp, obj: o, name: name, oldProp: p, existed: existed,
+		oldForcedOpen: o.forcedOpen,
+	})
+}
+
+func (a *Analysis) journalOpen(o *DObj) {
+	if len(a.branches) == 0 {
+		return
+	}
+	bf := a.branches[len(a.branches)-1]
+	bf.journal = append(bf.journal, writeRec{kind: wOpen, obj: o, oldForcedOpen: o.forcedOpen})
+}
+
+// openRecord implements rule ŜTO with an indeterminate property name d'=?:
+// the record becomes open and every property indeterminate, since any
+// property may have been written (or a new one added) in other executions.
+// For deletes through indeterminate names, markAbsent additionally flags
+// every property's existence as uncertain.
+func (a *Analysis) openRecord(o *DObj, markAbsent bool) {
+	a.journalOpen(o)
+	o.forcedOpen = true
+	for _, k := range o.OwnKeys() {
+		a.journalProp(o, k)
+		p := o.props[k]
+		p.val.Det = false
+		if markAbsent {
+			p.maybeAbsent = true
+		}
+		o.props[k] = p
+	}
+}
+
+// OwnKeys returns a copy of the own property key order of o.
+func (o *DObj) OwnKeys() []string {
+	out := make([]string, len(o.keys))
+	copy(out, o.keys)
+	return out
+}
+
+// hasOwnConcrete reports the concrete own-property answer plus its
+// determinacy (phantoms are concretely absent, maybeAbsent concretely
+// present; both indeterminate).
+func (a *Analysis) hasOwnConcrete(o *DObj, name string) (bool, bool) {
+	p, ok := o.props[name]
+	if !ok {
+		return false, !a.IsOpen(o)
+	}
+	if p.phantom {
+		return false, false
+	}
+	if p.maybeAbsent {
+		return true, false
+	}
+	// On an open record even a present cell may have been deleted by the
+	// unknown effects that opened the record.
+	return true, !a.IsOpen(o)
+}
+
+// markIndeterminate implements the post-branch marking of rule ÎF1:
+// ρ̂'[vd(t̂) := ρ̂'?] and ĥ'[pd(t̂) := ĥ'?]. Values keep their current
+// (really computed) state but drop to indeterminate. Journal entries are
+// then merged into the enclosing branch frame, since nested branches
+// contribute to the outer branch's write domains.
+func (a *Analysis) markIndeterminate(bf *branchFrame) {
+	for _, w := range bf.journal {
+		switch w.kind {
+		case wVar:
+			w.env.Slots[w.slot] = w.env.Slots[w.slot].Indet()
+		case wReg:
+			w.regs[w.reg] = w.regs[w.reg].Indet()
+		case wProp:
+			if p, ok := w.obj.props[w.name]; ok {
+				p.val = p.val.Indet()
+				w.obj.props[w.name] = p
+			} else if w.existed {
+				// Deleted during the branch: other executions may still
+				// have it, so it reads as undefined? from here on.
+				a.phantomProp(w.obj, w.name)
+			}
+		case wOpen:
+			// The record really became open; nothing to mark.
+		}
+	}
+	a.mergeUp(bf)
+}
+
+// undoAndMark implements rule CNTR's post-processing: every write performed
+// by the counterfactual branch is reverted to its pre-branch state
+// (ρ̂'[vd := ρ̂?], ĥ'[pd := ĥ?]) and then marked indeterminate, since other
+// executions may perform it.
+func (a *Analysis) undoAndMark(bf *branchFrame) {
+	a.undoJournal(bf)
+	for _, w := range bf.journal {
+		switch w.kind {
+		case wVar:
+			w.env.Slots[w.slot] = w.env.Slots[w.slot].Indet()
+		case wReg:
+			w.regs[w.reg] = w.regs[w.reg].Indet()
+		case wProp:
+			if p, ok := w.obj.props[w.name]; ok {
+				p.val = p.val.Indet()
+				w.obj.props[w.name] = p
+			} else {
+				a.phantomProp(w.obj, w.name)
+			}
+		case wOpen:
+			// An opening performed only counterfactually still means other
+			// executions may add or remove arbitrary properties.
+			w.obj.forcedOpen = true
+		}
+	}
+	a.mergeUp(bf)
+}
+
+// undoJournal reverts all journaled writes in reverse order.
+func (a *Analysis) undoJournal(bf *branchFrame) {
+	for i := len(bf.journal) - 1; i >= 0; i-- {
+		w := bf.journal[i]
+		switch w.kind {
+		case wVar:
+			w.env.Slots[w.slot] = w.oldVal
+			w.env.Epochs[w.slot] = w.oldEpoch
+		case wReg:
+			w.regs[w.reg] = w.oldVal
+		case wProp:
+			if w.existed {
+				w.obj.props[w.name] = w.oldProp
+			} else {
+				a.rawDelete(w.obj, w.name)
+			}
+		case wOpen:
+			w.obj.forcedOpen = w.oldForcedOpen
+		}
+	}
+}
+
+// undoOnly reverts writes without marking, used when a counterfactual is
+// aborted and followed by a conservative flush (the flush subsumes the
+// marking for heap locations; environment marking is handled by the
+// caller's env flush).
+func (a *Analysis) undoOnly(bf *branchFrame) {
+	a.undoJournal(bf)
+	a.mergeUp(bf)
+}
+
+func (a *Analysis) mergeUp(bf *branchFrame) {
+	if len(a.branches) == 0 {
+		return
+	}
+	parent := a.branches[len(a.branches)-1]
+	parent.journal = append(parent.journal, bf.journal...)
+}
+
+// phantomProp installs an existence-uncertain property reading undefined?.
+func (a *Analysis) phantomProp(o *DObj, name string) {
+	if o.props == nil {
+		o.props = make(map[string]dprop)
+	}
+	if _, exists := o.props[name]; !exists {
+		o.keys = append(o.keys, name)
+	}
+	o.props[name] = dprop{val: Value{Kind: Undefined}, epoch: a.heapEpoch, phantom: true}
+}
+
+func (a *Analysis) rawDelete(o *DObj, name string) {
+	if _, ok := o.props[name]; !ok {
+		return
+	}
+	delete(o.props, name)
+	for i, k := range o.keys {
+		if k == name {
+			o.keys = append(o.keys[:i], o.keys[i+1:]...)
+			break
+		}
+	}
+}
+
+// markStaticWrites marks the statically determined write-set of a block
+// indeterminate (rule CNTRABORT's ρ̂[vd(s) := ρ̂?]).
+func (a *Analysis) markStaticWrites(f *DFrame, b *ir.Block) {
+	for _, v := range ir.WritesOf(b) {
+		e := f.Env.at(v.Hops)
+		a.journalVar(e, v.Slot)
+		e.Slots[v.Slot] = e.Slots[v.Slot].Indet()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fact recording
+
+// record stores a fact observation for a register-defining instruction.
+// The fact is determinate only if the computed value is determinate AND the
+// observation's position — its occurrence index and every context entry —
+// is stable across executions (otherwise another execution could reach the
+// same key with a different value; see DFrame.taintedSeq).
+func (a *Analysis) record(f *DFrame, in ir.Instr, v Value) {
+	if a.Facts == nil {
+		return
+	}
+	if a.opts.ImmediateTaint && a.inIndetBranch() {
+		v.Det = false
+	}
+	if f.instrSeq == nil {
+		f.instrSeq = make(map[ir.ID]int)
+	}
+	seq := f.instrSeq[in.IID()]
+	f.instrSeq[in.IID()] = seq + 1
+	det := v.Det && a.seqStable(f, in.IID()) && !f.ctxUnstable
+	a.noteRecorded(f, in.IID())
+	a.Facts.Record(in.IID(), f.Ctx, seq, det, Snapshot(v))
+}
+
+// seqStable reports whether the current arrival at id has a stable
+// occurrence index in frame f, and taints future arrivals when the current
+// one happens under an indeterminate branch (other executions may skip it,
+// shifting every later index at a reentrant point).
+func (a *Analysis) seqStable(f *DFrame, id ir.ID) bool {
+	stable := !f.allSeqTainted && !f.taintedSeq[id]
+	if a.hasNonLoopBranch() {
+		if a.Mod.IsReentrant(id) {
+			stable = false
+		}
+		if f.taintedSeq == nil {
+			f.taintedSeq = make(map[ir.ID]bool)
+		}
+		f.taintedSeq[id] = true
+	}
+	return stable
+}
+
+// nextCallSeq returns the occurrence number for a call site within f.
+func (f *DFrame) nextCallSeq(site ir.ID) int {
+	if f.siteSeq == nil {
+		f.siteSeq = make(map[ir.ID]int)
+	}
+	s := f.siteSeq[site]
+	f.siteSeq[site] = s + 1
+	return s
+}

@@ -1,0 +1,140 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"determinacy/internal/core"
+	"determinacy/internal/facts"
+	"determinacy/internal/interp"
+	"determinacy/internal/ir"
+)
+
+// nativeSuite exercises the standard library; every snippet runs under both
+// interpreters and the console outputs must agree — the instrumented native
+// models must compute exactly what the concrete kernels do.
+var nativeSuite = []string{
+	// Arrays.
+	`var a = [3, 1, 2]; console.log(a.shift(), a.join("+"), a.length);`,
+	`var a = [1]; a.push(2, 3); console.log(a.pop(), a.join(","));`,
+	`console.log([1, 2, 3].indexOf(2), [1].indexOf(9));`,
+	`console.log([1, 2, 3, 4].slice(1, 3).join(","), [1, 2].slice(-1).join(","));`,
+	`console.log([1].concat([2, 3], 4).join(","));`,
+	`console.log([1, 2, 3].map(function(x) { return x * 2; }).join(","));`,
+	`console.log([1, 2, 3, 4].filter(function(x) { return x % 2 === 0; }).join(","));`,
+	`var s = 0; [1, 2, 3].forEach(function(x, i) { s += x * i; }); console.log(s);`,
+	`console.log(Array.isArray([1]), Array.isArray("no"), new Array(4).length);`,
+	`var a = [9, 8]; a.length = 1; console.log(a.join(","), a[1]);`,
+	// Strings.
+	`var s = "Hello World"; console.log(s.toUpperCase(), s.toLowerCase());`,
+	`console.log("abc".charAt(1), "abc".charCodeAt(2), "abc".charAt(9));`,
+	`console.log("hay-needle-hay".indexOf("needle"), "aXa".lastIndexOf("a"));`,
+	`console.log("substring".substring(3, 6), "substring".substring(6, 3));`,
+	`console.log("substr".substr(1, 3), "substr".substr(-3));`,
+	`console.log("slice me".slice(2, 5), "slice".slice(-3));`,
+	`console.log("a,b,c".split(",").join("|"), "abc".split("").length);`,
+	`console.log("  trim  ".trim() + "!");`,
+	`console.log("repXlace".replace("X", "_"), "no match".replace("z", "_"));`,
+	`console.log("con".concat("cat", 42), String.fromCharCode(104, 105));`,
+	`console.log("str"[0], "str".length, "str"["length"]);`,
+	// Math.
+	`console.log(Math.abs(-4), Math.floor(1.9), Math.ceil(1.1), Math.round(0.5));`,
+	`console.log(Math.pow(3, 4), Math.sqrt(144), Math.min(5, 2, 8), Math.max(5, 2, 8));`,
+	`console.log(Math.floor(Math.PI), Math.floor(Math.E));`,
+	// Numbers.
+	`console.log((254).toString(16), (6.456).toFixed(1), (10).toString());`,
+	`console.log(Number("3.5") + 1, Number(""), Number(true));`,
+	`console.log(parseInt(" 42abc"), parseInt("z"), parseFloat("2.5x"));`,
+	`console.log(isNaN("abc"), isNaN("42"), isFinite(1), isFinite(Infinity));`,
+	// Objects.
+	`var o = {x: 1, y: 2}; console.log(Object.keys(o).join(","), o.hasOwnProperty("x"), o.hasOwnProperty("z"));`,
+	`var p = Object.create({base: 9}); console.log(p.base, p.hasOwnProperty("base"));`,
+	`console.log(Object.getPrototypeOf([]) === Array.prototype);`,
+	`console.log(({a: 1}).toString(), [1, 2].toString());`,
+	// Function.prototype.
+	`function who() { return this.name; } console.log(who.call({name: "n1"}), who.apply({name: "n2"}));`,
+	`function add3(a, b, c) { return a + b + c; } console.log(add3.apply(null, [1, 2, 3]));`,
+	// Booleans, equality, bit ops.
+	`console.log(Boolean(0), Boolean("x"), Boolean(null));`,
+	`console.log(5 & 3, 5 | 3, 5 ^ 3, ~5, 1 << 4, -16 >> 2, -16 >>> 28);`,
+	`console.log(1 == "1", 1 === "1", null == undefined, null === undefined);`,
+	`console.log("a" < "b", 2 <= "2", "10" < 9);`,
+	// Errors.
+	`try { null.f; } catch (e) { console.log(e.name, e instanceof TypeError); }`,
+	`var e = new RangeError("r"); console.log(e.message, "" + e);`,
+	// eval.
+	`console.log(eval("[1,2,3].length"), eval("'s' + 'tr'"));`,
+	// typeof / delete / in / instanceof.
+	`console.log(typeof [], typeof {}, typeof "", typeof 0, typeof undefined, typeof null, typeof eval);`,
+	`var o = {k: 1}; console.log(delete o.k, "k" in o, delete o.missing);`,
+	`function C() {} var c = new C(); console.log(c instanceof C, ({}) instanceof C);`,
+	// Conversions with objects.
+	`console.log("" + [1, 2], "" + {}, 1 + [2], [3] * 2);`,
+	`console.log([1] == 1, [1, 2] == "1,2");`,
+	// Date (fixed instant).
+	`console.log(Date.now() === Date.now());`,
+}
+
+func TestNativeModelsMatchConcrete(t *testing.T) {
+	for i, src := range nativeSuite {
+		src := src
+		t.Run(strings.Fields(src)[0]+sprintIdx(i), func(t *testing.T) {
+			cm, err := ir.Compile("n.js", src)
+			if err != nil {
+				t.Fatalf("compile: %v\n%s", err, src)
+			}
+			var cb strings.Builder
+			it := interp.New(cm, interp.Options{Out: &cb, Seed: 4, Now: 1000})
+			if _, err := it.Run(); err != nil {
+				t.Fatalf("concrete: %v\n%s", err, src)
+			}
+
+			im, err := ir.Compile("n.js", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ib strings.Builder
+			a := core.New(im, facts.NewStore(), core.Options{Out: &ib, Seed: 4, Now: 1000})
+			if _, err := a.Run(); err != nil {
+				t.Fatalf("instrumented: %v\n%s", err, src)
+			}
+
+			if cb.String() != ib.String() {
+				t.Errorf("native model diverges for %q:\nconcrete:     %q\ninstrumented: %q",
+					src, cb.String(), ib.String())
+			}
+		})
+	}
+}
+
+func sprintIdx(i int) string {
+	return "_" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+// TestNativeDeterminacyModels spot-checks the annotation side of a few
+// models: determinate inputs yield determinate results; indeterminate
+// receivers taint value-dependent results but not method identity.
+func TestNativeDeterminacyModels(t *testing.T) {
+	mod, store, _ := analyze(t, `(function(){
+		var det = "abc".toUpperCase();
+		var s = "" + Math.random();
+		var tainted = s.charAt(0);
+		var viaArr = [1, 2, Math.random()].join(",");
+		var cleanArr = [1, 2, 3].join(",");
+	})();`, core.Options{})
+	wantCall := func(line int, det bool) {
+		t.Helper()
+		for _, f := range factsAtLine(t, mod, store, line, func(in ir.Instr) bool {
+			_, ok := in.(*ir.Call)
+			return ok
+		}) {
+			if f.Det != det {
+				t.Errorf("line %d: det=%v, want %v (%s)", line, f.Det, det, facts.RenderFact(mod, f))
+			}
+		}
+	}
+	wantCall(2, true)  // "abc".toUpperCase() determinate
+	wantCall(4, false) // charAt on indeterminate string: value tainted
+	wantCall(5, false) // join over an indeterminate element
+	wantCall(6, true)  // join over determinate elements
+}

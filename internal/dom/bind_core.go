@@ -1,0 +1,349 @@
+package dom
+
+import (
+	"fmt"
+
+	"determinacy/internal/core"
+)
+
+// CoreBinding connects a Document to the instrumented interpreter, applying
+// the paper's DOM determinacy policy (§4), or the Spec+DetDOM assumption
+// (§5.1) when Deterministic is set.
+type CoreBinding struct {
+	Doc *Document
+	// Deterministic treats all DOM reads and operation results as
+	// determinate ("assuming that all properties of DOM objects are
+	// determinate, and that operations on the DOM return determinate
+	// values" — unsound in general, §5.1).
+	Deterministic bool
+
+	a         *core.Analysis
+	wrap      map[*Node]*core.DObj
+	elemProto *core.DObj
+	nextTimer int
+	cancelled map[int]bool
+}
+
+// InstallCore exposes the document to an instrumented interpreter.
+func InstallCore(a *core.Analysis, doc *Document, deterministic bool) *CoreBinding {
+	b := &CoreBinding{Doc: doc, a: a, Deterministic: deterministic,
+		wrap: map[*Node]*core.DObj{}, cancelled: map[int]bool{}}
+	b.setupElemProto()
+
+	g := a.Global
+	a.SetGlobal("window", core.ObjV(g, true))
+
+	docObj := a.NewPlainObj()
+	docObj.Data = doc
+	b.defDocument(docObj)
+	a.SetGlobal("document", core.ObjV(docObj, true))
+
+	nav := a.NewPlainObj()
+	a.SetProp(nav, "userAgent", core.StringV(doc.UserAgent, b.det()))
+	a.SetProp(nav, "appName", core.StringV("Netscape", b.det()))
+	a.SetGlobal("navigator", core.ObjV(nav, true))
+
+	loc := a.NewPlainObj()
+	a.SetProp(loc, "href", core.StringV(doc.URL, b.det()))
+	a.SetProp(loc, "protocol", core.StringV("http:", b.det()))
+	a.SetGlobal("location", core.ObjV(loc, true))
+
+	b.defExternal(g, "setTimeout", func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		b.nextTimer++
+		doc.Handlers = append(doc.Handlers, Handler{Kind: "timeout", Fn: argc(args, 0), TimerID: b.nextTimer})
+		return core.NumberV(float64(b.nextTimer), b.det()), nil
+	})
+	b.defExternal(g, "setInterval", func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		b.nextTimer++
+		doc.Handlers = append(doc.Handlers, Handler{Kind: "interval", Fn: argc(args, 0), TimerID: b.nextTimer})
+		return core.NumberV(float64(b.nextTimer), b.det()), nil
+	})
+	clear := func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		b.cancelled[int(an.ToNumberPub(argc(args, 0)))] = true
+		return core.UndefD, nil
+	}
+	b.defExternal(g, "clearTimeout", clear)
+	b.defExternal(g, "clearInterval", clear)
+	listenG := func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		s, _ := an.ToStringPub(argc(args, 0))
+		doc.Handlers = append(doc.Handlers, Handler{Kind: "event", Event: s, Fn: argc(args, 1)})
+		return core.UndefD, nil
+	}
+	b.defExternal(g, "addEventListener", listenG)
+	b.defExternal(g, "attachEvent", listenG)
+	return b
+}
+
+func argc(args []core.Value, i int) core.Value {
+	if i < len(args) {
+		return args[i]
+	}
+	return core.UndefD
+}
+
+// det is the annotation applied to DOM reads and results.
+func (b *CoreBinding) det() bool { return b.Deterministic }
+
+// defRead installs a read-only DOM native (safe during counterfactuals).
+func (b *CoreBinding) defRead(o *core.DObj, name string, fn func(*core.Analysis, core.Value, []core.Value) (core.Value, error)) {
+	b.a.DefNativeOn(o, name, fn, false)
+}
+
+// defExternal installs a mutating DOM native; encountering it during
+// counterfactual execution aborts the counterfactual (§4).
+func (b *CoreBinding) defExternal(o *core.DObj, name string, fn func(*core.Analysis, core.Value, []core.Value) (core.Value, error)) {
+	b.a.DefNativeOn(o, name, fn, true)
+}
+
+// Wrap returns the instrumented object for a node.
+func (b *CoreBinding) Wrap(n *Node) *core.DObj {
+	if n == nil {
+		return nil
+	}
+	if o, ok := b.wrap[n]; ok {
+		return o
+	}
+	o := b.a.NewObj("Object", b.elemProto)
+	o.Data = n
+	b.a.SetProp(o, "tagName", core.StringV(upper(n.Tag), b.det()))
+	b.a.SetProp(o, "nodeName", core.StringV(upper(n.Tag), b.det()))
+	b.a.SetProp(o, "nodeType", core.NumberV(1, b.det()))
+	b.a.SetProp(o, "style", core.ObjV(b.a.NewPlainObj(), b.det()))
+	b.wrap[n] = o
+	return o
+}
+
+func nodeOfC(v core.Value) *Node {
+	if v.Kind != core.Object {
+		return nil
+	}
+	n, _ := v.O.Data.(*Node)
+	return n
+}
+
+func (b *CoreBinding) wrapVal(n *Node) core.Value {
+	if n == nil {
+		return core.Value{Kind: core.Null, Det: b.det()}
+	}
+	return core.ObjV(b.Wrap(n), b.det())
+}
+
+func (b *CoreBinding) nodeArray(nodes []*Node) core.Value {
+	elems := make([]core.Value, len(nodes))
+	for i, n := range nodes {
+		elems[i] = b.wrapVal(n)
+	}
+	arr := b.a.NewArrayObj(elems)
+	if !b.det() {
+		b.a.MarkObjectIndeterminate(arr)
+	}
+	return core.ObjV(arr, b.det())
+}
+
+func (b *CoreBinding) defDocument(docObj *core.DObj) {
+	doc := b.Doc
+	a := b.a
+	b.defRead(docObj, "getElementById", func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		s, _ := an.ToStringPub(argc(args, 0))
+		return b.wrapVal(doc.ByID(s)), nil
+	})
+	b.defRead(docObj, "getElementsByTagName", func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		s, _ := an.ToStringPub(argc(args, 0))
+		return b.nodeArray(doc.ByTag(s)), nil
+	})
+	b.defExternal(docObj, "createElement", func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		s, _ := an.ToStringPub(argc(args, 0))
+		return b.wrapVal(doc.NewNode(s, "")), nil
+	})
+	b.defExternal(docObj, "createTextNode", func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		s, _ := an.ToStringPub(argc(args, 0))
+		n := doc.NewNode("#text", "")
+		n.Text = s
+		return b.wrapVal(n), nil
+	})
+	b.defExternal(docObj, "write", func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		s, _ := an.ToStringPub(argc(args, 0))
+		doc.SetInnerHTML(doc.Body, doc.Body.InnerHTML()+s)
+		return core.UndefD, nil
+	})
+	listen := func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		s, _ := an.ToStringPub(argc(args, 0))
+		doc.Handlers = append(doc.Handlers, Handler{Kind: "event", Event: s, Fn: argc(args, 1)})
+		return core.UndefD, nil
+	}
+	b.defExternal(docObj, "addEventListener", listen)
+	b.defExternal(docObj, "attachEvent", listen)
+	a.SetProp(docObj, "title", core.StringV(doc.Title, b.det()))
+	a.SetProp(docObj, "cookie", core.StringV("", b.det()))
+	a.SetProp(docObj, "readyState", core.StringV("loading", b.det()))
+	a.SetProp(docObj, "body", b.wrapVal(doc.Body))
+	a.SetProp(docObj, "documentElement", b.wrapVal(doc.Root))
+}
+
+func (b *CoreBinding) setupElemProto() {
+	p := b.a.NewPlainObj()
+	b.elemProto = p
+	doc := b.Doc
+
+	b.defRead(p, "getElementsByTagName", func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		n := nodeOfC(this)
+		if n == nil {
+			return b.nodeArray(nil), nil
+		}
+		tag, _ := an.ToStringPub(argc(args, 0))
+		var out []*Node
+		var walk func(m *Node)
+		walk = func(m *Node) {
+			for _, c := range m.Children {
+				if tag == "*" || c.Tag == tag {
+					out = append(out, c)
+				}
+				walk(c)
+			}
+		}
+		walk(n)
+		return b.nodeArray(out), nil
+	})
+	b.defExternal(p, "appendChild", func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		parent, child := nodeOfC(this), nodeOfC(argc(args, 0))
+		if parent != nil && child != nil {
+			doc.Append(parent, child)
+		}
+		return argc(args, 0).WithDet(b.det()), nil
+	})
+	b.defExternal(p, "removeChild", func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		parent, child := nodeOfC(this), nodeOfC(argc(args, 0))
+		if parent != nil && child != nil {
+			doc.Remove(parent, child)
+		}
+		return argc(args, 0).WithDet(b.det()), nil
+	})
+	b.defExternal(p, "setAttribute", func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		if n := nodeOfC(this); n != nil {
+			name, _ := an.ToStringPub(argc(args, 0))
+			val, _ := an.ToStringPub(argc(args, 1))
+			if name == "id" {
+				doc.SetID(n, val)
+			} else {
+				n.Attrs[name] = val
+			}
+		}
+		return core.UndefD, nil
+	})
+	b.defRead(p, "getAttribute", func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		n := nodeOfC(this)
+		if n == nil {
+			return core.Value{Kind: core.Null, Det: b.det()}, nil
+		}
+		name, _ := an.ToStringPub(argc(args, 0))
+		if name == "id" {
+			return core.StringV(n.ID, b.det()), nil
+		}
+		if v, ok := n.Attrs[name]; ok {
+			return core.StringV(v, b.det()), nil
+		}
+		return core.Value{Kind: core.Null, Det: b.det()}, nil
+	})
+	listen := func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		s, _ := an.ToStringPub(argc(args, 0))
+		doc.Handlers = append(doc.Handlers, Handler{
+			Kind: "event", Event: s, Target: nodeOfC(this), Fn: argc(args, 1),
+		})
+		return core.UndefD, nil
+	}
+	b.defExternal(p, "addEventListener", listen)
+	b.defExternal(p, "attachEvent", listen)
+	b.defRead(p, "removeEventListener", func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		return core.UndefD, nil
+	})
+
+	p.DefineGetter("innerHTML", func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		if n := nodeOfC(this); n != nil {
+			return core.StringV(n.InnerHTML(), b.det()), nil
+		}
+		return core.StringV("", b.det()), nil
+	})
+	p.DefineSetter("innerHTML", func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		if n := nodeOfC(this); n != nil {
+			s, _ := an.ToStringPub(argc(args, 0))
+			doc.SetInnerHTML(n, s)
+		}
+		return core.UndefD, nil
+	})
+	p.DefineGetter("id", func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		if n := nodeOfC(this); n != nil {
+			return core.StringV(n.ID, b.det()), nil
+		}
+		return core.StringV("", b.det()), nil
+	})
+	p.DefineSetter("id", func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		if n := nodeOfC(this); n != nil {
+			s, _ := an.ToStringPub(argc(args, 0))
+			doc.SetID(n, s)
+		}
+		return core.UndefD, nil
+	})
+	p.DefineGetter("firstChild", func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		n := nodeOfC(this)
+		if n == nil || len(n.Children) == 0 {
+			return core.Value{Kind: core.Null, Det: b.det()}, nil
+		}
+		return b.wrapVal(n.Children[0]), nil
+	})
+	p.DefineGetter("parentNode", func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		if n := nodeOfC(this); n != nil {
+			return b.wrapVal(n.Parent), nil
+		}
+		return core.Value{Kind: core.Null, Det: b.det()}, nil
+	})
+	p.DefineGetter("childNodes", func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		if n := nodeOfC(this); n != nil {
+			return b.nodeArray(n.Children), nil
+		}
+		return b.nodeArray(nil), nil
+	})
+	p.DefineGetter("value", func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		if n := nodeOfC(this); n != nil {
+			return core.StringV(n.Attrs["value"], b.det()), nil
+		}
+		return core.StringV("", b.det()), nil
+	})
+	p.DefineSetter("value", func(an *core.Analysis, this core.Value, args []core.Value) (core.Value, error) {
+		if n := nodeOfC(this); n != nil {
+			s, _ := an.ToStringPub(argc(args, 0))
+			n.Attrs["value"] = s
+		}
+		return core.UndefD, nil
+	})
+}
+
+// RunHandlers fires registered handlers under the instrumented semantics,
+// flushing the heap on entry to each (§4: "since DOM events can fire in any
+// order, we perform a heap flush immediately upon entering an event
+// handler").
+func (b *CoreBinding) RunHandlers(limit int) (int, error) {
+	fired := 0
+	for i := 0; i < len(b.Doc.Handlers) && fired < limit; i++ {
+		h := b.Doc.Handlers[i]
+		if h.Kind == "timeout" || h.Kind == "interval" {
+			if b.cancelled[h.TimerID] {
+				continue
+			}
+		}
+		fn, ok := h.Fn.(core.Value)
+		if !ok || !fn.IsCallable() {
+			continue
+		}
+		b.a.FlushHeap("event-handler")
+		ev := b.a.NewPlainObj()
+		b.a.SetProp(ev, "type", core.StringV(h.Event, b.det()))
+		if h.Target != nil {
+			b.a.SetProp(ev, "target", b.wrapVal(h.Target))
+		}
+		fired++
+		if _, err := b.a.CallFunction(fn, core.Value{Kind: core.Undefined, Det: false}, []core.Value{core.ObjV(ev, b.det())}); err != nil {
+			return fired, fmt.Errorf("dom: handler %d (%s %s): %w", i, h.Kind, h.Event, err)
+		}
+	}
+	return fired, nil
+}

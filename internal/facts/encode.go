@@ -1,0 +1,137 @@
+package facts
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"determinacy/internal/ir"
+)
+
+// wireFact is the JSON wire form of a fact.
+type wireFact struct {
+	Instr int      `json:"instr"`
+	Ctx   [][2]int `json:"ctx,omitempty"`
+	Seq   int      `json:"seq,omitempty"`
+	Det   bool     `json:"det"`
+	Val   wireSnap `json:"val"`
+	Hits  int      `json:"hits,omitempty"`
+}
+
+type wireSnap struct {
+	Kind    int     `json:"kind"`
+	Bool    bool    `json:"bool,omitempty"`
+	Num     float64 `json:"num,omitempty"`
+	Str     string  `json:"str,omitempty"`
+	Alloc   int     `json:"alloc,omitempty"`
+	FnIndex int     `json:"fn,omitempty"`
+	Native  string  `json:"native,omitempty"`
+}
+
+// Encode writes the store as JSON lines, one fact per line, in recording
+// order. The format is stable across runs of the same module (instruction
+// IDs are deterministic), so cmd/detrun output can feed cmd/detspec.
+func (s *Store) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, f := range s.All() {
+		wf := wireFact{
+			Instr: int(f.Instr), Seq: f.Seq, Det: f.Det, Hits: f.Hits,
+			Val: wireSnap{
+				Kind: int(f.Val.Kind), Bool: f.Val.Bool, Num: f.Val.Num,
+				Str: f.Val.Str, Alloc: f.Val.Alloc, FnIndex: f.Val.FnIndex,
+				Native: f.Val.Native,
+			},
+		}
+		for _, e := range f.Ctx {
+			wf.Ctx = append(wf.Ctx, [2]int{int(e.Site), e.Seq})
+		}
+		if err := enc.Encode(wf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a store previously written by Encode. Decoded facts merge
+// with any facts already present, with the usual join semantics.
+func Decode(r io.Reader) (*Store, error) {
+	s := NewStore()
+	dec := json.NewDecoder(r)
+	for {
+		var wf wireFact
+		if err := dec.Decode(&wf); err == io.EOF {
+			return s, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("facts: decode: %w", err)
+		}
+		var ctx Context
+		for _, e := range wf.Ctx {
+			ctx = append(ctx, ContextEntry{Site: ir.ID(e[0]), Seq: e[1]})
+		}
+		val := Snapshot{
+			Kind: ValueKind(wf.Val.Kind), Bool: wf.Val.Bool, Num: wf.Val.Num,
+			Str: wf.Val.Str, Alloc: wf.Val.Alloc, FnIndex: wf.Val.FnIndex,
+			Native: wf.Val.Native,
+		}
+		s.Record(ir.ID(wf.Instr), ctx, wf.Seq, wf.Det, val)
+		if wf.Hits > 1 {
+			if f, ok := s.Lookup(ir.ID(wf.Instr), ctx, wf.Seq); ok {
+				f.Hits = wf.Hits
+			}
+		}
+	}
+}
+
+// Restrict returns a copy of the store containing only facts at program
+// points below limit. Multi-run merging uses it to exclude runtime-lowered
+// eval code, whose instruction IDs are not stable across executions.
+func (s *Store) Restrict(limit ir.ID) *Store {
+	out := NewStore()
+	out.MaxSeq = s.MaxSeq
+	for _, f := range s.All() {
+		if f.Instr >= limit {
+			continue
+		}
+		out.Record(f.Instr, f.Ctx, f.Seq, f.Det, f.Val)
+		if nf, ok := out.Lookup(f.Instr, f.Ctx, f.Seq); ok {
+			nf.Hits = f.Hits
+		}
+	}
+	return out
+}
+
+// Generalize projects the store onto context-insensitive facts: a program
+// point whose every observation (across all contexts and occurrences) is
+// determinate with the same value yields one unqualified fact. This is the
+// "shallower calling contexts" direction the paper's §7 sketches: such
+// facts hold at the point under *any* stack.
+func (s *Store) Generalize() *Store {
+	out := NewStore()
+	byInstr := map[ir.ID][]*Fact{}
+	var order []ir.ID
+	for _, f := range s.All() {
+		if _, seen := byInstr[f.Instr]; !seen {
+			order = append(order, f.Instr)
+		}
+		byInstr[f.Instr] = append(byInstr[f.Instr], f)
+	}
+	for _, id := range order {
+		fs := byInstr[id]
+		det := true
+		val := fs[0].Val
+		hits := 0
+		for _, f := range fs {
+			hits += f.Hits
+			if !f.Det || !val.Equal(f.Val) {
+				det = false
+			}
+		}
+		out.Record(id, nil, 0, det, val)
+		if f, ok := out.Lookup(id, nil, 0); ok {
+			f.Hits = hits
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package facts_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"determinacy/internal/facts"
+	"determinacy/internal/ir"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := facts.NewStore()
+	s.Record(1, nil, 0, true, num(42))
+	s.Record(2, ctx(10, 0, 20, 1), 3, false, str("x"))
+	s.Record(3, ctx(5, 2), 0, true, facts.Snapshot{Kind: facts.VFunction, FnIndex: 7})
+	s.Record(4, nil, 0, true, facts.Snapshot{Kind: facts.VObject, Alloc: 9})
+
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := facts.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != s.Len() {
+		t.Fatalf("decoded %d facts, want %d", d.Len(), s.Len())
+	}
+	for _, f := range s.All() {
+		g, ok := d.Lookup(f.Instr, f.Ctx, f.Seq)
+		if !ok {
+			t.Errorf("fact %d missing after round trip", f.Instr)
+			continue
+		}
+		if g.Det != f.Det || !g.Val.Equal(f.Val) || g.Hits != f.Hits {
+			t.Errorf("fact %d changed: %+v vs %+v", f.Instr, g, f)
+		}
+	}
+}
+
+// Round-trip property over arbitrary primitive facts.
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(instr uint16, site uint16, seq uint8, det bool, n float64, s string, kind uint8) bool {
+		store := facts.NewStore()
+		var snap facts.Snapshot
+		switch kind % 4 {
+		case 0:
+			snap = facts.Snapshot{Kind: facts.VNumber, Num: n}
+		case 1:
+			snap = facts.Snapshot{Kind: facts.VString, Str: s}
+		case 2:
+			snap = facts.Snapshot{Kind: facts.VBool, Bool: det}
+		default:
+			snap = facts.Snapshot{Kind: facts.VUndefined}
+		}
+		c := ctx(int(site), 0)
+		store.Record(ir.ID(instr), c, int(seq), det, snap)
+		var buf bytes.Buffer
+		if err := store.Encode(&buf); err != nil {
+			return false
+		}
+		back, err := facts.Decode(&buf)
+		if err != nil {
+			return false
+		}
+		g, ok := back.Lookup(ir.ID(instr), c, int(seq))
+		return ok && g.Det == det && g.Val.Equal(snap)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := facts.Decode(bytes.NewBufferString("{not json")); err == nil {
+		t.Error("expected decode error")
+	}
+}
+
+func TestGeneralize(t *testing.T) {
+	s := facts.NewStore()
+	// Same value under two contexts: generalizes determinate.
+	s.Record(1, ctx(10, 0), 0, true, num(5))
+	s.Record(1, ctx(20, 0), 0, true, num(5))
+	// Different values under two contexts: generalizes indeterminate.
+	s.Record(2, ctx(10, 0), 0, true, str("a"))
+	s.Record(2, ctx(20, 0), 0, true, str("b"))
+	// Indeterminate anywhere: indeterminate.
+	s.Record(3, ctx(10, 0), 0, false, num(0))
+
+	g := s.Generalize()
+	if g.Len() != 3 {
+		t.Fatalf("generalized %d points, want 3", g.Len())
+	}
+	if f, ok := g.Lookup(1, nil, 0); !ok || !f.Det || f.Val.Num != 5 {
+		t.Errorf("point 1: %+v", f)
+	}
+	if f, _ := g.Lookup(2, nil, 0); f.Det {
+		t.Error("point 2 must generalize to indeterminate")
+	}
+	if f, _ := g.Lookup(3, nil, 0); f.Det {
+		t.Error("point 3 must stay indeterminate")
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	s := facts.NewStore()
+	s.Record(5, nil, 0, true, num(1))
+	s.Record(50, nil, 0, true, num(2))
+	r := s.Restrict(10)
+	if r.Len() != 1 {
+		t.Fatalf("restricted to %d facts, want 1", r.Len())
+	}
+	if _, ok := r.Lookup(50, nil, 0); ok {
+		t.Error("fact beyond the limit survived")
+	}
+}

@@ -1,0 +1,348 @@
+// Package facts stores determinacy facts: statements of the form
+//
+//	⟦e⟧ c = v   or   ⟦e⟧ c = ?
+//
+// meaning the expression at a given program point has value v (or is
+// indeterminate) whenever execution reaches that point under calling
+// context c. Program points are IR instruction IDs; contexts are stacks of
+// call-site instruction IDs, each qualified with an occurrence sequence
+// number so that distinct dynamic executions of the same call site (e.g.
+// successive loop iterations, the paper's 24₀ vs 24₁) yield distinct facts.
+package facts
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"determinacy/internal/ir"
+)
+
+// ContextEntry is one call-stack element: the call-site instruction plus the
+// occurrence number of that call within its own enclosing context.
+type ContextEntry struct {
+	Site ir.ID
+	Seq  int
+}
+
+// Context is a full call stack from the program entry point down to the
+// frame containing the program point, per the paper ("determinacy facts
+// inferred by our dynamic analysis are always qualified with a complete call
+// stack").
+type Context []ContextEntry
+
+// Key renders a context as a compact map key.
+func (c Context) Key() string {
+	var b strings.Builder
+	for i, e := range c {
+		if i > 0 {
+			b.WriteByte('>')
+		}
+		fmt.Fprintf(&b, "%d.%d", e.Site, e.Seq)
+	}
+	return b.String()
+}
+
+// Clone returns an independent copy of c.
+func (c Context) Clone() Context {
+	out := make(Context, len(c))
+	copy(out, c)
+	return out
+}
+
+// ValueKind classifies a snapshotted value.
+type ValueKind int
+
+// Snapshot kinds.
+const (
+	VUndefined ValueKind = iota
+	VNull
+	VBool
+	VNumber
+	VString
+	VObject
+	VFunction
+)
+
+// Snapshot is a comparable image of a runtime value. Object identity is
+// captured by allocation number; across executions, objects correspond by
+// allocation order, which the soundness theorem's address bijection µ makes
+// precise.
+type Snapshot struct {
+	Kind  ValueKind
+	Bool  bool
+	Num   float64
+	Str   string
+	Alloc int
+	// FnIndex identifies the ir.Function of closures, which is stable
+	// across executions (unlike allocation numbers under indeterminacy).
+	FnIndex int
+	// Native names built-in functions.
+	Native string
+}
+
+// Equal reports whether two snapshots denote the same value. NaN equals NaN
+// here: facts compare identity of values, not IEEE semantics.
+func (s Snapshot) Equal(o Snapshot) bool {
+	if s.Kind != o.Kind {
+		return false
+	}
+	switch s.Kind {
+	case VUndefined, VNull:
+		return true
+	case VBool:
+		return s.Bool == o.Bool
+	case VNumber:
+		return s.Num == o.Num || (s.Num != s.Num && o.Num != o.Num)
+	case VString:
+		return s.Str == o.Str
+	case VFunction:
+		if s.FnIndex != 0 || o.FnIndex != 0 {
+			return s.FnIndex == o.FnIndex
+		}
+		return s.Native == o.Native
+	default:
+		return s.Alloc == o.Alloc
+	}
+}
+
+func (s Snapshot) String() string {
+	switch s.Kind {
+	case VUndefined:
+		return "undefined"
+	case VNull:
+		return "null"
+	case VBool:
+		return fmt.Sprint(s.Bool)
+	case VNumber:
+		return fmt.Sprint(s.Num)
+	case VString:
+		return fmt.Sprintf("%q", s.Str)
+	case VFunction:
+		if s.Native != "" {
+			return "native:" + s.Native
+		}
+		return fmt.Sprintf("fn#%d", s.FnIndex)
+	default:
+		return fmt.Sprintf("obj#%d", s.Alloc)
+	}
+}
+
+// Fact is one determinacy fact.
+type Fact struct {
+	Instr ir.ID
+	Ctx   Context
+	// Seq is the occurrence number of the instruction within its activation
+	// context (distinct loop iterations of a non-call point).
+	Seq int
+	// Det reports whether the value is determinate at this point.
+	Det bool
+	// Val is the (first observed) value; meaningful also when Det is false,
+	// as the concretely observed value.
+	Val Snapshot
+	// Hits counts how many times this (instr, ctx, seq) was observed.
+	Hits int
+}
+
+// Store accumulates facts from one or more instrumented runs.
+type Store struct {
+	m     map[string]*Fact
+	order []string
+	// Conflicts records keys where two runs claimed different determinate
+	// values — impossible if the analysis is sound; tests assert emptiness.
+	Conflicts []string
+	// MaxSeq caps per-(instr,ctx) occurrence tracking; occurrences beyond
+	// the cap are joined into the fact with Seq == MaxSeq.
+	MaxSeq int
+}
+
+// NewStore creates an empty fact store.
+func NewStore() *Store {
+	return &Store{m: make(map[string]*Fact), MaxSeq: 128}
+}
+
+func key(instr ir.ID, ctx Context, seq int) string {
+	return fmt.Sprintf("%d|%s|%d", instr, ctx.Key(), seq)
+}
+
+// Record adds one observation. Repeated observations of the same point,
+// context and occurrence join: any indeterminate observation or value
+// mismatch makes the fact indeterminate.
+func (s *Store) Record(instr ir.ID, ctx Context, seq int, det bool, val Snapshot) {
+	if seq > s.MaxSeq {
+		seq = s.MaxSeq
+	}
+	k := key(instr, ctx, seq)
+	f, ok := s.m[k]
+	if !ok {
+		s.m[k] = &Fact{Instr: instr, Ctx: ctx.Clone(), Seq: seq, Det: det, Val: val, Hits: 1}
+		s.order = append(s.order, k)
+		return
+	}
+	f.Hits++
+	if !det {
+		f.Det = false
+	}
+	if f.Det && !f.Val.Equal(val) {
+		// Two observations at the nominally same dynamic point disagree:
+		// the key did not discriminate the occurrences (occurrence-cap
+		// folding, or native-initiated callback frames sharing their
+		// parent's context). Joining to indeterminate keeps the store
+		// sound.
+		f.Det = false
+	}
+}
+
+// Merge folds facts from another run into s. A determinate fact in either
+// store with conflicting values marks a conflict (analysis bug); a point
+// determinate in one store and absent in the other stays as-is — facts from
+// different runs are all sound and combine by union (paper §7).
+func (s *Store) Merge(o *Store) {
+	for _, k := range o.order {
+		of := o.m[k]
+		f, ok := s.m[k]
+		if !ok {
+			cp := *of
+			cp.Ctx = of.Ctx.Clone()
+			s.m[k] = &cp
+			s.order = append(s.order, k)
+			continue
+		}
+		f.Hits += of.Hits
+		if f.Det && of.Det && !f.Val.Equal(of.Val) {
+			f.Det = false
+			s.Conflicts = append(s.Conflicts, k)
+		} else if !of.Det {
+			f.Det = false
+		}
+	}
+}
+
+// All returns every fact in recording order.
+func (s *Store) All() []*Fact {
+	out := make([]*Fact, 0, len(s.order))
+	for _, k := range s.order {
+		out = append(out, s.m[k])
+	}
+	return out
+}
+
+// Len reports the number of stored facts.
+func (s *Store) Len() int { return len(s.m) }
+
+// NumDeterminate reports how many stored facts are determinate.
+func (s *Store) NumDeterminate() int {
+	n := 0
+	for _, k := range s.order {
+		if s.m[k].Det {
+			n++
+		}
+	}
+	return n
+}
+
+// Lookup finds the fact for an exact (instr, ctx, seq) triple. Occurrences
+// beyond the cap fold into the cap bucket, mirroring Record.
+func (s *Store) Lookup(instr ir.ID, ctx Context, seq int) (*Fact, bool) {
+	if seq > s.MaxSeq {
+		seq = s.MaxSeq
+	}
+	f, ok := s.m[key(instr, ctx, seq)]
+	return f, ok
+}
+
+// AtInstr returns all facts recorded for a program point, across contexts.
+func (s *Store) AtInstr(instr ir.ID) []*Fact {
+	var out []*Fact
+	for _, k := range s.order {
+		if f := s.m[k]; f.Instr == instr {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// DeterminateAt reports whether every observation of instr (in any context)
+// was determinate with the same value, returning that value. This is the
+// context-insensitive projection clients use when they do not care about
+// stacks.
+func (s *Store) DeterminateAt(instr ir.ID) (Snapshot, bool) {
+	var val Snapshot
+	found := false
+	for _, f := range s.AtInstr(instr) {
+		if !f.Det {
+			return Snapshot{}, false
+		}
+		if !found {
+			val = f.Val
+			found = true
+		} else if !val.Equal(f.Val) {
+			return Snapshot{}, false
+		}
+	}
+	return val, found
+}
+
+// Render formats facts for display, resolving instruction IDs to source
+// lines via the module. Facts render like the paper:
+//
+//	⟦ point@14 ⟧ 16.0→4.0 = 23
+func Render(m *ir.Module, fs []*Fact) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString(RenderFact(m, f))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderFact formats one fact.
+func RenderFact(m *ir.Module, f *Fact) string {
+	var b strings.Builder
+	b.WriteString("[[ ")
+	if in := m.InstrAt(f.Instr); in != nil {
+		fmt.Fprintf(&b, "%s @%s", ir.InstrString(in), in.IPos())
+	} else {
+		fmt.Fprintf(&b, "#%d", f.Instr)
+	}
+	b.WriteString(" ]] ")
+	if len(f.Ctx) == 0 {
+		b.WriteString("·")
+	}
+	for i, e := range f.Ctx {
+		if i > 0 {
+			b.WriteString("→")
+		}
+		if in := m.InstrAt(e.Site); in != nil {
+			fmt.Fprintf(&b, "L%d_%d", in.IPos().Line, e.Seq)
+		} else {
+			fmt.Fprintf(&b, "%d_%d", e.Site, e.Seq)
+		}
+	}
+	if f.Seq > 0 {
+		fmt.Fprintf(&b, " (occ %d)", f.Seq)
+	}
+	if f.Det {
+		fmt.Fprintf(&b, " = %s", f.Val)
+	} else {
+		b.WriteString(" = ?")
+	}
+	return b.String()
+}
+
+// Sorted returns facts ordered by instruction, then context key, for stable
+// golden output.
+func (s *Store) Sorted() []*Fact {
+	out := s.All()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Instr != out[j].Instr {
+			return out[i].Instr < out[j].Instr
+		}
+		ki, kj := out[i].Ctx.Key(), out[j].Ctx.Key()
+		if ki != kj {
+			return ki < kj
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}

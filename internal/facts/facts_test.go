@@ -1,0 +1,202 @@
+package facts_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"determinacy/internal/facts"
+	"determinacy/internal/ir"
+)
+
+func num(n float64) facts.Snapshot { return facts.Snapshot{Kind: facts.VNumber, Num: n} }
+func str(s string) facts.Snapshot  { return facts.Snapshot{Kind: facts.VString, Str: s} }
+func ctx(entries ...int) facts.Context {
+	var c facts.Context
+	for i := 0; i < len(entries); i += 2 {
+		c = append(c, facts.ContextEntry{Site: ir.ID(entries[i]), Seq: entries[i+1]})
+	}
+	return c
+}
+
+func TestRecordAndLookup(t *testing.T) {
+	s := facts.NewStore()
+	s.Record(1, ctx(10, 0), 0, true, num(42))
+	f, ok := s.Lookup(1, ctx(10, 0), 0)
+	if !ok || !f.Det || f.Val.Num != 42 {
+		t.Fatalf("lookup: %+v ok=%v", f, ok)
+	}
+	if _, ok := s.Lookup(1, ctx(10, 1), 0); ok {
+		t.Error("different seq in context must be a different key")
+	}
+	if _, ok := s.Lookup(1, ctx(10, 0), 1); ok {
+		t.Error("different occurrence must be a different key")
+	}
+}
+
+func TestRepeatJoins(t *testing.T) {
+	s := facts.NewStore()
+	s.Record(1, nil, 0, true, num(1))
+	s.Record(1, nil, 0, true, num(1))
+	if f, _ := s.Lookup(1, nil, 0); !f.Det || f.Hits != 2 {
+		t.Errorf("same value repeat: %+v", f)
+	}
+	s.Record(1, nil, 0, true, num(2))
+	if f, _ := s.Lookup(1, nil, 0); f.Det {
+		t.Error("conflicting values must join to indeterminate")
+	}
+	s.Record(2, nil, 0, true, num(1))
+	s.Record(2, nil, 0, false, num(1))
+	if f, _ := s.Lookup(2, nil, 0); f.Det {
+		t.Error("indeterminate observation must stick")
+	}
+}
+
+func TestOccurrenceCap(t *testing.T) {
+	s := facts.NewStore()
+	s.MaxSeq = 4
+	for i := 0; i < 10; i++ {
+		s.Record(1, nil, i, true, num(float64(i)))
+	}
+	// Occurrences 0..3 exact; 4.. folded into seq 4.
+	for i := 0; i < 4; i++ {
+		if f, ok := s.Lookup(1, nil, i); !ok || !f.Det {
+			t.Errorf("occ %d should be exact and determinate", i)
+		}
+	}
+	f, ok := s.Lookup(1, nil, 4)
+	if !ok || f.Det {
+		t.Errorf("folded occurrences must be indeterminate: %+v", f)
+	}
+	if f.Hits != 6 {
+		t.Errorf("folded hits = %d, want 6", f.Hits)
+	}
+}
+
+func TestMergeUnionAndConflicts(t *testing.T) {
+	a := facts.NewStore()
+	a.Record(1, nil, 0, true, num(1))
+	a.Record(2, nil, 0, true, num(2))
+
+	b := facts.NewStore()
+	b.Record(2, nil, 0, true, num(2))
+	b.Record(3, nil, 0, false, num(9))
+
+	a.Merge(b)
+	if a.Len() != 3 {
+		t.Errorf("merged store has %d facts, want 3", a.Len())
+	}
+	if len(a.Conflicts) != 0 {
+		t.Errorf("unexpected conflicts: %v", a.Conflicts)
+	}
+
+	c := facts.NewStore()
+	c.Record(1, nil, 0, true, num(99)) // disagrees with a
+	a.Merge(c)
+	if len(a.Conflicts) == 0 {
+		t.Error("conflicting determinate facts across runs must be flagged")
+	}
+	if f, _ := a.Lookup(1, nil, 0); f.Det {
+		t.Error("conflicted fact must become indeterminate")
+	}
+}
+
+func TestDeterminateAt(t *testing.T) {
+	s := facts.NewStore()
+	s.Record(7, ctx(1, 0), 0, true, str("x"))
+	s.Record(7, ctx(2, 0), 0, true, str("x"))
+	if v, ok := s.DeterminateAt(7); !ok || v.Str != "x" {
+		t.Errorf("context-insensitive projection failed: %v %v", v, ok)
+	}
+	s.Record(7, ctx(3, 0), 0, true, str("y"))
+	if _, ok := s.DeterminateAt(7); ok {
+		t.Error("differing values across contexts must not project")
+	}
+}
+
+func TestSnapshotEqual(t *testing.T) {
+	nan := facts.Snapshot{Kind: facts.VNumber, Num: nan()}
+	if !nan.Equal(nan) {
+		t.Error("NaN snapshots must compare equal (identity, not IEEE)")
+	}
+	if num(1).Equal(str("1")) {
+		t.Error("kind mismatch must not be equal")
+	}
+	f1 := facts.Snapshot{Kind: facts.VFunction, FnIndex: 3, Alloc: 10}
+	f2 := facts.Snapshot{Kind: facts.VFunction, FnIndex: 3, Alloc: 99}
+	if !f1.Equal(f2) {
+		t.Error("closures compare by function index, not allocation")
+	}
+	n1 := facts.Snapshot{Kind: facts.VFunction, Native: "eval"}
+	n2 := facts.Snapshot{Kind: facts.VFunction, Native: "parseInt"}
+	if n1.Equal(n2) {
+		t.Error("different natives must differ")
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+// TestSnapshotEqualProperties checks reflexivity and symmetry with
+// testing/quick over arbitrary snapshots.
+func TestSnapshotEqualProperties(t *testing.T) {
+	mk := func(kind uint8, b bool, n float64, s string, alloc, fnIdx int) facts.Snapshot {
+		return facts.Snapshot{
+			Kind: facts.ValueKind(int(kind) % 7),
+			Bool: b, Num: n, Str: s,
+			Alloc: alloc, FnIndex: fnIdx,
+		}
+	}
+	refl := func(kind uint8, b bool, n float64, s string, alloc, fnIdx int) bool {
+		v := mk(kind, b, n, s, alloc, fnIdx)
+		return v.Equal(v)
+	}
+	if err := quick.Check(refl, nil); err != nil {
+		t.Errorf("reflexivity: %v", err)
+	}
+	sym := func(k1, k2 uint8, b1, b2 bool, n1, n2 float64, s1, s2 string) bool {
+		v1 := mk(k1, b1, n1, s1, 1, 2)
+		v2 := mk(k2, b2, n2, s2, 1, 2)
+		return v1.Equal(v2) == v2.Equal(v1)
+	}
+	if err := quick.Check(sym, nil); err != nil {
+		t.Errorf("symmetry: %v", err)
+	}
+}
+
+// TestContextKeyInjective: distinct contexts must render distinct keys.
+func TestContextKeyInjective(t *testing.T) {
+	f := func(a, b []uint16) bool {
+		ca := make(facts.Context, len(a))
+		for i, x := range a {
+			ca[i] = facts.ContextEntry{Site: ir.ID(x % 100), Seq: int(x) / 100 % 10}
+		}
+		cb := make(facts.Context, len(b))
+		for i, x := range b {
+			cb[i] = facts.ContextEntry{Site: ir.ID(x % 100), Seq: int(x) / 100 % 10}
+		}
+		sameCtx := len(ca) == len(cb)
+		if sameCtx {
+			for i := range ca {
+				if ca[i] != cb[i] {
+					sameCtx = false
+					break
+				}
+			}
+		}
+		return (ca.Key() == cb.Key()) == sameCtx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := ctx(5, 0, 6, 1)
+	d := c.Clone()
+	d[0].Seq = 99
+	if c[0].Seq == 99 {
+		t.Error("Clone must be independent")
+	}
+}

@@ -1,0 +1,724 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// setupRuntime builds the global object, the built-in prototypes, and the
+// standard library. The library covers what the paper's examples and case
+// studies exercise; internal/core mirrors it with determinacy models.
+func (it *Interp) setupRuntime() {
+	// Prototypes first; their Data field carries protoMarker so their
+	// properties are treated as non-enumerable by for-in.
+	it.ObjectProto = &Obj{Class: "Object", Data: protoMarker}
+	it.FunctionProto = &Obj{Class: "Object", Proto: it.ObjectProto, Data: protoMarker}
+	it.ArrayProto = &Obj{Class: "Object", Proto: it.ObjectProto, Data: protoMarker}
+	it.StringProto = &Obj{Class: "Object", Proto: it.ObjectProto, Data: protoMarker}
+	it.NumberProto = &Obj{Class: "Object", Proto: it.ObjectProto, Data: protoMarker}
+	it.BooleanProto = &Obj{Class: "Object", Proto: it.ObjectProto, Data: protoMarker}
+	it.ErrorProto = &Obj{Class: "Object", Proto: it.ObjectProto, Data: protoMarker}
+
+	g := it.NewObject(it.ObjectProto)
+	it.Global = g
+	g.Set("globalThis", ObjVal(g))
+	g.Set("undefined", UndefinedVal)
+	g.Set("NaN", NumberVal(math.NaN()))
+	g.Set("Infinity", NumberVal(math.Inf(1)))
+
+	it.setupConsole(g)
+	it.setupMath(g)
+	it.setupObject(g)
+	it.setupFunction(g)
+	it.setupArray(g)
+	it.setupString(g)
+	it.setupNumberBoolean(g)
+	it.setupErrors(g)
+	it.setupTopLevelFuncs(g)
+}
+
+func (it *Interp) def(o *Obj, name string, fn NativeFunc) {
+	o.Set(name, ObjVal(it.NewNative(name, fn)))
+}
+
+func arg(args []Value, i int) Value {
+	if i < len(args) {
+		return args[i]
+	}
+	return UndefinedVal
+}
+
+func (it *Interp) setupConsole(g *Obj) {
+	console := it.NewPlain()
+	log := func(i *Interp, this Value, args []Value) (Value, error) {
+		fmt.Fprintln(i.Out(), FormatArgs(args))
+		return UndefinedVal, nil
+	}
+	it.def(console, "log", log)
+	it.def(console, "warn", log)
+	it.def(console, "error", log)
+	it.def(console, "info", log)
+	g.Set("console", ObjVal(console))
+	// alert, as used in the paper's Figure 3.
+	it.def(g, "alert", log)
+	it.def(g, "print", log)
+}
+
+func (it *Interp) setupMath(g *Obj) {
+	m := it.NewPlain()
+	num1 := func(f func(float64) float64) NativeFunc {
+		return func(i *Interp, this Value, args []Value) (Value, error) {
+			return NumberVal(f(ToNumber(arg(args, 0)))), nil
+		}
+	}
+	it.def(m, "abs", num1(math.Abs))
+	it.def(m, "floor", num1(math.Floor))
+	it.def(m, "ceil", num1(math.Ceil))
+	it.def(m, "sqrt", num1(math.Sqrt))
+	it.def(m, "sin", num1(math.Sin))
+	it.def(m, "cos", num1(math.Cos))
+	it.def(m, "log", num1(math.Log))
+	it.def(m, "exp", num1(math.Exp))
+	it.def(m, "round", num1(func(x float64) float64 { return math.Floor(x + 0.5) }))
+	it.def(m, "pow", func(i *Interp, this Value, args []Value) (Value, error) {
+		return NumberVal(math.Pow(ToNumber(arg(args, 0)), ToNumber(arg(args, 1)))), nil
+	})
+	it.def(m, "min", func(i *Interp, this Value, args []Value) (Value, error) {
+		r := math.Inf(1)
+		for _, a := range args {
+			n := ToNumber(a)
+			if math.IsNaN(n) {
+				return NumberVal(math.NaN()), nil
+			}
+			r = math.Min(r, n)
+		}
+		return NumberVal(r), nil
+	})
+	it.def(m, "max", func(i *Interp, this Value, args []Value) (Value, error) {
+		r := math.Inf(-1)
+		for _, a := range args {
+			n := ToNumber(a)
+			if math.IsNaN(n) {
+				return NumberVal(math.NaN()), nil
+			}
+			r = math.Max(r, n)
+		}
+		return NumberVal(r), nil
+	})
+	it.def(m, "random", func(i *Interp, this Value, args []Value) (Value, error) {
+		return NumberVal(i.Random()), nil
+	})
+	m.Set("PI", NumberVal(math.Pi))
+	m.Set("E", NumberVal(math.E))
+	g.Set("Math", ObjVal(m))
+}
+
+func (it *Interp) setupObject(g *Obj) {
+	objectCtor := it.NewNative("Object", func(i *Interp, this Value, args []Value) (Value, error) {
+		a := arg(args, 0)
+		if a.Kind == Object {
+			return a, nil
+		}
+		return ObjVal(i.NewPlain()), nil
+	})
+	objectCtor.Set("prototype", ObjVal(it.ObjectProto))
+	it.def(objectCtor, "keys", func(i *Interp, this Value, args []Value) (Value, error) {
+		a := arg(args, 0)
+		if a.Kind != Object {
+			return UndefinedVal, &Thrown{Val: ObjVal(i.NewError("TypeError", "Object.keys requires an object"))}
+		}
+		keys := a.O.OwnKeys()
+		elems := make([]Value, 0, len(keys))
+		for _, k := range keys {
+			if a.O.Class == "Array" && k == "length" {
+				continue
+			}
+			elems = append(elems, StringVal(k))
+		}
+		return ObjVal(i.NewArray(elems)), nil
+	})
+	it.def(objectCtor, "getPrototypeOf", func(i *Interp, this Value, args []Value) (Value, error) {
+		a := arg(args, 0)
+		if a.Kind != Object || a.O.Proto == nil {
+			return NullVal, nil
+		}
+		return ObjVal(a.O.Proto), nil
+	})
+	it.def(objectCtor, "create", func(i *Interp, this Value, args []Value) (Value, error) {
+		a := arg(args, 0)
+		var proto *Obj
+		if a.Kind == Object {
+			proto = a.O
+		}
+		return ObjVal(i.NewObject(proto)), nil
+	})
+	g.Set("Object", ObjVal(objectCtor))
+
+	it.def(it.ObjectProto, "hasOwnProperty", func(i *Interp, this Value, args []Value) (Value, error) {
+		if this.Kind != Object {
+			return FalseVal, nil
+		}
+		_, ok := this.O.Get(ToString(arg(args, 0)))
+		return BoolVal(ok), nil
+	})
+	it.def(it.ObjectProto, "toString", func(i *Interp, this Value, args []Value) (Value, error) {
+		return StringVal(ToString(this)), nil
+	})
+}
+
+func (it *Interp) setupFunction(g *Obj) {
+	fnCtor := it.NewNative("Function", func(i *Interp, this Value, args []Value) (Value, error) {
+		return UndefinedVal, &Thrown{Val: ObjVal(i.NewError("TypeError", "the Function constructor is not supported; use eval"))}
+	})
+	fnCtor.Set("prototype", ObjVal(it.FunctionProto))
+	g.Set("Function", ObjVal(fnCtor))
+
+	it.def(it.FunctionProto, "call", func(i *Interp, this Value, args []Value) (Value, error) {
+		rest := args
+		if len(rest) > 0 {
+			rest = rest[1:]
+		}
+		return i.CallFunction(this, arg(args, 0), rest)
+	})
+	it.def(it.FunctionProto, "apply", func(i *Interp, this Value, args []Value) (Value, error) {
+		var rest []Value
+		if a := arg(args, 1); a.Kind == Object {
+			n := a.O.ArrayLength()
+			for k := 0; k < n; k++ {
+				el, _ := a.O.Get(strconv.Itoa(k))
+				rest = append(rest, el)
+			}
+		}
+		return i.CallFunction(this, arg(args, 0), rest)
+	})
+}
+
+func (it *Interp) setupArray(g *Obj) {
+	arrayCtor := it.NewNative("Array", func(i *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 1 && args[0].Kind == Number {
+			a := i.NewArray(nil)
+			a.Set("length", args[0])
+			return ObjVal(a), nil
+		}
+		return ObjVal(i.NewArray(args)), nil
+	})
+	arrayCtor.Set("prototype", ObjVal(it.ArrayProto))
+	it.def(arrayCtor, "isArray", func(i *Interp, this Value, args []Value) (Value, error) {
+		a := arg(args, 0)
+		return BoolVal(a.Kind == Object && a.O.Class == "Array"), nil
+	})
+	g.Set("Array", ObjVal(arrayCtor))
+
+	p := it.ArrayProto
+	it.def(p, "push", func(i *Interp, this Value, args []Value) (Value, error) {
+		if this.Kind != Object {
+			return UndefinedVal, nil
+		}
+		n := this.O.ArrayLength()
+		for _, a := range args {
+			this.O.Set(strconv.Itoa(n), a)
+			n++
+		}
+		this.O.Set("length", NumberVal(float64(n)))
+		return NumberVal(float64(n)), nil
+	})
+	it.def(p, "pop", func(i *Interp, this Value, args []Value) (Value, error) {
+		if this.Kind != Object {
+			return UndefinedVal, nil
+		}
+		n := this.O.ArrayLength()
+		if n == 0 {
+			return UndefinedVal, nil
+		}
+		v, _ := this.O.Get(strconv.Itoa(n - 1))
+		this.O.Delete(strconv.Itoa(n - 1))
+		this.O.Set("length", NumberVal(float64(n-1)))
+		return v, nil
+	})
+	it.def(p, "shift", func(i *Interp, this Value, args []Value) (Value, error) {
+		if this.Kind != Object {
+			return UndefinedVal, nil
+		}
+		n := this.O.ArrayLength()
+		if n == 0 {
+			return UndefinedVal, nil
+		}
+		first, _ := this.O.Get("0")
+		for k := 1; k < n; k++ {
+			v, ok := this.O.Get(strconv.Itoa(k))
+			if ok {
+				this.O.Set(strconv.Itoa(k-1), v)
+			} else {
+				this.O.Delete(strconv.Itoa(k - 1))
+			}
+		}
+		this.O.Delete(strconv.Itoa(n - 1))
+		this.O.Set("length", NumberVal(float64(n-1)))
+		return first, nil
+	})
+	it.def(p, "join", func(i *Interp, this Value, args []Value) (Value, error) {
+		sep := ","
+		if a := arg(args, 0); a.Kind != Undefined {
+			sep = ToString(a)
+		}
+		if this.Kind != Object {
+			return StringVal(""), nil
+		}
+		n := this.O.ArrayLength()
+		parts := make([]string, 0, n)
+		for k := 0; k < n; k++ {
+			el, ok := this.O.Get(strconv.Itoa(k))
+			if !ok || el.Kind == Undefined || el.Kind == Null {
+				parts = append(parts, "")
+			} else {
+				parts = append(parts, ToString(el))
+			}
+		}
+		return StringVal(strings.Join(parts, sep)), nil
+	})
+	it.def(p, "indexOf", func(i *Interp, this Value, args []Value) (Value, error) {
+		if this.Kind != Object {
+			return NumberVal(-1), nil
+		}
+		n := this.O.ArrayLength()
+		target := arg(args, 0)
+		for k := 0; k < n; k++ {
+			el, _ := this.O.Get(strconv.Itoa(k))
+			if StrictEquals(el, target) {
+				return NumberVal(float64(k)), nil
+			}
+		}
+		return NumberVal(-1), nil
+	})
+	it.def(p, "slice", func(i *Interp, this Value, args []Value) (Value, error) {
+		if this.Kind != Object {
+			return ObjVal(i.NewArray(nil)), nil
+		}
+		n := this.O.ArrayLength()
+		start, end := sliceRange(args, n)
+		var elems []Value
+		for k := start; k < end; k++ {
+			el, _ := this.O.Get(strconv.Itoa(k))
+			elems = append(elems, el)
+		}
+		return ObjVal(i.NewArray(elems)), nil
+	})
+	it.def(p, "concat", func(i *Interp, this Value, args []Value) (Value, error) {
+		var elems []Value
+		appendVal := func(v Value) {
+			if v.Kind == Object && v.O.Class == "Array" {
+				n := v.O.ArrayLength()
+				for k := 0; k < n; k++ {
+					el, _ := v.O.Get(strconv.Itoa(k))
+					elems = append(elems, el)
+				}
+			} else {
+				elems = append(elems, v)
+			}
+		}
+		appendVal(this)
+		for _, a := range args {
+			appendVal(a)
+		}
+		return ObjVal(i.NewArray(elems)), nil
+	})
+	it.def(p, "forEach", func(i *Interp, this Value, args []Value) (Value, error) {
+		if this.Kind != Object {
+			return UndefinedVal, nil
+		}
+		cb := arg(args, 0)
+		n := this.O.ArrayLength()
+		for k := 0; k < n; k++ {
+			el, _ := this.O.Get(strconv.Itoa(k))
+			if _, err := i.CallFunction(cb, UndefinedVal, []Value{el, NumberVal(float64(k)), this}); err != nil {
+				return UndefinedVal, err
+			}
+		}
+		return UndefinedVal, nil
+	})
+	it.def(p, "map", func(i *Interp, this Value, args []Value) (Value, error) {
+		if this.Kind != Object {
+			return ObjVal(i.NewArray(nil)), nil
+		}
+		cb := arg(args, 0)
+		n := this.O.ArrayLength()
+		elems := make([]Value, 0, n)
+		for k := 0; k < n; k++ {
+			el, _ := this.O.Get(strconv.Itoa(k))
+			v, err := i.CallFunction(cb, UndefinedVal, []Value{el, NumberVal(float64(k)), this})
+			if err != nil {
+				return UndefinedVal, err
+			}
+			elems = append(elems, v)
+		}
+		return ObjVal(i.NewArray(elems)), nil
+	})
+	it.def(p, "filter", func(i *Interp, this Value, args []Value) (Value, error) {
+		if this.Kind != Object {
+			return ObjVal(i.NewArray(nil)), nil
+		}
+		cb := arg(args, 0)
+		n := this.O.ArrayLength()
+		var elems []Value
+		for k := 0; k < n; k++ {
+			el, _ := this.O.Get(strconv.Itoa(k))
+			v, err := i.CallFunction(cb, UndefinedVal, []Value{el, NumberVal(float64(k)), this})
+			if err != nil {
+				return UndefinedVal, err
+			}
+			if ToBool(v) {
+				elems = append(elems, el)
+			}
+		}
+		return ObjVal(i.NewArray(elems)), nil
+	})
+}
+
+func sliceRange(args []Value, n int) (int, int) {
+	start, end := 0, n
+	if a := arg(args, 0); a.Kind != Undefined {
+		start = clampIndex(int(ToNumber(a)), n)
+	}
+	if a := arg(args, 1); a.Kind != Undefined {
+		end = clampIndex(int(ToNumber(a)), n)
+	}
+	if end < start {
+		end = start
+	}
+	return start, end
+}
+
+func clampIndex(i, n int) int {
+	if i < 0 {
+		i += n
+	}
+	if i < 0 {
+		return 0
+	}
+	if i > n {
+		return n
+	}
+	return i
+}
+
+func (it *Interp) setupString(g *Obj) {
+	strCtor := it.NewNative("String", func(i *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return StringVal(""), nil
+		}
+		return StringVal(ToString(args[0])), nil
+	})
+	strCtor.Set("prototype", ObjVal(it.StringProto))
+	it.def(strCtor, "fromCharCode", func(i *Interp, this Value, args []Value) (Value, error) {
+		var b strings.Builder
+		for _, a := range args {
+			b.WriteRune(rune(int(ToNumber(a))))
+		}
+		return StringVal(b.String()), nil
+	})
+	g.Set("String", ObjVal(strCtor))
+
+	p := it.StringProto
+	strFn := func(f func(s string, args []Value) Value) NativeFunc {
+		return func(i *Interp, this Value, args []Value) (Value, error) {
+			return f(ToString(this), args), nil
+		}
+	}
+	it.def(p, "charAt", strFn(func(s string, args []Value) Value {
+		k := int(ToNumber(arg(args, 0)))
+		if k < 0 || k >= len(s) {
+			return StringVal("")
+		}
+		return StringVal(string(s[k]))
+	}))
+	it.def(p, "charCodeAt", strFn(func(s string, args []Value) Value {
+		k := int(ToNumber(arg(args, 0)))
+		if k < 0 || k >= len(s) {
+			return NumberVal(math.NaN())
+		}
+		return NumberVal(float64(s[k]))
+	}))
+	it.def(p, "indexOf", strFn(func(s string, args []Value) Value {
+		return NumberVal(float64(strings.Index(s, ToString(arg(args, 0)))))
+	}))
+	it.def(p, "lastIndexOf", strFn(func(s string, args []Value) Value {
+		return NumberVal(float64(strings.LastIndex(s, ToString(arg(args, 0)))))
+	}))
+	it.def(p, "toUpperCase", strFn(func(s string, args []Value) Value {
+		return StringVal(strings.ToUpper(s))
+	}))
+	it.def(p, "toLowerCase", strFn(func(s string, args []Value) Value {
+		return StringVal(strings.ToLower(s))
+	}))
+	it.def(p, "trim", strFn(func(s string, args []Value) Value {
+		return StringVal(strings.TrimSpace(s))
+	}))
+	it.def(p, "substring", strFn(func(s string, args []Value) Value {
+		a := clampIndex(int(ToNumber(arg(args, 0))), len(s))
+		b := len(s)
+		if v := arg(args, 1); v.Kind != Undefined {
+			b = clampIndex(int(ToNumber(v)), len(s))
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return StringVal(s[a:b])
+	}))
+	it.def(p, "substr", strFn(func(s string, args []Value) Value {
+		start := int(ToNumber(arg(args, 0)))
+		if start < 0 {
+			start += len(s)
+			if start < 0 {
+				start = 0
+			}
+		}
+		if start > len(s) {
+			return StringVal("")
+		}
+		n := len(s) - start
+		if v := arg(args, 1); v.Kind != Undefined {
+			n = int(ToNumber(v))
+		}
+		if n < 0 {
+			n = 0
+		}
+		if start+n > len(s) {
+			n = len(s) - start
+		}
+		return StringVal(s[start : start+n])
+	}))
+	it.def(p, "slice", strFn(func(s string, args []Value) Value {
+		a := 0
+		if v := arg(args, 0); v.Kind != Undefined {
+			a = clampIndex(int(ToNumber(v)), len(s))
+		}
+		b := len(s)
+		if v := arg(args, 1); v.Kind != Undefined {
+			b = clampIndex(int(ToNumber(v)), len(s))
+		}
+		if b < a {
+			b = a
+		}
+		return StringVal(s[a:b])
+	}))
+	it.def(p, "split", func(i *Interp, this Value, args []Value) (Value, error) {
+		s := ToString(this)
+		sepv := arg(args, 0)
+		if sepv.Kind == Undefined {
+			return ObjVal(i.NewArray([]Value{StringVal(s)})), nil
+		}
+		sep := ToString(sepv)
+		var parts []string
+		if sep == "" {
+			for _, c := range s {
+				parts = append(parts, string(c))
+			}
+		} else {
+			parts = strings.Split(s, sep)
+		}
+		elems := make([]Value, len(parts))
+		for k, part := range parts {
+			elems[k] = StringVal(part)
+		}
+		return ObjVal(i.NewArray(elems)), nil
+	})
+	it.def(p, "replace", strFn(func(s string, args []Value) Value {
+		pat := ToString(arg(args, 0))
+		rep := ToString(arg(args, 1))
+		return StringVal(strings.Replace(s, pat, rep, 1))
+	}))
+	it.def(p, "concat", strFn(func(s string, args []Value) Value {
+		var b strings.Builder
+		b.WriteString(s)
+		for _, a := range args {
+			b.WriteString(ToString(a))
+		}
+		return StringVal(b.String())
+	}))
+	it.def(p, "toString", strFn(func(s string, args []Value) Value {
+		return StringVal(s)
+	}))
+}
+
+func (it *Interp) setupNumberBoolean(g *Obj) {
+	numCtor := it.NewNative("Number", func(i *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return NumberVal(0), nil
+		}
+		return NumberVal(ToNumber(args[0])), nil
+	})
+	numCtor.Set("prototype", ObjVal(it.NumberProto))
+	numCtor.Set("MAX_VALUE", NumberVal(math.MaxFloat64))
+	numCtor.Set("MIN_VALUE", NumberVal(5e-324))
+	g.Set("Number", ObjVal(numCtor))
+
+	it.def(it.NumberProto, "toString", func(i *Interp, this Value, args []Value) (Value, error) {
+		n := ToNumber(this)
+		if a := arg(args, 0); a.Kind != Undefined {
+			radix := int(ToNumber(a))
+			if radix >= 2 && radix <= 36 && n == math.Trunc(n) {
+				return StringVal(strconv.FormatInt(int64(n), radix)), nil
+			}
+		}
+		return StringVal(ToString(NumberVal(n))), nil
+	})
+	it.def(it.NumberProto, "toFixed", func(i *Interp, this Value, args []Value) (Value, error) {
+		n := ToNumber(this)
+		d := int(ToNumber(arg(args, 0)))
+		return StringVal(strconv.FormatFloat(n, 'f', d, 64)), nil
+	})
+
+	boolCtor := it.NewNative("Boolean", func(i *Interp, this Value, args []Value) (Value, error) {
+		return BoolVal(ToBool(arg(args, 0))), nil
+	})
+	boolCtor.Set("prototype", ObjVal(it.BooleanProto))
+	g.Set("Boolean", ObjVal(boolCtor))
+}
+
+func (it *Interp) setupErrors(g *Obj) {
+	it.ErrorProto.Set("name", StringVal("Error"))
+	it.ErrorProto.Set("message", StringVal(""))
+	it.def(it.ErrorProto, "toString", func(i *Interp, this Value, args []Value) (Value, error) {
+		return StringVal(ToString(this)), nil
+	})
+	mkErrCtor := func(name string) *Obj {
+		ctor := it.NewNative(name, func(i *Interp, this Value, args []Value) (Value, error) {
+			e := i.NewError(name, ToString(arg(args, 0)))
+			if len(args) == 0 {
+				e.Set("message", StringVal(""))
+			}
+			return ObjVal(e), nil
+		})
+		ctor.Set("prototype", ObjVal(it.ErrorProto))
+		return ctor
+	}
+	for _, name := range []string{"Error", "TypeError", "ReferenceError", "RangeError", "SyntaxError"} {
+		g.Set(name, ObjVal(mkErrCtor(name)))
+	}
+}
+
+func (it *Interp) setupTopLevelFuncs(g *Obj) {
+	it.def(g, "parseInt", func(i *Interp, this Value, args []Value) (Value, error) {
+		s := strings.TrimSpace(ToString(arg(args, 0)))
+		radix := 10
+		if a := arg(args, 1); a.Kind != Undefined {
+			radix = int(ToNumber(a))
+			if radix == 0 {
+				radix = 10
+			}
+		}
+		neg := false
+		if strings.HasPrefix(s, "-") {
+			neg = true
+			s = s[1:]
+		} else if strings.HasPrefix(s, "+") {
+			s = s[1:]
+		}
+		if radix == 16 && (strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X")) {
+			s = s[2:]
+		}
+		end := 0
+		for end < len(s) && digitVal(s[end]) < radix {
+			end++
+		}
+		if end == 0 {
+			return NumberVal(math.NaN()), nil
+		}
+		n, err := strconv.ParseInt(s[:end], radix, 64)
+		if err != nil {
+			return NumberVal(math.NaN()), nil
+		}
+		if neg {
+			n = -n
+		}
+		return NumberVal(float64(n)), nil
+	})
+	it.def(g, "parseFloat", func(i *Interp, this Value, args []Value) (Value, error) {
+		s := strings.TrimSpace(ToString(arg(args, 0)))
+		end := len(s)
+		for end > 0 {
+			if _, err := strconv.ParseFloat(s[:end], 64); err == nil {
+				break
+			}
+			end--
+		}
+		if end == 0 {
+			return NumberVal(math.NaN()), nil
+		}
+		n, _ := strconv.ParseFloat(s[:end], 64)
+		return NumberVal(n), nil
+	})
+	it.def(g, "isNaN", func(i *Interp, this Value, args []Value) (Value, error) {
+		return BoolVal(math.IsNaN(ToNumber(arg(args, 0)))), nil
+	})
+	it.def(g, "isFinite", func(i *Interp, this Value, args []Value) (Value, error) {
+		n := ToNumber(arg(args, 0))
+		return BoolVal(!math.IsNaN(n) && !math.IsInf(n, 0)), nil
+	})
+
+	// eval is special-cased at call sites; the body here only handles the
+	// indirect-call case (e.g. var e = eval; e("...")), which evaluates in
+	// the global scope. Mini-JS routes it through the same mechanism by
+	// lowering against the top-level function.
+	evalNative := it.NewNative("eval", func(i *Interp, this Value, args []Value) (Value, error) {
+		a := arg(args, 0)
+		if a.Kind != String {
+			return a, nil
+		}
+		fn, lout := i.lowerEvalFor(i.Mod.Top(), a.S)
+		if lout.kind != oNormal {
+			return UndefinedVal, &Thrown{Val: lout.val}
+		}
+		env := &Env{Parent: &Env{Slots: nil, Fn: i.Mod.Top()}, Slots: make([]Value, fn.NumSlots), Fn: fn}
+		nf := &Frame{Fn: fn, Env: env, Regs: make([]Value, fn.NumRegs), CallSite: -1}
+		i.pushFrame(nf)
+		out := i.execBlock(nf, fn.Body)
+		i.popFrame()
+		switch out.kind {
+		case oReturn, oNormal:
+			return out.val, nil
+		case oThrow:
+			return UndefinedVal, &Thrown{Val: out.val}
+		default:
+			return UndefinedVal, out.err
+		}
+	})
+	evalNative.Native.IsEval = true
+	g.Set("eval", ObjVal(evalNative))
+
+	// Date: only now(), returning the configured timestamp.
+	date := it.NewNative("Date", func(i *Interp, this Value, args []Value) (Value, error) {
+		o := i.NewPlain()
+		o.Set("__time", NumberVal(i.Now()))
+		return ObjVal(o), nil
+	})
+	it.def(date, "now", func(i *Interp, this Value, args []Value) (Value, error) {
+		return NumberVal(i.Now()), nil
+	})
+	g.Set("Date", ObjVal(date))
+
+	// __input(name): the generic indeterminate program input source.
+	it.def(g, "__input", func(i *Interp, this Value, args []Value) (Value, error) {
+		return i.Input(ToString(arg(args, 0))), nil
+	})
+
+	// __observe(label, value): a no-op marker used by generated test
+	// programs; the interesting facts come from evaluating the arguments.
+	it.def(g, "__observe", func(i *Interp, this Value, args []Value) (Value, error) {
+		return UndefinedVal, nil
+	})
+}
+
+func digitVal(b byte) int {
+	switch {
+	case b >= '0' && b <= '9':
+		return int(b - '0')
+	case b >= 'a' && b <= 'z':
+		return int(b-'a') + 10
+	case b >= 'A' && b <= 'Z':
+		return int(b-'A') + 10
+	}
+	return 99
+}

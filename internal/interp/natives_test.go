@@ -1,0 +1,145 @@
+package interp_test
+
+import (
+	"testing"
+
+	"determinacy/internal/interp"
+)
+
+func optsWithNow(now float64) interp.Options {
+	return interp.Options{Now: now}
+}
+
+func TestArrayNatives(t *testing.T) {
+	expectLines(t, `
+		var a = [3, 1, 2];
+		console.log(a.shift(), a.join("+"));
+		a.push(9, 10);
+		console.log(a.length);
+		console.log([1].concat([2, 3], 4).join(","));
+		console.log([1, 2, 3].filter(function(x) { return x !== 2; }).join(","));
+		var sum = 0;
+		[5, 6].forEach(function(x, i) { sum += x * (i + 1); });
+		console.log(sum);
+		console.log(Array.isArray([]), Array.isArray({}));
+		console.log(new Array(3).length);
+		console.log([10, 20, 30].slice(-2).join(","));
+	`,
+		"3 1+2", "4", "1,2,3,4", "1,3", "17", "true false", "3", "20,30")
+}
+
+func TestStringNativesEdgeCases(t *testing.T) {
+	expectLines(t, `
+		console.log("abc".charAt(5), "abc".charAt(-1));
+		console.log("abc".charCodeAt(0));
+		console.log("a,b,,c".split(",").length);
+		console.log("abc".split("").join("|"));
+		console.log("  pad  ".trim());
+		console.log("hello".substring(3, 1));
+		console.log("hello".substr(-3, 2));
+		console.log("aXbXc".replace("X", "-"));
+		console.log("a".concat("b", 1, true));
+		console.log(String.fromCharCode(72, 105));
+		console.log(String(42), String(null));
+	`,
+		" ", "97", "4", "a|b|c", "pad", "el", "ll", "a-bXc", "ab1true", "Hi", "42 null")
+}
+
+func TestMathNatives(t *testing.T) {
+	expectLines(t, `
+		console.log(Math.max(1, 9, 3), Math.min(4, -2));
+		console.log(Math.abs(-5), Math.floor(2.9), Math.ceil(2.1), Math.round(2.5));
+		console.log(Math.pow(2, 10), Math.sqrt(81));
+		console.log(isNaN(Math.max(1, NaN)));
+		console.log(Math.PI > 3.14 && Math.PI < 3.15);
+	`,
+		"9 -2", "5 2 3 3", "1024 9", "true", "true")
+}
+
+func TestParseIntFloat(t *testing.T) {
+	expectLines(t, `
+		console.log(parseInt("42px"));
+		console.log(parseInt("ff", 16), parseInt("0x1A", 16));
+		console.log(parseInt("-8"));
+		console.log(isNaN(parseInt("px")));
+		console.log(parseFloat("3.14 is pi"));
+		console.log(isNaN(parseFloat("pi")));
+	`,
+		"42", "255 26", "-8", "true", "3.14", "true")
+}
+
+func TestObjectNatives(t *testing.T) {
+	expectLines(t, `
+		var o = {b: 2, a: 1};
+		console.log(Object.keys(o).join(","));
+		console.log(o.hasOwnProperty("a"), o.hasOwnProperty("z"));
+		console.log(Object.keys([7, 8]).join(","));
+		var child = Object.create(o);
+		console.log(child.a, child.hasOwnProperty("a"));
+		console.log(Object.getPrototypeOf(child) === o);
+	`,
+		"b,a", "true false", "0,1", "1 false", "true")
+}
+
+func TestNumberFormattingNatives(t *testing.T) {
+	expectLines(t, `
+		console.log((255).toString(16));
+		console.log((3.14159).toFixed(2));
+		console.log((42).toString());
+		console.log(Number("12") + Number(true));
+	`,
+		"ff", "3.14", "42", "13")
+}
+
+func TestErrorConstructors(t *testing.T) {
+	expectLines(t, `
+		var e = new TypeError("bad type");
+		console.log(e.name, e.message);
+		console.log(e instanceof TypeError);
+		try {
+			null.x;
+		} catch (te) {
+			console.log(te.name);
+		}
+		try {
+			missingGlobal;
+		} catch (re) {
+			console.log(re.name);
+		}
+		try {
+			(5)();
+		} catch (ce) {
+			console.log(ce.name);
+		}
+	`,
+		"TypeError bad type", "true", "TypeError", "ReferenceError", "TypeError")
+}
+
+func TestIndirectEvalGlobalScope(t *testing.T) {
+	expectLines(t, `
+		var g = 7;
+		var e = eval;
+		function f() {
+			var local = 99;
+			return e("g + 1"); // indirect eval: global scope, no locals
+		}
+		console.log(f());
+	`,
+		"8")
+}
+
+func TestDateNow(t *testing.T) {
+	got := runOpts(t, `console.log(Date.now());`, optsWithNow(1234))
+	if got != "1234\n" {
+		t.Errorf("Date.now: %q", got)
+	}
+}
+
+func TestGlobalConstants(t *testing.T) {
+	expectLines(t, `
+		console.log(typeof NaN, isNaN(NaN));
+		console.log(Infinity > 1e308);
+		console.log(typeof globalThis);
+	`,
+		"number true", "true", "object")
+}

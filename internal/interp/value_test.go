@@ -1,0 +1,221 @@
+package interp_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"determinacy/internal/interp"
+	"determinacy/internal/ir"
+)
+
+func TestToBool(t *testing.T) {
+	cases := []struct {
+		v    interp.Value
+		want bool
+	}{
+		{interp.UndefinedVal, false},
+		{interp.NullVal, false},
+		{interp.BoolVal(true), true},
+		{interp.NumberVal(0), false},
+		{interp.NumberVal(-0.0), false},
+		{interp.NumberVal(math.NaN()), false},
+		{interp.NumberVal(1e-10), true},
+		{interp.StringVal(""), false},
+		{interp.StringVal("0"), true},
+		{interp.StringVal("false"), true},
+	}
+	for _, c := range cases {
+		if got := interp.ToBool(c.v); got != c.want {
+			t.Errorf("ToBool(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestToNumber(t *testing.T) {
+	cases := map[string]float64{
+		"":          0,
+		"  42  ":    42,
+		"3.5":       3.5,
+		"0x10":      16,
+		"-7":        -7,
+		"1e2":       100,
+		"Infinity":  math.Inf(1),
+		"-Infinity": math.Inf(-1),
+	}
+	for s, want := range cases {
+		got := interp.ToNumber(interp.StringVal(s))
+		if got != want {
+			t.Errorf("ToNumber(%q) = %v, want %v", s, got, want)
+		}
+	}
+	if !math.IsNaN(interp.ToNumber(interp.StringVal("abc"))) {
+		t.Error("non-numeric string must convert to NaN")
+	}
+	if !math.IsNaN(interp.ToNumber(interp.UndefinedVal)) {
+		t.Error("undefined must convert to NaN")
+	}
+	if interp.ToNumber(interp.NullVal) != 0 {
+		t.Error("null must convert to 0")
+	}
+	if interp.ToNumber(interp.BoolVal(true)) != 1 {
+		t.Error("true must convert to 1")
+	}
+}
+
+func TestToStringNumbers(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		42:      "42",
+		-1.5:    "-1.5",
+		1e21:    "1e+21",
+		0.001:   "0.001",
+		100000:  "100000",
+		123.456: "123.456",
+	}
+	for n, want := range cases {
+		if got := interp.ToString(interp.NumberVal(n)); got != want {
+			t.Errorf("ToString(%v) = %q, want %q", n, got, want)
+		}
+	}
+	if interp.ToString(interp.NumberVal(math.NaN())) != "NaN" {
+		t.Error("NaN renders as NaN")
+	}
+	if interp.ToString(interp.NumberVal(math.Inf(1))) != "Infinity" {
+		t.Error("Inf renders as Infinity")
+	}
+}
+
+func TestEqualityTable(t *testing.T) {
+	undef, null := interp.UndefinedVal, interp.NullVal
+	if !interp.LooseEquals(undef, null) || !interp.LooseEquals(null, undef) {
+		t.Error("undefined == null")
+	}
+	if interp.StrictEquals(undef, null) {
+		t.Error("undefined !== null")
+	}
+	if !interp.LooseEquals(interp.NumberVal(1), interp.StringVal("1")) {
+		t.Error(`1 == "1"`)
+	}
+	if !interp.LooseEquals(interp.BoolVal(true), interp.NumberVal(1)) {
+		t.Error("true == 1")
+	}
+	if interp.LooseEquals(interp.NumberVal(math.NaN()), interp.NumberVal(math.NaN())) {
+		t.Error("NaN != NaN")
+	}
+	if interp.StrictEquals(interp.NumberVal(math.NaN()), interp.NumberVal(math.NaN())) {
+		t.Error("NaN !== NaN")
+	}
+}
+
+// Property: strict equality implies loose equality.
+func TestStrictImpliesLoose(t *testing.T) {
+	mk := func(kind uint8, n float64, s string, b bool) interp.Value {
+		switch kind % 5 {
+		case 0:
+			return interp.UndefinedVal
+		case 1:
+			return interp.NullVal
+		case 2:
+			return interp.BoolVal(b)
+		case 3:
+			return interp.NumberVal(n)
+		default:
+			return interp.StringVal(s)
+		}
+	}
+	f := func(k1, k2 uint8, n1, n2 float64, s1, s2 string, b1, b2 bool) bool {
+		v1, v2 := mk(k1, n1, s1, b1), mk(k2, n2, s2, b2)
+		if interp.StrictEquals(v1, v2) && !interp.LooseEquals(v1, v2) {
+			return false
+		}
+		// Symmetry of both relations.
+		if interp.StrictEquals(v1, v2) != interp.StrictEquals(v2, v1) {
+			return false
+		}
+		return interp.LooseEquals(v1, v2) == interp.LooseEquals(v2, v1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ToInt32/ToUint32 agree with two's-complement reinterpretation.
+func TestInt32Uint32Agree(t *testing.T) {
+	f := func(n int32) bool {
+		v := interp.NumberVal(float64(n))
+		return interp.ToInt32(v) == n && interp.ToUint32(v) == uint32(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ToString∘NumberVal is parseable back via ToNumber for finite
+// values (a JS invariant: Number(String(n)) === n).
+func TestNumberStringRoundTrip(t *testing.T) {
+	f := func(n float64) bool {
+		if math.IsNaN(n) || math.IsInf(n, 0) {
+			return true
+		}
+		s := interp.ToString(interp.NumberVal(n))
+		back := interp.ToNumber(interp.StringVal(s))
+		return back == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeOf(t *testing.T) {
+	cases := map[string]string{
+		"undefined": interp.TypeOf(interp.UndefinedVal),
+		"object":    interp.TypeOf(interp.NullVal),
+		"boolean":   interp.TypeOf(interp.BoolVal(false)),
+		"number":    interp.TypeOf(interp.NumberVal(1)),
+		"string":    interp.TypeOf(interp.StringVal("")),
+	}
+	for want, got := range cases {
+		if got != want {
+			t.Errorf("TypeOf: got %q want %q", got, want)
+		}
+	}
+}
+
+func TestObjectModel(t *testing.T) {
+	mod := mustModule(t, "var probe = 1;")
+	it := interp.New(mod, interp.Options{})
+	o := it.NewPlain()
+	o.Set("a", interp.NumberVal(1))
+	o.Set("b", interp.NumberVal(2))
+	o.Set("a", interp.NumberVal(3)) // overwrite keeps order
+	keys := o.OwnKeys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Errorf("keys = %v", keys)
+	}
+	if !o.Delete("a") || o.Delete("a") {
+		t.Error("delete semantics")
+	}
+	if _, ok := o.Get("a"); ok {
+		t.Error("deleted key still present")
+	}
+
+	arr := it.NewArray([]interp.Value{interp.NumberVal(9)})
+	arr.Set("5", interp.NumberVal(1))
+	if arr.ArrayLength() != 6 {
+		t.Errorf("length after sparse set = %d, want 6", arr.ArrayLength())
+	}
+	arr.Set("length", interp.NumberVal(1))
+	if _, ok := arr.Get("5"); ok {
+		t.Error("truncating length must delete elements")
+	}
+}
+
+func mustModule(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.Compile("t.js", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

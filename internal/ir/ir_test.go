@@ -1,0 +1,217 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"determinacy/internal/ir"
+)
+
+func TestLoweringBasics(t *testing.T) {
+	mod := ir.MustCompile("t.js", `
+		var g = 1;
+		function f(a, b) {
+			var local = a + b;
+			return local;
+		}
+		f(1, 2);
+	`)
+	if len(mod.Funcs) != 2 {
+		t.Fatalf("got %d functions, want 2", len(mod.Funcs))
+	}
+	f := mod.Funcs[1]
+	if f.Name != "f" {
+		t.Errorf("function name %q", f.Name)
+	}
+	// slots: a, b, this, local
+	if f.NumSlots != 4 {
+		t.Errorf("slots = %d (%v), want 4", f.NumSlots, f.SlotNames)
+	}
+	if f.ThisSlot < 0 {
+		t.Error("missing this slot")
+	}
+	// Top-level vars are globals, so the top function has no slots.
+	if mod.Top().NumSlots != 0 {
+		t.Errorf("top-level slots = %d, want 0", mod.Top().NumSlots)
+	}
+}
+
+func TestScopeResolution(t *testing.T) {
+	mod := ir.MustCompile("t.js", `
+		function outer() {
+			var x = 1;
+			function inner() { x = 2; return x; }
+			return inner();
+		}
+	`)
+	var inner *ir.Function
+	for _, f := range mod.Funcs {
+		if f.Name == "inner" {
+			inner = f
+		}
+	}
+	if inner == nil {
+		t.Fatal("inner not lowered")
+	}
+	found := false
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		for _, in := range b.Instrs {
+			if sv, ok := in.(*ir.StoreVar); ok && sv.Var.Name == "x" {
+				if sv.Var.Hops != 1 {
+					t.Errorf("x resolved with hops=%d, want 1", sv.Var.Hops)
+				}
+				found = true
+			}
+		}
+	}
+	walk(inner.Body)
+	if !found {
+		t.Error("no StoreVar for x in inner")
+	}
+}
+
+func TestReentrancyMarking(t *testing.T) {
+	mod := ir.MustCompile("t.js", `
+		var a = 1;
+		for (var i = 0; i < 3; i++) {
+			var b = i * 2;
+		}
+		function f() { var c = 5; }
+	`)
+	var inLoop, outLoop, inFn int
+	mod.ForEachInstr(func(in ir.Instr, fn *ir.Function) {
+		switch {
+		case in.IPos().Line == 4 && mod.IsReentrant(in.IID()):
+			inLoop++
+		case in.IPos().Line == 2 && mod.IsReentrant(in.IID()):
+			outLoop++
+		case in.IPos().Line == 6 && mod.IsReentrant(in.IID()):
+			inFn++
+		}
+	})
+	if inLoop == 0 {
+		t.Error("loop body instructions not marked reentrant")
+	}
+	if outLoop != 0 {
+		t.Error("pre-loop instructions marked reentrant")
+	}
+	if inFn != 0 {
+		t.Error("function body (outside loops) marked reentrant")
+	}
+}
+
+func TestWritesOf(t *testing.T) {
+	mod := ir.MustCompile("t.js", `
+		function f() {
+			var a = 1, b = 2;
+			if (a) { b = 3; }
+			while (b) { a = 4; }
+			function g() { var c = 9; }
+		}
+	`)
+	f := mod.Funcs[1]
+	writes := ir.WritesOf(f.Body)
+	names := map[string]bool{}
+	for _, w := range writes {
+		names[w.Name] = true
+	}
+	if !names["a"] || !names["b"] {
+		t.Errorf("writes = %v, want a and b", names)
+	}
+	if names["c"] {
+		t.Error("nested function writes must not leak into vd(s)")
+	}
+}
+
+func TestLowerEvalScoping(t *testing.T) {
+	mod := ir.MustCompile("t.js", `
+		function caller() {
+			var captured = 10;
+			return 0;
+		}
+	`)
+	caller := mod.Funcs[1]
+	fn, err := ir.LowerEval(mod, "captured + 1", caller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fn.IsEval || fn.Parent != caller {
+		t.Error("eval function not linked to caller scope")
+	}
+	// The free variable resolves into the caller's slots, one hop out.
+	found := false
+	for _, in := range fn.Body.Instrs {
+		if lv, ok := in.(*ir.LoadVar); ok && lv.Var.Name == "captured" {
+			if lv.Var.Hops != 1 {
+				t.Errorf("captured at hops=%d, want 1", lv.Var.Hops)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("captured not resolved as a local")
+	}
+	if _, err := ir.LowerEval(mod, "syntax error (", caller); err == nil {
+		t.Error("expected a parse error")
+	}
+}
+
+func TestSwitchLowering(t *testing.T) {
+	mod := ir.MustCompile("t.js", `
+		function f(x) {
+			switch (x) {
+			case 1: return "one";
+			case 2:
+			case 3: return "few";
+			default: return "many";
+			}
+		}
+	`)
+	s := mod.String()
+	if !strings.Contains(s, "===") {
+		t.Errorf("switch not lowered to strict comparisons:\n%s", s)
+	}
+	// Fall-through between non-empty cases is rejected.
+	if _, err := ir.Compile("bad.js", `
+		switch (x) { case 1: a(); case 2: b(); }
+	`); err == nil {
+		t.Error("expected lowering error for fall-through")
+	}
+}
+
+func TestInstrIDsUniqueAndIndexed(t *testing.T) {
+	mod := ir.MustCompile("t.js", `
+		var a = 1 + 2;
+		function f() { return a * 3; }
+		f();
+	`)
+	seen := map[ir.ID]bool{}
+	count := 0
+	mod.ForEachInstr(func(in ir.Instr, fn *ir.Function) {
+		if seen[in.IID()] {
+			t.Errorf("duplicate instruction id %d", in.IID())
+		}
+		seen[in.IID()] = true
+		if mod.InstrAt(in.IID()) != in {
+			t.Errorf("InstrAt(%d) mismatch", in.IID())
+		}
+		if mod.FuncOf(in.IID()) != fn {
+			t.Errorf("FuncOf(%d) mismatch", in.IID())
+		}
+		count++
+	})
+	if count == 0 || count > mod.NumInstrs {
+		t.Errorf("instruction count %d vs NumInstrs %d", count, mod.NumInstrs)
+	}
+}
+
+func TestLogicalLowering(t *testing.T) {
+	// && and || lower to If with a shared result register; the IR printer
+	// shows the structure.
+	mod := ir.MustCompile("t.js", `var r = a() && b();`)
+	s := mod.String()
+	if !strings.Contains(s, "if r") {
+		t.Errorf("logical not lowered to a conditional:\n%s", s)
+	}
+}

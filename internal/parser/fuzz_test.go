@@ -1,0 +1,41 @@
+package parser_test
+
+import (
+	"testing"
+
+	"determinacy/internal/ast"
+	"determinacy/internal/ir"
+	"determinacy/internal/parser"
+	"determinacy/internal/workload"
+)
+
+// FuzzParseAndLower feeds arbitrary bytes through the full front end:
+// parse, print, reparse, lower. Run with go test -fuzz=FuzzParseAndLower.
+func FuzzParseAndLower(f *testing.F) {
+	f.Add("var x = 1 + 2;")
+	f.Add(`function f(a) { return a ? f(a - 1) : 0; }`)
+	f.Add(`for (var k in {a: 1}) { o[k] = eval("k"); }`)
+	f.Add(`try { throw 1; } catch (e) {} finally {}`)
+	for seed := uint64(0); seed < 5; seed++ {
+		f.Add(workload.RandomProgram(workload.GenConfig{Seed: seed}))
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := parser.Parse("fuzz.js", src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		printed := ast.Print(prog)
+		reparsed, err := parser.Parse("printed.js", printed)
+		if err != nil {
+			t.Fatalf("printed form does not reparse: %v\ninput: %q\nprinted: %q", err, src, printed)
+		}
+		if again := ast.Print(reparsed); again != printed {
+			t.Fatalf("print not a fixpoint:\nfirst:  %q\nsecond: %q", printed, again)
+		}
+		if _, err := ir.Lower(prog); err != nil {
+			// Lowering may reject valid parses (e.g. switch fall-through);
+			// it must not panic.
+			return
+		}
+	})
+}

@@ -1,0 +1,182 @@
+package parser_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"determinacy/internal/ast"
+	"determinacy/internal/parser"
+	"determinacy/internal/workload"
+)
+
+func parse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.Parse("test.js", src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return p
+}
+
+func TestPrecedence(t *testing.T) {
+	cases := map[string]string{
+		"1 + 2 * 3;":              "1 + 2 * 3;",
+		"(1 + 2) * 3;":            "(1 + 2) * 3;",
+		"a = b = c;":              "a = b = c;",
+		"a || b && c;":            "a || b && c;",
+		"(a || b) && c;":          "(a || b) && c;",
+		"!a.b;":                   "!a.b;",
+		"-x * y;":                 "-x * y;",
+		"a < b === c < d;":        "a < b === c < d;",
+		"a ? b : c ? d : e;":      "a ? b : c ? d : e;",
+		"typeof a === 'b';":       `typeof a === "b";`,
+		"a.b.c(d)[e](f).g;":       "a.b.c(d)[e](f).g;",
+		"new Foo(1).bar;":         "new Foo(1).bar;",
+		"1 + 2 + 3;":              "1 + 2 + 3;",
+		"x & y | z ^ w;":          "x & y | z ^ w;",
+		"a << 2 >>> 1;":           "a << 2 >>> 1;",
+		"delete a.b;":             "delete a.b;",
+		"a in b;":                 "a in b;",
+		"x instanceof Foo;":       "x instanceof Foo;",
+		"i++ + ++j;":              "i++ + ++j;",
+		"a, b, c;":                "a, b, c;",
+		"f(a, (b, c));":           "f(a, (b, c));",
+		"x = a ? b : c;":          "x = a ? b : c;",
+		"(function() {})();":      "(function() {\n}());",
+		"o = {a: 1, \"b c\": 2};": `o = {a: 1, "b c": 2};`,
+	}
+	for src, want := range cases {
+		got := strings.TrimSpace(ast.Print(parse(t, src)))
+		if got != want {
+			t.Errorf("print(parse(%q)) = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestStatements(t *testing.T) {
+	srcs := []string{
+		"var a = 1, b, c = a + 2;",
+		"if (a) b(); else { c(); }",
+		"while (x < 3) x++;",
+		"do { x--; } while (x);",
+		"for (var i = 0; i < 10; i++) f(i);",
+		"for (; ;) { break; }",
+		"for (var k in o) { delete o[k]; }",
+		"for (k in o) g(k);",
+		"try { f(); } catch (e) { g(e); } finally { h(); }",
+		"try { f(); } finally { h(); }",
+		"switch (x) { case 1: a(); break; case 2: default: b(); }",
+		"function f(a, b) { return a + b; }",
+		"throw new Error('x');",
+		";",
+	}
+	for _, src := range srcs {
+		prog := parse(t, src)
+		// Printed form must reparse.
+		printed := ast.Print(prog)
+		if _, err := parser.Parse("printed.js", printed); err != nil {
+			t.Errorf("printed form of %q does not reparse: %v\n%s", src, err, printed)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	srcs := []string{
+		"var = 3;",
+		"if (x {)",
+		"function (a) {}",
+		"a +",
+		"try { }",
+		"1 = 2;",
+		"++1;",
+		"o = {a: };",
+		"switch (x) { default: a(); default: b(); }",
+		"return 5;x(",
+	}
+	for _, src := range srcs {
+		if _, err := parser.Parse("bad.js", src); err == nil {
+			t.Errorf("%q: expected a parse error", src)
+		}
+	}
+}
+
+func TestParseExpr(t *testing.T) {
+	e, err := parser.ParseExpr("a + b * 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ast.PrintExpr(e); got != "a + b * 2" {
+		t.Errorf("got %q", got)
+	}
+	if _, err := parser.ParseExpr("a +"); err == nil {
+		t.Error("expected error for truncated expression")
+	}
+	if _, err := parser.ParseExpr("a; b"); err == nil {
+		t.Error("expected error for trailing tokens")
+	}
+}
+
+// TestPrintParseFixpoint: for generated programs, print∘parse must be a
+// fixpoint — parsing the printed form and printing again yields the same
+// text. This nails down both the parser and the printer (including
+// parenthesization) against each other.
+func TestPrintParseFixpoint(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		src := workload.RandomProgram(workload.GenConfig{Seed: seed, WithForIn: seed%2 == 0})
+		p1, err := parser.Parse("gen.js", src)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		out1 := ast.Print(p1)
+		p2, err := parser.Parse("printed.js", out1)
+		if err != nil {
+			t.Fatalf("seed %d: printed form does not reparse: %v\n%s", seed, err, out1)
+		}
+		out2 := ast.Print(p2)
+		if out1 != out2 {
+			t.Fatalf("seed %d: print not a fixpoint:\n--- first\n%s\n--- second\n%s", seed, out1, out2)
+		}
+	}
+}
+
+// TestParserNeverPanics: arbitrary input must produce a program or an
+// error, never a panic.
+func TestParserNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		_, _ = parser.Parse("fuzz.js", src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeywordPropertyNames(t *testing.T) {
+	src := "a.in = o.typeof + b.delete;"
+	printed := strings.TrimSpace(ast.Print(parse(t, src)))
+	if printed != "a.in = o.typeof + b.delete;" {
+		t.Errorf("got %q", printed)
+	}
+}
+
+func TestNestedFunctions(t *testing.T) {
+	prog := parse(t, `
+		function outer() {
+			var x = 1;
+			function inner() { return x; }
+			return inner;
+		}
+		var f = function named(n) { return n <= 1 ? 1 : n * named(n - 1); };
+	`)
+	count := 0
+	ast.Walk(prog, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FunctionLit); ok {
+			count++
+		}
+		return true
+	})
+	if count != 3 {
+		t.Errorf("found %d function literals, want 3", count)
+	}
+}

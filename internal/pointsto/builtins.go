@@ -1,0 +1,140 @@
+package pointsto
+
+// setupBuiltins constructs the abstract global environment mirroring the
+// runtimes of internal/interp and internal/core: the global object, builtin
+// prototypes and constructors, the Math/console namespaces, and a shallow
+// DOM model (one abstract element standing for all elements, matching the
+// coarse DOM treatment of the paper's baseline [30]).
+func (a *analysis) setupBuiltins() {
+	special := func(name string) ObjID {
+		o := a.newObject(&Object{Kind: KSpecial, Name: name})
+		a.protos[name] = o
+		return o
+	}
+	a.globalObj = special("Global")
+	objectProto := special("Object")
+	functionProto := special("Function")
+	arrayProto := special("Array")
+	stringProto := special("String")
+	numberProto := special("Number")
+	booleanProto := special("Boolean")
+	errorProto := special("Error")
+	domElement := special("DOMElement")
+	domNodeList := special("DOMNodeList")
+	domEvent := special("DOMEvent")
+
+	a.addObj(a.protoNode(a.globalObj), objectProto)
+	for _, p := range []ObjID{functionProto, arrayProto, stringProto, numberProto, booleanProto, errorProto} {
+		a.addObj(a.protoNode(p), objectProto)
+	}
+	a.addObj(a.protoNode(domNodeList), arrayProto)
+
+	native := func(name string) ObjID {
+		return a.newObject(&Object{Kind: KNative, Name: name})
+	}
+	def := func(parent ObjID, name string) ObjID {
+		o := native(name)
+		a.addObj(a.fieldNode(parent, name), o)
+		return o
+	}
+
+	// Global functions.
+	for _, n := range []string{"parseInt", "parseFloat", "isNaN", "isFinite",
+		"alert", "print", "setTimeout", "setInterval", "clearTimeout",
+		"clearInterval", "addEventListener", "attachEvent", "__input", "__observe"} {
+		def(a.globalObj, n)
+	}
+	a.evalObj = def(a.globalObj, "eval")
+	a.addObj(a.fieldNode(a.globalObj, "globalThis"), a.globalObj)
+	a.addObj(a.fieldNode(a.globalObj, "window"), a.globalObj)
+
+	// Constructors with prototypes.
+	ctor := func(name string, proto ObjID) ObjID {
+		c := native(name)
+		a.addObj(a.fieldNode(a.globalObj, name), c)
+		a.addObj(a.fieldNode(c, "prototype"), proto)
+		a.addObj(a.fieldNode(proto, "constructor"), c)
+		return c
+	}
+	objCtor := ctor("Object", objectProto)
+	for _, n := range []string{"keys", "create", "getPrototypeOf"} {
+		def(objCtor, n)
+	}
+	ctor("Function", functionProto)
+	arrCtor := ctor("Array", arrayProto)
+	def(arrCtor, "isArray")
+	strCtor := ctor("String", stringProto)
+	def(strCtor, "fromCharCode")
+	ctor("Number", numberProto)
+	ctor("Boolean", booleanProto)
+	for _, n := range []string{"Error", "TypeError", "ReferenceError", "RangeError", "SyntaxError"} {
+		ctor(n, errorProto)
+	}
+
+	// Prototype methods.
+	for _, n := range []string{"hasOwnProperty", "toString"} {
+		def(objectProto, n)
+	}
+	for _, n := range []string{"call", "apply"} {
+		def(functionProto, n)
+	}
+	for _, n := range []string{"push", "pop", "shift", "unshift", "join",
+		"indexOf", "slice", "concat", "forEach", "map", "filter"} {
+		def(arrayProto, n)
+	}
+	for _, n := range []string{"charAt", "charCodeAt", "indexOf", "lastIndexOf",
+		"toUpperCase", "toLowerCase", "trim", "substring", "substr", "slice",
+		"split", "replace", "concat", "toString"} {
+		def(stringProto, n)
+	}
+	for _, n := range []string{"toString", "toFixed"} {
+		def(numberProto, n)
+	}
+	def(errorProto, "toString")
+
+	// Math and console namespaces.
+	math := special("MathNS")
+	a.addObj(a.fieldNode(a.globalObj, "Math"), math)
+	for _, n := range []string{"abs", "floor", "ceil", "sqrt", "sin", "cos",
+		"log", "exp", "round", "pow", "min", "max", "random"} {
+		def(math, n)
+	}
+	console := special("ConsoleNS")
+	a.addObj(a.fieldNode(a.globalObj, "console"), console)
+	for _, n := range []string{"log", "warn", "error", "info"} {
+		def(console, n)
+	}
+
+	// Date.
+	date := native("Date")
+	a.addObj(a.fieldNode(a.globalObj, "Date"), date)
+	def(date, "now")
+
+	// Shallow DOM: document and window-level APIs, one abstract element.
+	document := special("Document")
+	a.addObj(a.fieldNode(a.globalObj, "document"), document)
+	for _, n := range []string{"getElementById", "getElementsByTagName",
+		"createElement", "createTextNode", "write", "addEventListener", "attachEvent"} {
+		def(document, n)
+	}
+	a.addObj(a.fieldNode(document, "body"), domElement)
+	a.addObj(a.fieldNode(document, "documentElement"), domElement)
+
+	for _, n := range []string{"getElementsByTagName", "appendChild",
+		"removeChild", "setAttribute", "getAttribute", "addEventListener",
+		"attachEvent", "removeEventListener"} {
+		def(domElement, n)
+	}
+	// Element-valued element properties.
+	for _, f := range []string{"firstChild", "parentNode"} {
+		a.addObj(a.fieldNode(domElement, f), domElement)
+	}
+	a.addObj(a.fieldNode(domElement, "childNodes"), domNodeList)
+	a.addObj(a.wildNode(domNodeList), domElement)
+	a.addObj(a.fieldNode(domEvent, "target"), domElement)
+
+	navigator := special("Navigator")
+	a.addObj(a.fieldNode(a.globalObj, "navigator"), navigator)
+	location := special("Location")
+	a.addObj(a.fieldNode(a.globalObj, "location"), location)
+}

@@ -1,0 +1,479 @@
+// Package pointsto is a from-scratch Andersen-style (0-CFA, [29])
+// points-to and call-graph analysis for mini-JS, standing in for the WALA
+// JavaScript analysis [30] used as the paper's static-analysis client
+// (§2.2, §5.1).
+//
+// It reproduces the baseline's characteristic behaviour on reflective code:
+// string values are not tracked beyond same-register constants, so a
+// computed property name ("get" + prop.cap()) degrades a property access to
+// a wildcard access touching every property of the receiver — exactly the
+// imprecision determinacy-fact-driven specialization removes. Functions are
+// analyzed on demand when they become reachable, so lazily-initialized code
+// (jQuery 1.2's pattern) costs nothing.
+//
+// The analysis is context-insensitive by design: the specializer
+// (internal/specialize) materializes per-context clones as distinct
+// functions, which is how the paper applies determinacy facts ("creating
+// clones of functions based on the full call stacks present in determinacy
+// facts").
+package pointsto
+
+import (
+	"fmt"
+	"time"
+
+	"determinacy/internal/ir"
+)
+
+// ObjID identifies an abstract object.
+type ObjID int
+
+// ObjKind classifies abstract objects.
+type ObjKind int
+
+// Abstract object kinds.
+const (
+	KAlloc   ObjKind = iota // object/array literal or new-site
+	KFunc                   // closure per MakeClosure site (or builtin ctor)
+	KProto                  // a .prototype object of a function
+	KNative                 // builtin function
+	KSpecial                // global object, builtin prototypes, DOM objects
+)
+
+// Object is one abstract heap object.
+type Object struct {
+	ID   ObjID
+	Kind ObjKind
+	Site ir.ID        // allocation site for KAlloc/KFunc/KProto
+	Fn   *ir.Function // for KFunc
+	Name string       // for KNative/KSpecial and diagnostics
+}
+
+func (o *Object) String() string {
+	switch o.Kind {
+	case KFunc:
+		return fmt.Sprintf("fn:%s@%d", o.Fn.Name, o.Site)
+	case KNative:
+		return "native:" + o.Name
+	case KSpecial:
+		return o.Name
+	case KProto:
+		return fmt.Sprintf("proto@%d", o.Site)
+	default:
+		return fmt.Sprintf("obj@%d", o.Site)
+	}
+}
+
+// Options configures the analysis.
+type Options struct {
+	// Budget bounds solver work (points-to propagation events). 0 means
+	// the default of 5 million. Exceeding it sets Result.BudgetExceeded,
+	// the deterministic analogue of the paper's 10-minute timeout.
+	Budget int
+}
+
+// Result carries the analysis outputs.
+type Result struct {
+	// Callees maps call-site instruction IDs to possible callees.
+	Callees map[ir.ID][]*Object
+	// BudgetExceeded reports that solving stopped early (the "✗" rows of
+	// Table 1).
+	BudgetExceeded bool
+	// Propagations counts points-to propagation events (the work metric).
+	Propagations int
+	// NumObjects and NumNodes describe problem size.
+	NumObjects int
+	NumNodes   int
+	// ReachableFuncs counts user functions that became reachable.
+	ReachableFuncs int
+	// EvalSites lists call sites whose only resolved callee is the eval
+	// native: code the static analysis cannot see.
+	EvalSites []ir.ID
+	// Duration is solver wall-clock time.
+	Duration time.Duration
+
+	an *analysis
+}
+
+// PointsToVar returns the abstract objects a function-local variable may
+// hold.
+func (r *Result) PointsToVar(fn *ir.Function, slot int) []*Object {
+	n := r.an.varNode(fn, slot)
+	return r.an.objsOf(n)
+}
+
+// PointsToGlobal returns the abstract objects a global may hold.
+func (r *Result) PointsToGlobal(name string) []*Object {
+	n := r.an.fieldNode(r.an.globalObj, name)
+	return r.an.objsOf(n)
+}
+
+// CalleesAt returns the possible callees of a call site.
+func (r *Result) CalleesAt(site ir.ID) []*Object { return r.Callees[site] }
+
+// ---------------------------------------------------------------------------
+
+// bitset is a simple growable bitset over ObjIDs.
+type bitset []uint64
+
+func (b *bitset) add(i ObjID) bool {
+	w, m := int(i)/64, uint64(1)<<(uint(i)%64)
+	for len(*b) <= w {
+		*b = append(*b, 0)
+	}
+	if (*b)[w]&m != 0 {
+		return false
+	}
+	(*b)[w] |= m
+	return true
+}
+
+func (b bitset) has(i ObjID) bool {
+	w, m := int(i)/64, uint64(1)<<(uint(i)%64)
+	return w < len(b) && b[w]&m != 0
+}
+
+func (b bitset) forEach(f func(ObjID)) {
+	for w, word := range b {
+		for word != 0 {
+			bit := word & -word
+			idx := ObjID(w*64 + trailingZeros(bit))
+			f(idx)
+			word &^= bit
+		}
+	}
+}
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// constraint reacts to new objects arriving at a node.
+type constraint interface {
+	apply(a *analysis, o ObjID)
+}
+
+type node struct {
+	pts         bitset
+	delta       []ObjID
+	copies      []int
+	copySet     map[int]bool
+	constraints []constraint
+	constrKeys  map[string]bool
+	inWorklist  bool
+}
+
+// analysis is the solver state.
+type analysis struct {
+	mod  *ir.Module
+	opts Options
+
+	objs  []*Object
+	nodes []*node
+
+	varNodes   map[varKey]int
+	regNodes   map[regKey]int
+	fieldNodes map[fieldKey]int
+	protoNodes map[ObjID]int
+	wildNodes  map[ObjID]int
+	retNodes   map[int]int // function index -> return node
+
+	// fieldsOf tracks the named fields materialized per object, and
+	// wildcard-load subscribers to notify when new fields appear.
+	fieldsOf  map[ObjID]map[string]int
+	wildLoads map[ObjID][]int
+
+	// processed marks functions whose bodies have been translated to
+	// constraints (reachability).
+	processed map[int]bool
+
+	// regStr tracks registers holding known constant strings (same-function
+	// constant propagation only, as in typical baselines).
+	regStr map[regKey]*string
+
+	// funcObjOf maps MakeClosure sites to their function object, protoObjOf
+	// to the associated .prototype object.
+	funcObjOf  map[ir.ID]ObjID
+	allocObjOf map[ir.ID]ObjID
+
+	callSites map[ir.ID]*callInfo
+
+	globalObj ObjID
+	protos    map[string]ObjID
+	evalObj   ObjID
+
+	worklist []int
+	work     int
+	exceeded bool
+}
+
+type varKey struct {
+	fn   int
+	slot int
+}
+
+type regKey struct {
+	fn  int
+	reg ir.Reg
+}
+
+type fieldKey struct {
+	obj   ObjID
+	field string
+}
+
+type callInfo struct {
+	site     ir.ID
+	fn       *ir.Function // caller
+	args     []ir.Reg
+	this     ir.Reg
+	dst      ir.Reg
+	isNew    bool
+	resolved map[ObjID]bool
+}
+
+// Analyze runs the points-to analysis on a module.
+func Analyze(mod *ir.Module, opts Options) *Result {
+	if opts.Budget == 0 {
+		opts.Budget = 5_000_000
+	}
+	a := &analysis{
+		mod:        mod,
+		opts:       opts,
+		varNodes:   map[varKey]int{},
+		regNodes:   map[regKey]int{},
+		fieldNodes: map[fieldKey]int{},
+		protoNodes: map[ObjID]int{},
+		wildNodes:  map[ObjID]int{},
+		retNodes:   map[int]int{},
+		fieldsOf:   map[ObjID]map[string]int{},
+		wildLoads:  map[ObjID][]int{},
+		processed:  map[int]bool{},
+		regStr:     map[regKey]*string{},
+		funcObjOf:  map[ir.ID]ObjID{},
+		allocObjOf: map[ir.ID]ObjID{},
+		callSites:  map[ir.ID]*callInfo{},
+		protos:     map[string]ObjID{},
+	}
+	start := time.Now()
+	a.setupBuiltins()
+	a.processFunction(mod.Top())
+	a.solve()
+
+	res := &Result{
+		Callees:        map[ir.ID][]*Object{},
+		BudgetExceeded: a.exceeded,
+		Propagations:   a.work,
+		NumObjects:     len(a.objs),
+		NumNodes:       len(a.nodes),
+		Duration:       time.Since(start),
+		an:             a,
+	}
+	for fi := range a.processed {
+		if fi >= 0 {
+			res.ReachableFuncs++
+		}
+	}
+	for site, ci := range a.callSites {
+		onlyEval := len(ci.resolved) > 0
+		for o := range ci.resolved {
+			res.Callees[site] = append(res.Callees[site], a.objs[o])
+			if o != a.evalObj {
+				onlyEval = false
+			}
+		}
+		if onlyEval {
+			res.EvalSites = append(res.EvalSites, site)
+		}
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Node and object management
+
+func (a *analysis) newObject(o *Object) ObjID {
+	o.ID = ObjID(len(a.objs))
+	a.objs = append(a.objs, o)
+	return o.ID
+}
+
+func (a *analysis) newNode() int {
+	a.nodes = append(a.nodes, &node{})
+	return len(a.nodes) - 1
+}
+
+func (a *analysis) varNode(fn *ir.Function, slot int) int {
+	k := varKey{fn.Index, slot}
+	n, ok := a.varNodes[k]
+	if !ok {
+		n = a.newNode()
+		a.varNodes[k] = n
+	}
+	return n
+}
+
+func (a *analysis) regNode(fn *ir.Function, reg ir.Reg) int {
+	k := regKey{fn.Index, reg}
+	n, ok := a.regNodes[k]
+	if !ok {
+		n = a.newNode()
+		a.regNodes[k] = n
+	}
+	return n
+}
+
+// fieldNode returns the node for a named field of an object, notifying
+// wildcard-load subscribers when the field is new.
+func (a *analysis) fieldNode(obj ObjID, field string) int {
+	k := fieldKey{obj, field}
+	n, ok := a.fieldNodes[k]
+	if !ok {
+		n = a.newNode()
+		a.fieldNodes[k] = n
+		fm := a.fieldsOf[obj]
+		if fm == nil {
+			fm = map[string]int{}
+			a.fieldsOf[obj] = fm
+		}
+		fm[field] = n
+		for _, dst := range a.wildLoads[obj] {
+			a.addCopy(n, dst)
+		}
+	}
+	return n
+}
+
+// wildNode is the store target for property writes with unknown names.
+func (a *analysis) wildNode(obj ObjID) int {
+	n, ok := a.wildNodes[obj]
+	if !ok {
+		n = a.newNode()
+		a.wildNodes[obj] = n
+	}
+	return n
+}
+
+// protoNode holds the possible prototype objects of an object.
+func (a *analysis) protoNode(obj ObjID) int {
+	n, ok := a.protoNodes[obj]
+	if !ok {
+		n = a.newNode()
+		a.protoNodes[obj] = n
+	}
+	return n
+}
+
+func (a *analysis) retNode(fn *ir.Function) int {
+	n, ok := a.retNodes[fn.Index]
+	if !ok {
+		n = a.newNode()
+		a.retNodes[fn.Index] = n
+	}
+	return n
+}
+
+func (a *analysis) objsOf(n int) []*Object {
+	var out []*Object
+	a.nodes[n].pts.forEach(func(o ObjID) { out = append(out, a.objs[o]) })
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Graph construction helpers
+
+func (a *analysis) addObj(n int, o ObjID) {
+	nd := a.nodes[n]
+	if nd.pts.add(o) {
+		nd.delta = append(nd.delta, o)
+		a.enqueue(n)
+	}
+}
+
+func (a *analysis) addCopy(from, to int) {
+	if from == to {
+		return
+	}
+	nd := a.nodes[from]
+	// Deduplicate edges: shared sources (prototype wildcards) otherwise
+	// accumulate one edge per load site per object, a quadratic blowup in
+	// solver time without changing the points-to result.
+	if nd.copySet == nil {
+		nd.copySet = make(map[int]bool, 4)
+	}
+	if nd.copySet[to] {
+		return
+	}
+	nd.copySet[to] = true
+	nd.copies = append(nd.copies, to)
+	// Propagate existing objects along the new edge.
+	nd.pts.forEach(func(o ObjID) { a.addObj(to, o) })
+}
+
+func (a *analysis) addConstraint(n int, c constraint) {
+	nd := a.nodes[n]
+	if k, ok := c.(interface{ key() string }); ok {
+		if nd.constrKeys == nil {
+			nd.constrKeys = make(map[string]bool, 4)
+		}
+		if nd.constrKeys[k.key()] {
+			return
+		}
+		nd.constrKeys[k.key()] = true
+	}
+	nd.constraints = append(nd.constraints, c)
+	nd.pts.forEach(func(o ObjID) { c.apply(a, o) })
+}
+
+func (a *analysis) enqueue(n int) {
+	nd := a.nodes[n]
+	if !nd.inWorklist {
+		nd.inWorklist = true
+		a.worklist = append(a.worklist, n)
+	}
+}
+
+func (a *analysis) solve() {
+	for len(a.worklist) > 0 {
+		n := a.worklist[len(a.worklist)-1]
+		a.worklist = a.worklist[:len(a.worklist)-1]
+		nd := a.nodes[n]
+		nd.inWorklist = false
+		delta := nd.delta
+		nd.delta = nil
+		for _, o := range delta {
+			a.work++
+			if a.work > a.opts.Budget {
+				a.exceeded = true
+				return
+			}
+			for _, to := range nd.copies {
+				a.addObj(to, o)
+			}
+			for _, c := range nd.constraints {
+				c.apply(a, o)
+			}
+		}
+	}
+}
+
+// FunctionReached reports whether the function with the given index became
+// reachable during solving.
+func (r *Result) FunctionReached(idx int) bool { return r.an.processed[idx] }
+
+// FieldObjects returns the points-to set of a named field of an abstract
+// object (diagnostics).
+func (r *Result) FieldObjects(o *Object, field string) []*Object {
+	return r.an.objsOf(r.an.fieldNode(o.ID, field))
+}
+
+// WildObjects returns the wildcard points-to set of an abstract object
+// (diagnostics).
+func (r *Result) WildObjects(o *Object) []*Object {
+	return r.an.objsOf(r.an.wildNode(o.ID))
+}

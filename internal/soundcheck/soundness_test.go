@@ -1,0 +1,236 @@
+package soundcheck_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"determinacy/internal/core"
+	"determinacy/internal/dom"
+	"determinacy/internal/facts"
+	"determinacy/internal/interp"
+	"determinacy/internal/ir"
+	"determinacy/internal/soundcheck"
+	"determinacy/internal/workload"
+)
+
+// inputsFor derives the concrete values of the indeterminate __input source
+// from a run seed.
+func inputsFor(runSeed uint64) map[string]interp.Value {
+	return map[string]interp.Value{
+		"a": interp.NumberVal(float64(runSeed % 7)),
+		"b": interp.NumberVal(float64(runSeed%13) - 6),
+		"c": interp.StringVal(fmt.Sprintf("in%d", runSeed%5)),
+	}
+}
+
+// TestSoundnessDifferential is the executable analogue of the paper's
+// Theorem 1: facts inferred from a single instrumented execution must hold
+// in every concrete execution, across varying indeterminate inputs
+// (Math.random seeds and __input values).
+func TestSoundnessDifferential(t *testing.T) {
+	const programs = 120
+	const concreteRuns = 6
+
+	for genSeed := uint64(0); genSeed < programs; genSeed++ {
+		genSeed := genSeed
+		t.Run(fmt.Sprintf("gen%d", genSeed), func(t *testing.T) {
+			src := workload.RandomProgram(workload.GenConfig{
+				Seed:      genSeed,
+				WithForIn: genSeed%3 == 0,
+			})
+
+			// One instrumented run with one choice of inputs.
+			modA, err := ir.Compile("gen.js", src)
+			if err != nil {
+				t.Fatalf("compile: %v\n%s", err, src)
+			}
+			store := facts.NewStore()
+			a := core.New(modA, store, core.Options{
+				Seed:   1000 + genSeed,
+				Inputs: inputsFor(0),
+			})
+			if _, err := a.Run(); err != nil && !errors.Is(err, core.ErrFlushLimit) {
+				t.Fatalf("instrumented run failed: %v\nprogram:\n%s", err, src)
+			}
+			if len(store.Conflicts) > 0 {
+				t.Fatalf("fact store conflicts: %v\nprogram:\n%s", store.Conflicts, src)
+			}
+
+			// Many concrete runs with different indeterminate inputs; every
+			// determinate fact must hold in each.
+			totalChecked := 0
+			for run := uint64(0); run < concreteRuns; run++ {
+				modB, err := ir.Compile("gen.js", src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				it := interp.New(modB, interp.Options{
+					Seed:   run * 77,
+					Inputs: inputsFor(run),
+				})
+				ck := soundcheck.New(store)
+				ck.Attach(it)
+				if _, err := it.Run(); err != nil {
+					t.Fatalf("concrete run %d failed: %v\nprogram:\n%s", run, err, src)
+				}
+				if len(ck.Mismatches) > 0 {
+					t.Fatalf("soundness violations in run %d:\n%s\nprogram:\n%s",
+						run, ck.Report(modB), src)
+				}
+				totalChecked += ck.Checked
+			}
+			if totalChecked == 0 {
+				t.Logf("warning: no determinate facts exercised for seed %d", genSeed)
+			}
+		})
+	}
+}
+
+// TestSoundnessUnderAblations: the ablated configurations trade precision,
+// never soundness — their facts must also hold in every concrete run.
+func TestSoundnessUnderAblations(t *testing.T) {
+	configs := map[string]core.Options{
+		"no-counterfactual": {DisableCounterfactual: true},
+		"immediate-taint":   {ImmediateTaint: true},
+		"shallow-cutoff":    {MaxCounterfactualDepth: 1},
+	}
+	for name, base := range configs {
+		name, base := name, base
+		t.Run(name, func(t *testing.T) {
+			for genSeed := uint64(0); genSeed < 40; genSeed++ {
+				src := workload.RandomProgram(workload.GenConfig{Seed: 7000 + genSeed, WithForIn: true})
+				mod, err := ir.Compile("gen.js", src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				store := facts.NewStore()
+				opts := base
+				opts.Seed = genSeed
+				opts.Inputs = inputsFor(0)
+				a := core.New(mod, store, opts)
+				if _, err := a.Run(); err != nil && !errors.Is(err, core.ErrFlushLimit) {
+					t.Fatalf("instrumented: %v\n%s", err, src)
+				}
+				for run := uint64(0); run < 3; run++ {
+					modB, _ := ir.Compile("gen.js", src)
+					it := interp.New(modB, interp.Options{Seed: run * 31, Inputs: inputsFor(run)})
+					ck := soundcheck.New(store)
+					ck.Attach(it)
+					if _, err := it.Run(); err != nil {
+						t.Fatalf("concrete: %v\n%s", err, src)
+					}
+					if len(ck.Mismatches) > 0 {
+						t.Fatalf("config %s unsound:\n%s\nprogram:\n%s", name, ck.Report(modB), src)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFactsFromDifferentRunsAgree checks the paper's §7 claim that facts
+// from runs on different inputs are all sound and can be combined: two
+// instrumented runs must never produce conflicting determinate facts.
+func TestFactsFromDifferentRunsAgree(t *testing.T) {
+	for genSeed := uint64(0); genSeed < 60; genSeed++ {
+		src := workload.RandomProgram(workload.GenConfig{Seed: 5000 + genSeed})
+		merged := facts.NewStore()
+		for run := uint64(0); run < 3; run++ {
+			mod, err := ir.Compile("gen.js", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			store := facts.NewStore()
+			a := core.New(mod, store, core.Options{Seed: run * 31, Inputs: inputsFor(run)})
+			if _, err := a.Run(); err != nil && !errors.Is(err, core.ErrFlushLimit) {
+				t.Fatalf("run %d: %v\n%s", run, err, src)
+			}
+			merged.Merge(store)
+		}
+		if len(merged.Conflicts) > 0 {
+			t.Fatalf("seed %d: conflicting determinate facts across runs: %v\nprogram:\n%s",
+				genSeed, merged.Conflicts, src)
+		}
+	}
+}
+
+// TestInstrumentedMatchesConcreteOutput checks that instrumentation is
+// semantically transparent: with identical seeds and inputs, the
+// instrumented and concrete interpreters compute identical final global
+// state observations.
+func TestInstrumentedMatchesConcreteOutput(t *testing.T) {
+	for genSeed := uint64(0); genSeed < 60; genSeed++ {
+		src := workload.RandomProgram(workload.GenConfig{Seed: 9000 + genSeed, WithForIn: true})
+
+		modC, err := ir.Compile("gen.js", src)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, src)
+		}
+		concrete := map[string]string{}
+		it := interp.New(modC, interp.Options{Seed: 42, Inputs: inputsFor(1)})
+		it.AfterInstr = func(in ir.Instr, val interp.Value) {}
+		if _, err := it.Run(); err != nil {
+			t.Fatalf("concrete: %v\n%s", err, src)
+		}
+		for _, k := range it.Global.OwnKeys() {
+			v, _ := it.Global.Get(k)
+			concrete[k] = interp.ToString(v)
+		}
+
+		modI, err := ir.Compile("gen.js", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := core.New(modI, facts.NewStore(), core.Options{Seed: 42, Inputs: inputsFor(1)})
+		if _, err := a.Run(); err != nil && !errors.Is(err, core.ErrFlushLimit) {
+			t.Fatalf("instrumented: %v\n%s", err, src)
+		}
+		// Compare observable numeric/string globals (generated programs put
+		// their state in top-level vars, i.e. globals).
+		for k, want := range concrete {
+			got, found, _ := a.LookupGlobal(k)
+			if !found {
+				t.Errorf("seed %d: global %s missing in instrumented run", genSeed, k)
+				continue
+			}
+			if gs := a.DisplayValue(got); gs != want && !(want == "NaN" && gs == "NaN") {
+				t.Errorf("seed %d: global %s: concrete %q vs instrumented %q\nprogram:\n%s",
+					genSeed, k, want, gs, src)
+			}
+		}
+	}
+}
+
+// TestCorpusMultiRunConsistency merges instrumented runs of every runnable
+// corpus benchmark across seeds: determinate facts from different runs must
+// never contradict (restricted to static program points, since eval-lowered
+// instruction IDs are run-local).
+func TestCorpusMultiRunConsistency(t *testing.T) {
+	for _, b := range workload.EvalCorpus() {
+		if !b.Runnable {
+			continue
+		}
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			merged := facts.NewStore()
+			for run := uint64(0); run < 3; run++ {
+				mod, err := ir.Compile(b.Name, b.Source)
+				if err != nil {
+					t.Fatal(err)
+				}
+				static := ir.ID(mod.NumInstrs)
+				store := facts.NewStore()
+				a := core.New(mod, store, core.Options{Seed: run * 17, Inputs: inputsFor(run)})
+				dom.InstallCore(a, dom.NewDocument(dom.Options{}), false)
+				if _, err := a.Run(); err != nil && !errors.Is(err, core.ErrFlushLimit) {
+					t.Fatalf("run %d: %v", run, err)
+				}
+				merged.Merge(store.Restrict(static))
+			}
+			if len(merged.Conflicts) > 0 {
+				t.Errorf("conflicting determinate facts across seeds: %v", merged.Conflicts)
+			}
+		})
+	}
+}

@@ -1,0 +1,151 @@
+package specialize_test
+
+import (
+	"strings"
+	"testing"
+
+	"determinacy/internal/specialize"
+)
+
+// evalPipeline runs the dynamic analysis with eval elimination enabled.
+func evalPipeline(t *testing.T, src string) (*specialize.Result, string) {
+	t.Helper()
+	return pipelineOpts(t, src, specialize.Options{EliminateEval: true})
+}
+
+func statusOf(res *specialize.Result, line int) (specialize.EvalStatus, bool) {
+	for _, s := range res.EvalSites {
+		if s.Line == line {
+			return s.Status, true
+		}
+	}
+	return 0, false
+}
+
+func TestEvalLiteralEliminated(t *testing.T) {
+	res, out := evalPipeline(t, `var r = eval("1 + 2"); console.log(r);`)
+	if res.Stats.EvalsEliminated != 1 {
+		t.Fatalf("stats: %+v\n%s", res.Stats, out)
+	}
+	if strings.Contains(out, "eval") {
+		t.Errorf("eval survived:\n%s", out)
+	}
+	if got, want := runProgram(t, out), "3\n"; got != want {
+		t.Errorf("behaviour: %q want %q", got, want)
+	}
+}
+
+func TestEvalConcatenationEliminated(t *testing.T) {
+	_, out := evalPipeline(t, `
+		var registry = {alpha: 41};
+		var which = "alpha";
+		console.log(eval("registry." + which) + 1);
+	`)
+	if strings.Contains(out, "eval(") {
+		t.Errorf("concatenated eval survived:\n%s", out)
+	}
+	if !strings.Contains(out, "registry.alpha") {
+		t.Errorf("spliced access missing:\n%s", out)
+	}
+}
+
+func TestEvalNestedCleanedUp(t *testing.T) {
+	_, out := evalPipeline(t, `console.log(eval("eval('5 + 5')"));`)
+	if strings.Contains(out, "eval") {
+		t.Errorf("nested eval survived:\n%s", out)
+	}
+	if got := runProgram(t, out); got != "10\n" {
+		t.Errorf("behaviour: %q", got)
+	}
+}
+
+func TestEvalIndeterminateArgumentKept(t *testing.T) {
+	res, out := evalPipeline(t, `
+		var code = "" + Math.random();
+		var r = 0;
+		try { r = eval(code); } catch (e) { r = -1; }
+	`)
+	st, ok := statusOf(res, 4)
+	if !ok || st != specialize.EvalIndetArg {
+		t.Errorf("status = %v (found %v)\n%s", st, ok, out)
+	}
+	if !strings.Contains(out, "eval(") {
+		t.Errorf("indeterminate eval must survive:\n%s", out)
+	}
+}
+
+func TestEvalThroughMemberCallee(t *testing.T) {
+	// eval reached through a heap property: the dynamic fact identifies the
+	// callee as the eval native and elimination proceeds.
+	_, out := evalPipeline(t, `
+		var util = {};
+		util.e = eval;
+		console.log(util.e("6 * 7"));
+	`)
+	if strings.Contains(out, `util.e(`) {
+		t.Errorf("member eval call survived:\n%s", out)
+	}
+	if got := runProgram(t, out); got != "42\n" {
+		t.Errorf("behaviour: %q", got)
+	}
+}
+
+func TestEvalShadowedNotTouched(t *testing.T) {
+	// A user function named eval is not the eval native; it must be left
+	// alone (and may be cloned like any call).
+	src := `
+		function eval(x) { return x + "!"; }
+		console.log(eval("hi"));
+	`
+	res, out := evalPipeline(t, src)
+	if res.Stats.EvalsEliminated != 0 {
+		t.Errorf("shadowed eval eliminated: %+v\n%s", res.Stats, out)
+	}
+	if got := runProgram(t, out); got != "hi!\n" {
+		t.Errorf("behaviour: %q", got)
+	}
+}
+
+func TestForInUnrollDrivesEval(t *testing.T) {
+	res, out := evalPipeline(t, `
+		var fields = {width: 10, height: 20};
+		var total = 0;
+		for (var key in fields) {
+			total = total + eval("fields." + key);
+		}
+		console.log(total);
+	`)
+	if res.Stats.LoopsUnrolled != 1 || res.Stats.UnrolledIterations != 2 {
+		t.Fatalf("for-in not unrolled: %+v\n%s", res.Stats, out)
+	}
+	if res.Stats.EvalsEliminated != 2 {
+		t.Errorf("per-iteration evals not eliminated: %+v\n%s", res.Stats, out)
+	}
+	if got := runProgram(t, out); got != "30\n" {
+		t.Errorf("behaviour: %q\n%s", got, out)
+	}
+}
+
+func TestEvalLoopVaryingArgumentBlocked(t *testing.T) {
+	res, out := evalPipeline(t, `
+		var n = Math.floor(Math.random() * 2) + 1;
+		var s = 0;
+		for (var i = 0; i < n; i++) {
+			s = s + eval("3 + " + i);
+		}
+	`)
+	st, ok := statusOf(res, 5)
+	if !ok || st != specialize.EvalLoopIndet {
+		t.Errorf("status = %v (found=%v), want indeterminate-loop-bound\n%s", st, ok, out)
+	}
+}
+
+func TestEvalStatementParseFailure(t *testing.T) {
+	res, _ := evalPipeline(t, `
+		try { eval("var zz = 1; zz"); } catch (e) { }
+	`)
+	st, ok := statusOf(res, 2)
+	if !ok || st != specialize.EvalParseFailed {
+		t.Errorf("statement-form eval should report parse-failed, got %v (found=%v)", st, ok)
+	}
+}

@@ -1,0 +1,98 @@
+package specialize_test
+
+import (
+	"testing"
+
+	"determinacy/internal/ast"
+	"determinacy/internal/core"
+	"determinacy/internal/facts"
+	"determinacy/internal/interp"
+	"determinacy/internal/ir"
+	"determinacy/internal/parser"
+	"determinacy/internal/specialize"
+	"determinacy/internal/workload"
+)
+
+// TestSpecializePreservesBehaviour: for arbitrary generated programs, the
+// specialized output must compute the same observable state as the original
+// under identical inputs — branch pruning, constant folding, loop and
+// for-in unrolling, context cloning and eval elimination are all
+// behaviour-preserving transformations (determinate-false branches never
+// run, so even their side effects are preserved vacuously).
+func TestSpecializePreservesBehaviour(t *testing.T) {
+	inputs := map[string]interp.Value{
+		"a": interp.NumberVal(5),
+		"b": interp.NumberVal(-1),
+		"c": interp.StringVal("zz"),
+	}
+	finalState := func(src string) map[string]string {
+		t.Helper()
+		mod, err := ir.Compile("p.js", src)
+		if err != nil {
+			t.Fatalf("compile: %v\n%s", err, src)
+		}
+		it := interp.New(mod, interp.Options{Seed: 21, Inputs: inputs})
+		if _, err := it.Run(); err != nil {
+			t.Fatalf("run: %v\n%s", err, src)
+		}
+		out := map[string]string{}
+		for _, k := range it.Global.OwnKeys() {
+			v, _ := it.Global.Get(k)
+			if v.IsCallable() {
+				continue // clones add function globals by design
+			}
+			out[k] = interp.ToString(v)
+		}
+		return out
+	}
+
+	for seed := uint64(0); seed < 80; seed++ {
+		src := workload.RandomProgram(workload.GenConfig{Seed: 11000 + seed, WithForIn: seed%2 == 0})
+
+		prog, err := parser.Parse("p.js", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod, err := ir.Lower(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		store := facts.NewStore()
+		a := core.New(mod, store, core.Options{Seed: 21, Inputs: inputs})
+		if _, err := a.Run(); err != nil {
+			t.Fatalf("seed %d dynamic: %v\n%s", seed, err, src)
+		}
+		res, err := specialize.Specialize(prog, mod, store, specialize.Options{EliminateEval: true, Generalize: seed%2 == 1})
+		if err != nil {
+			t.Fatalf("seed %d specialize: %v", seed, err)
+		}
+		specSrc := ast.Print(res.Program)
+
+		orig := finalState(src)
+		spec := finalState(specSrc)
+		for k, want := range orig {
+			got, ok := spec[k]
+			if !ok {
+				t.Errorf("seed %d: global %s missing after specialization\n--- original\n%s\n--- specialized\n%s",
+					seed, k, src, specSrc)
+				continue
+			}
+			if got != want {
+				t.Errorf("seed %d: global %s: original %q vs specialized %q\n--- original\n%s\n--- specialized\n%s",
+					seed, k, want, got, src, specSrc)
+			}
+		}
+	}
+}
+
+// TestSpecializedOutputsReparse: the printed specialization of any generated
+// program must itself lower cleanly (no invalid IR constructs introduced).
+func TestSpecializedOutputsReparse(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		src := workload.RandomProgram(workload.GenConfig{Seed: 12000 + seed, WithForIn: true})
+		res, out := pipelineOpts(t, src, specialize.Options{EliminateEval: true})
+		if _, err := ir.Compile("spec.js", out); err != nil {
+			t.Fatalf("seed %d: specialized output does not lower: %v\nstats %+v\n%s", seed, err, res.Stats, out)
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package specialize_test
+
+import (
+	"strings"
+	"testing"
+
+	"determinacy/internal/ast"
+	"determinacy/internal/core"
+	"determinacy/internal/facts"
+	"determinacy/internal/interp"
+	"determinacy/internal/ir"
+	"determinacy/internal/parser"
+	"determinacy/internal/pointsto"
+	"determinacy/internal/specialize"
+)
+
+// pipeline runs the dynamic analysis on src and specializes it.
+func pipeline(t *testing.T, src string, opts specialize.Options) (*specialize.Result, string) {
+	t.Helper()
+	return pipelineOpts(t, src, opts)
+}
+
+func pipelineOpts(t *testing.T, src string, opts specialize.Options) (*specialize.Result, string) {
+	t.Helper()
+	prog, err := parser.Parse("test.js", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	mod, err := ir.Lower(prog)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	store := facts.NewStore()
+	a := core.New(mod, store, core.Options{})
+	if _, err := a.Run(); err != nil {
+		t.Fatalf("dynamic analysis: %v", err)
+	}
+	res, err := specialize.Specialize(prog, mod, store, opts)
+	if err != nil {
+		t.Fatalf("specialize: %v", err)
+	}
+	out := ast.Print(res.Program)
+	// The output must still parse.
+	if _, err := parser.Parse("out.js", out); err != nil {
+		t.Fatalf("specialized output does not parse: %v\n%s", err, out)
+	}
+	return res, out
+}
+
+// runProgram executes source and returns console output.
+func runProgram(t *testing.T, src string) string {
+	t.Helper()
+	mod, err := ir.Compile("p.js", src)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	var buf strings.Builder
+	it := interp.New(mod, interp.Options{Out: &buf})
+	if _, err := it.Run(); err != nil {
+		t.Fatalf("run: %v\n%s", err, src)
+	}
+	return buf.String()
+}
+
+func TestBranchPruning(t *testing.T) {
+	src := `
+		var mode = "fast";
+		if (mode === "fast") {
+			console.log("fast path");
+		} else {
+			console.log("slow path");
+		}
+	`
+	res, out := pipeline(t, src, specialize.Options{})
+	if res.Stats.BranchesPruned == 0 {
+		t.Fatalf("expected branch pruning, got %+v\n%s", res.Stats, out)
+	}
+	if strings.Contains(out, "slow path") {
+		t.Errorf("dead branch not removed:\n%s", out)
+	}
+	if !strings.Contains(out, "fast path") {
+		t.Errorf("live branch missing:\n%s", out)
+	}
+}
+
+func TestIndeterminateBranchKept(t *testing.T) {
+	src := `
+		if (Math.random() < 0.5) {
+			console.log("a");
+		} else {
+			console.log("b");
+		}
+	`
+	res, out := pipeline(t, src, specialize.Options{})
+	if res.Stats.BranchesPruned != 0 {
+		t.Errorf("pruned an indeterminate branch:\n%s", out)
+	}
+	if !strings.Contains(out, "if (") {
+		t.Errorf("conditional lost:\n%s", out)
+	}
+}
+
+func TestStaticizeDynamicAccess(t *testing.T) {
+	src := `
+		var o = {};
+		var key = "wid" + "th";
+		o[key] = 10;
+		console.log(o[key]);
+	`
+	res, out := pipeline(t, src, specialize.Options{})
+	if res.Stats.AccessesStaticized < 2 {
+		t.Fatalf("expected staticized accesses, got %+v\n%s", res.Stats, out)
+	}
+	if !strings.Contains(out, "o.width") {
+		t.Errorf("expected o.width in output:\n%s", out)
+	}
+}
+
+func TestLoopUnrolling(t *testing.T) {
+	src := `
+		var props = ["width", "height"];
+		var o = {};
+		for (var i = 0; i < props.length; i++) {
+			o[props[i]] = i;
+		}
+		console.log(o.width, o.height);
+	`
+	res, out := pipeline(t, src, specialize.Options{})
+	if res.Stats.LoopsUnrolled != 1 || res.Stats.UnrolledIterations != 2 {
+		t.Fatalf("expected a 2x unroll, got %+v\n%s", res.Stats, out)
+	}
+	if !strings.Contains(out, "o.width") || !strings.Contains(out, "o.height") {
+		t.Errorf("per-iteration staticization missing:\n%s", out)
+	}
+	// The specialized program must behave identically.
+	if got, want := runProgram(t, out), runProgram(t, src); got != want {
+		t.Errorf("behaviour changed: %q vs %q", got, want)
+	}
+}
+
+func TestIndeterminateLoopNotUnrolled(t *testing.T) {
+	src := `
+		var n = Math.floor(Math.random() * 3);
+		var s = 0;
+		for (var i = 0; i < n; i++) s += i;
+		console.log(s);
+	`
+	res, out := pipeline(t, src, specialize.Options{})
+	if res.Stats.LoopsUnrolled != 0 {
+		t.Errorf("unrolled an indeterminate loop:\n%s", out)
+	}
+}
+
+// figure3 is the paper's Figure 3 program.
+const figure3 = `
+function Rectangle(w, h) {
+	this.width = w;
+	this.height = h;
+}
+Rectangle.prototype.toString = function() {
+	return "[" + this.width + "x" + this.height + "]";
+};
+String.prototype.cap = function() {
+	return this[0].toUpperCase() + this.substr(1);
+};
+function defAccessors(prop) {
+	Rectangle.prototype["get" + prop.cap()] =
+		function() { return this[prop]; };
+	Rectangle.prototype["set" + prop.cap()] =
+		function(v) { this[prop] = v; };
+}
+var props = ["width", "height"];
+for (var i = 0; i < props.length; i++)
+	defAccessors(props[i]);
+var r = new Rectangle(20, 30);
+r.setWidth(r.getWidth() + 20);
+console.log(r.toString());
+`
+
+func TestFigure3Specialization(t *testing.T) {
+	res, out := pipeline(t, figure3, specialize.Options{})
+	st := res.Stats
+	if st.LoopsUnrolled != 1 || st.UnrolledIterations != 2 {
+		t.Errorf("loop not unrolled: %+v", st)
+	}
+	if st.ClonesCreated != 2 {
+		t.Errorf("want 2 defAccessors clones, got %d\n%s", st.ClonesCreated, out)
+	}
+	if st.AccessesStaticized < 4 {
+		t.Errorf("want >=4 staticized accesses (get/set x width/height), got %d\n%s", st.AccessesStaticized, out)
+	}
+	for _, want := range []string{"getWidth", "setWidth", "getHeight", "setHeight"} {
+		if !strings.Contains(out, "Rectangle.prototype."+want) {
+			t.Errorf("missing static write to %s:\n%s", want, out)
+		}
+	}
+	// The specialized program still computes [40x30].
+	if got := runProgram(t, out); !strings.Contains(got, "[40x30]") {
+		t.Errorf("specialized program output %q, want [40x30]\n%s", got, out)
+	}
+}
+
+// TestFigure3PointsToPrecision is the paper's §2.2 claim: on the baseline
+// program the getter call site resolves to getters, setters and toString;
+// on the specialized program it resolves to exactly one function.
+func TestFigure3PointsToPrecision(t *testing.T) {
+	countCallees := func(src string, wantPrecise bool) {
+		t.Helper()
+		mod, err := ir.Compile("p.js", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := pointsto.Analyze(mod, pointsto.Options{})
+		// Find the call site of r.getWidth() / its specialized form: a Call
+		// whose callee count we inspect via the GetField of "getWidth".
+		var callees int
+		found := false
+		mod.ForEachInstr(func(in ir.Instr, fn *ir.Function) {
+			c, ok := in.(*ir.Call)
+			if !ok {
+				return
+			}
+			// match calls on the line containing "getWidth"
+			if !strings.Contains(lineOf(src, in.IPos().Line), "getWidth()") {
+				return
+			}
+			n := len(res.Callees[c.ID])
+			if n > callees {
+				callees = n
+				found = true
+			}
+		})
+		if !found {
+			t.Fatalf("no getWidth call site found")
+		}
+		if wantPrecise && callees != 1 {
+			t.Errorf("specialized: getWidth call resolves to %d callees, want 1", callees)
+		}
+		if !wantPrecise && callees <= 1 {
+			t.Errorf("baseline: getWidth call resolves to %d callees, expected imprecision (>1)", callees)
+		}
+	}
+	countCallees(figure3, false)
+	_, out := pipeline(t, figure3, specialize.Options{})
+	countCallees(out, true)
+}
+
+func lineOf(src string, n int) string {
+	lines := strings.Split(src, "\n")
+	if n-1 < 0 || n-1 >= len(lines) {
+		return ""
+	}
+	return lines[n-1]
+}
+
+func TestClonePreservesBehaviour(t *testing.T) {
+	src := `
+		function greet(name) {
+			if (name === "world") {
+				return "hello, world!";
+			}
+			return "hi " + name;
+		}
+		console.log(greet("world"));
+		console.log(greet("world"));
+	`
+	_, out := pipeline(t, src, specialize.Options{})
+	if got, want := runProgram(t, out), runProgram(t, src); got != want {
+		t.Errorf("behaviour changed:\n%q vs %q\n%s", got, want, out)
+	}
+}
+
+// TestGeneralizedFacts: when every caller passes the same determinate
+// argument, the Generalize option specializes the original body in place
+// (the paper's §7 "shallower calling contexts" direction) — no clone
+// needed, and the dynamic property access staticizes inside the shared
+// function.
+func TestGeneralizedFacts(t *testing.T) {
+	src := `
+		var sink = {};
+		function install(name, v) {
+			sink["cfg" + name] = v;
+		}
+		install("Mode", 1);
+		install("Mode", 2);
+		console.log(sink.cfgMode);
+	`
+	// Without generalization: two contexts, two clones.
+	plain, plainOut := pipelineOpts(t, src, specialize.Options{})
+	_ = plainOut
+	// With generalization the original body staticizes directly.
+	gen, genOut := pipelineOpts(t, src, specialize.Options{Generalize: true})
+	if gen.Stats.AccessesStaticized == 0 {
+		t.Fatalf("generalized facts did not staticize: %+v\n%s", gen.Stats, genOut)
+	}
+	if !strings.Contains(genOut, "sink.cfgMode") {
+		t.Errorf("expected in-place staticization:\n%s", genOut)
+	}
+	// Behaviour preserved.
+	if got, want := runProgram(t, genOut), runProgram(t, src); got != want {
+		t.Errorf("behaviour changed: %q vs %q", got, want)
+	}
+	_ = plain
+}
+
+// TestGeneralizeRespectsDisagreement: differing values across contexts must
+// not generalize.
+func TestGeneralizeRespectsDisagreement(t *testing.T) {
+	src := `
+		var sink = {};
+		function install(name, v) {
+			sink["cfg" + name] = v;
+		}
+		install("A", 1);
+		install("B", 2);
+		console.log(sink.cfgA, sink.cfgB);
+	`
+	gen, genOut := pipelineOpts(t, src, specialize.Options{Generalize: true, MaxCloneDepth: -1})
+	// MaxCloneDepth<0 suppresses cloning so only generalization could fire;
+	// it must not, since name differs per context.
+	if strings.Contains(genOut, "sink.cfgA = v") || strings.Contains(genOut, "sink.cfgB = v") {
+		t.Errorf("unsound generalization:\n%s", genOut)
+	}
+	if got, want := runProgram(t, genOut), runProgram(t, src); got != want {
+		t.Errorf("behaviour changed: %q vs %q\n%s", got, want, genOut)
+	}
+	_ = gen
+}

@@ -1,0 +1,289 @@
+package workload
+
+// EvalBenchmark is one program of the synthetic eval-elimination corpus,
+// modeled on the Jensen et al. [17] suite used in §5.2. Each program
+// embodies one of the outcome categories the paper reports; the pipeline in
+// internal/evalelim classifies them by actually running the analysis, not
+// by reading these annotations.
+type EvalBenchmark struct {
+	Name   string
+	Source string
+	// Runnable is false for the four programs the paper had to disregard
+	// ("3 benchmarks that are missing required code, and one that cannot be
+	// run in ZombieJS").
+	Runnable bool
+	// SyntacticConst marks benchmarks whose eval argument is a syntactic
+	// constant at the call site, i.e. the fragment a purely syntactic
+	// rewriter (unevalizer-style) can also handle.
+	SyntacticConst bool
+	// Note describes the embodied category for documentation.
+	Note string
+}
+
+// EvalCorpus returns the 28 benchmarks.
+func EvalCorpus() []EvalBenchmark {
+	var out []EvalBenchmark
+	add := func(name, note, src string, runnable, syntactic bool) {
+		out = append(out, EvalBenchmark{Name: name, Source: src, Runnable: runnable, SyntacticConst: syntactic, Note: note})
+	}
+
+	// --- 1-14: fully specializable without the DetDOM assumption. ---
+
+	add("const-expr", "literal eval argument", `
+var r = eval("6 * 7");
+console.log(r);
+`, true, true)
+
+	add("const-global", "literal eval reading a global", `
+var config = {mode: "fast", depth: 3};
+var depth = eval("config.depth");
+console.log(depth);
+`, true, true)
+
+	add("const-call", "literal eval invoking a function", `
+function double(x) { return x + x; }
+var r = eval("double(21)");
+console.log(r);
+`, true, true)
+
+	add("concat-ivymap", "Figure 4: argument built by string concatenation", `
+var ivymap = window.ivymap || {};
+ivymap["pc.sy.banner.tcck."] = function() { console.log("tcck"); };
+ivymap["pc.sy.banner.duilian."] = function() { console.log("duilian"); };
+function showIvyViaJs(locationId) {
+	var _f = undefined;
+	var _fconv = "ivymap['" + locationId + "']";
+	try {
+		_f = eval(_fconv);
+		if (_f != undefined) {
+			_f();
+		}
+	} catch (e) {
+	}
+}
+showIvyViaJs('pc.sy.banner.tcck.');
+showIvyViaJs('pc.sy.banner.duilian.');
+`, true, false)
+
+	add("concat-field", "argument concatenated from a determinate variable", `
+var registry = {alpha: 1, beta: 2};
+var which = "alpha";
+var v = eval("registry." + which);
+console.log(v);
+`, true, false)
+
+	add("loop-det-array", "eval in a loop with a determinate bound", `
+var handlers = {h0: function(){return 0;}, h1: function(){return 1;}};
+var names = ["h0", "h1"];
+var sum = 0;
+for (var i = 0; i < names.length; i++) {
+	var f = eval("handlers." + names[i]);
+	sum = sum + f();
+}
+console.log(sum);
+`, true, false)
+
+	add("forin-det", "eval driven by for-in over a determinate object", `
+var fields = {width: 10, height: 20};
+var total = 0;
+for (var key in fields) {
+	total = total + eval("fields." + key);
+}
+console.log(total);
+`, true, false)
+
+	add("eval-defines-fn", "eval result called later", `
+var mk = eval("(function(n) { return n + 1; })");
+console.log(mk(41));
+`, true, true)
+
+	add("eval-ternary-arg", "argument from a determinate conditional", `
+var debug = false;
+var expr = debug ? "1 + 1" : "2 + 2";
+var r = eval(expr);
+console.log(r);
+`, true, false)
+
+	add("eval-nested", "eval of code containing eval", `
+var inner = eval("eval('5 + 5')");
+console.log(inner);
+`, true, true)
+
+	add("eval-json-like", "configuration object from eval", `
+var cfg = eval("({retries: 3, verbose: false})");
+console.log(cfg.retries);
+`, true, true)
+
+	add("eval-fn-table", "dispatch table key determinate via branch pruning", `
+var ops = {add: function(a, b) { return a + b; }, mul: function(a, b) { return a * b; }};
+var mode = "add";
+var op;
+if (mode === "add") {
+	op = eval("ops.add");
+} else {
+	op = eval("ops.mul");
+}
+console.log(op(2, 3));
+`, true, false)
+
+	add("eval-var-indirection", "argument passes through locals", `
+function run(code) {
+	var snippet = code;
+	return eval(snippet);
+}
+console.log(run("3 + 4"));
+`, true, false)
+
+	add("eval-getter-gen", "accessor body built by concatenation", `
+var model = {width: 7};
+function makeGetter(prop) {
+	return eval("(function() { return model." + prop + "; })");
+}
+var getWidth = makeGetter("width");
+console.log(getWidth());
+`, true, false)
+
+	// --- 15: genuinely indeterminate argument. ---
+	add("indet-input", "eval of user input: genuinely indeterminate", `
+var code = "" + __input("expr");
+var r = 0;
+try { r = eval(code); } catch (e) { r = -1; }
+console.log(r);
+`, true, false)
+
+	// --- 16-19: uses not covered by the dynamic analysis but statically
+	// reachable (WALA-reachable, in the paper's terms). 16 and 17 sit in
+	// dispatch-table entries selected by indeterminate input, so the
+	// dynamic run never enters them while the static call graph does. 18
+	// and 19 are guarded by DOM-dependent branches containing DOM calls
+	// (which abort counterfactual exploration); a determinate DOM resolves
+	// the guards to false, letting branch pruning remove the eval (the
+	// paper's "detection of unreachable code"). ---
+	add("uncovered-dispatch", "eval in an input-selected dispatch-table entry", `
+function plainMode() { return "plain"; }
+function richMode() { return eval("'rich:' + 'mode'"); }
+var table = {plain: plainMode, rich: richMode};
+var pick = __input("mode") ? "rich" : "plain";
+var handler = table[pick];
+console.log(handler());
+`, true, true)
+
+	add("uncovered-command", "eval in a command handler the run never selects", `
+var commands = {};
+commands.help = function() { return "usage: ..."; };
+commands.exec = function(arg) { return eval("1 + " + arg); };
+function run(name, arg) {
+	var c = commands[name];
+	if (c) { return c(arg); }
+	return "unknown";
+}
+console.log(run(__input("cmd") ? "exec" : "help", "2"));
+`, true, false)
+
+	add("uncovered-dom-branch", "eval behind a DOM feature test (prunable with DetDOM)", `
+var probe = document.createElement("canvas");
+if (probe.tagName !== "CANVAS") {
+	var shimDiv = document.createElement("div");
+	shimDiv.setAttribute("role", "canvas-shim");
+	console.log(eval("'no canvas support'"));
+}
+console.log("checked");
+`, true, true)
+
+	add("uncovered-dom-legacy", "legacy-browser eval path (prunable with DetDOM)", `
+var ua = navigator.userAgent;
+if (ua.indexOf("MSIE 6") >= 0) {
+	var marker = document.createElement("div");
+	marker.setAttribute("class", "ie6");
+	document.body.appendChild(marker);
+	var shim = eval("(function(){ return 'shimmed'; })");
+	console.log(shim());
+}
+console.log("modern");
+`, true, true)
+
+	// --- 20: heap flush makes the callee of eval indeterminate; DetDOM
+	// avoids the flush. ---
+	add("indet-callee", "eval reference stored on the heap across DOM flushes", `
+var util = {};
+util.e = eval;
+function domNoise() {
+	var els = document.getElementsByTagName("div");
+	for (var i = 0; i < els.length; i++) {
+		var act = els[i].tagName === "DIV" ? markA : markB;
+		act(els[i]);
+	}
+}
+function markA(el) { el.setAttribute("m", "a"); return 1; }
+function markB(el) { el.setAttribute("m", "b"); return 2; }
+domNoise();
+console.log(util.e("20 + 22"));
+`, true, false)
+
+	// --- 21-24: eval inside loops. 21-23 have DOM-derived bounds
+	// (determinate under DetDOM, enabling unrolling); 24 is truly
+	// indeterminate. ---
+	add("loop-dom-bound-1", "loop bound from childNodes.length", `
+var kids = document.getElementById("items").childNodes;
+var acc = 0;
+var exprs = ["1", "2", "3"];
+for (var i = 0; i < kids.length; i++) {
+	acc = acc + eval(exprs[i]);
+}
+console.log(acc);
+`, true, false)
+
+	add("loop-dom-bound-2", "loop bound from getElementsByTagName", `
+var rows = document.getElementsByTagName("li");
+var total = 0;
+var weights = {w0: 1, w1: 2, w2: 3};
+for (var i = 0; i < rows.length; i++) {
+	total = total + eval("weights.w" + i);
+}
+console.log(total);
+`, true, false)
+
+	add("loop-dom-bound-3", "loop bound derived from document.title", `
+var title = document.title;
+var count = title.charAt(0) === "d" ? 2 : 3;
+var out = 0;
+for (var i = 0; i < count; i++) {
+	out = out + eval("10 + " + i);
+}
+console.log(out);
+`, true, false)
+
+	add("loop-indet-bound", "loop bound genuinely indeterminate", `
+var n = Math.floor(Math.random() * 3) + 1;
+var s = 0;
+for (var i = 0; i < n; i++) {
+	s = s + eval("2 * " + i);
+}
+console.log(s);
+`, true, false)
+
+	// --- 25-27: missing required code (cannot run). ---
+	add("missing-lib-1", "calls a library that is not part of the benchmark", `
+initTracker();
+console.log(eval("tracker.id"));
+`, false, false)
+
+	add("missing-lib-2", "reads globals an absent script defines", `
+var widget = WidgetFactory.create("main");
+widget.render(eval("widget.template"));
+`, false, false)
+
+	add("missing-lib-3", "requires an absent module loader", `
+var mod = require("analytics");
+mod.send(eval("payload"));
+`, false, false)
+
+	// --- 28: cannot run under the DOM emulation. ---
+	add("unsupported-dom", "uses a DOM API the emulator does not provide", `
+var ctx = document.getElementById("main").getContext("2d");
+ctx.fillRect(0, 0, 10, 10);
+console.log(eval("'drawn'"));
+`, false, false)
+
+	return out
+}

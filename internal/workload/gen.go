@@ -1,0 +1,438 @@
+// Package workload provides the program corpora used by tests and
+// benchmarks: a seeded random mini-JS program generator (for the
+// differential soundness test of Theorem 1), synthetic jQuery-style
+// libraries reproducing the per-version characteristics of Table 1, and the
+// 28-program eval corpus modeled on the Jensen et al. suite used in §5.2.
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GenConfig parameterizes the random program generator.
+type GenConfig struct {
+	// Seed drives the generator's own PRNG (independent of the seeds used
+	// to run the generated program).
+	Seed uint64
+	// MaxStmts bounds the top-level statement count (default 25).
+	MaxStmts int
+	// MaxDepth bounds statement nesting (default 3).
+	MaxDepth int
+	// IndetPercent is the percentage of leaf expressions drawn from
+	// indeterminate sources (Math.random, __input) — default 25.
+	IndetPercent int
+	// WithForIn enables for-in loops.
+	WithForIn bool
+	// NamePrefix prefixes every generated identifier, letting callers embed
+	// several generated fragments in one program without collisions.
+	NamePrefix string
+}
+
+type gen struct {
+	cfg    GenConfig
+	rng    uint64
+	b      strings.Builder
+	indent int
+	names  int
+	// scopes track declared variables by kind so generated programs never
+	// throw (only initialized variables are read, only functions called).
+	scopes []*genScope
+}
+
+type genScope struct {
+	nums    []string
+	strs    []string
+	bools   []string
+	objs    []objInfo
+	arrs    []string
+	funcs   []fnInfo
+	isFunc  bool
+	loopVar string
+}
+
+type objInfo struct {
+	name  string
+	props []string
+}
+
+type fnInfo struct {
+	name   string
+	params int
+}
+
+// RandomProgram generates a deterministic, terminating, throw-free mini-JS
+// program from the seed. Programs mix determinate computation with
+// indeterminate sources, conditionals (exercising post-branch marking and
+// counterfactual execution), bounded loops, closures, objects with static
+// and computed property accesses, and optional for-in loops.
+func RandomProgram(cfg GenConfig) string {
+	if cfg.MaxStmts == 0 {
+		cfg.MaxStmts = 25
+	}
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 3
+	}
+	if cfg.IndetPercent == 0 {
+		cfg.IndetPercent = 25
+	}
+	g := &gen{cfg: cfg, rng: cfg.Seed*6364136223846793005 + 1442695040888963407}
+	g.scopes = []*genScope{{isFunc: true}}
+	n := 5 + g.intn(cfg.MaxStmts)
+	for i := 0; i < n; i++ {
+		g.stmt(cfg.MaxDepth)
+	}
+	// Read every variable at the end so the analysis records facts for the
+	// final state and the checker compares them.
+	sc := g.scopes[0]
+	for _, v := range sc.nums {
+		g.line("__observe(%q, %s);", v, v)
+	}
+	for _, v := range sc.strs {
+		g.line("__observe(%q, %s);", v, v)
+	}
+	for _, v := range sc.bools {
+		g.line("__observe(%q, %s);", v, v)
+	}
+	for _, o := range sc.objs {
+		for _, p := range o.props {
+			g.line("__observe(%q, %s.%s);", o.name+"."+p, o.name, p)
+		}
+	}
+	return g.b.String()
+}
+
+func (g *gen) next() uint64 {
+	g.rng ^= g.rng >> 12
+	g.rng ^= g.rng << 25
+	g.rng ^= g.rng >> 27
+	return g.rng * 2685821657736338717
+}
+
+func (g *gen) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(g.next() % uint64(n))
+}
+
+func (g *gen) pct(p int) bool { return g.intn(100) < p }
+
+func (g *gen) fresh(prefix string) string {
+	g.names++
+	return fmt.Sprintf("%s%s%d", g.cfg.NamePrefix, prefix, g.names)
+}
+
+func (g *gen) line(format string, args ...any) {
+	g.b.WriteString(strings.Repeat("  ", g.indent))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+func (g *gen) cur() *genScope { return g.scopes[len(g.scopes)-1] }
+
+// allNums collects visible numeric variables across scopes, including loop
+// variables (read-only).
+func (g *gen) allNums() []string {
+	var out []string
+	for _, sc := range g.scopes {
+		out = append(out, sc.nums...)
+		if sc.loopVar != "" {
+			out = append(out, sc.loopVar)
+		}
+	}
+	return out
+}
+
+// assignableNums excludes loop variables, which must never be written lest
+// generated loops diverge.
+func (g *gen) assignableNums() []string {
+	var out []string
+	for _, sc := range g.scopes {
+		out = append(out, sc.nums...)
+	}
+	return out
+}
+
+func (g *gen) allStrs() []string {
+	var out []string
+	for _, sc := range g.scopes {
+		out = append(out, sc.strs...)
+	}
+	return out
+}
+
+func (g *gen) allObjs() []objInfo {
+	var out []objInfo
+	for _, sc := range g.scopes {
+		out = append(out, sc.objs...)
+	}
+	return out
+}
+
+func (g *gen) allFuncs() []fnInfo {
+	var out []fnInfo
+	for _, sc := range g.scopes {
+		out = append(out, sc.funcs...)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// numExpr emits a numeric expression of bounded depth.
+func (g *gen) numExpr(depth int) string {
+	if depth <= 0 || g.pct(30) {
+		return g.numLeaf()
+	}
+	switch g.intn(6) {
+	case 0:
+		return fmt.Sprintf("(%s %s %s)", g.numExpr(depth-1), g.pick("+", "-", "*"), g.numExpr(depth-1))
+	case 1:
+		return fmt.Sprintf("Math.floor(%s)", g.numExpr(depth-1))
+	case 2:
+		return fmt.Sprintf("(-%s)", g.numExpr(depth-1))
+	case 3:
+		if objs := g.allObjs(); len(objs) > 0 {
+			o := objs[g.intn(len(objs))]
+			if len(o.props) > 0 {
+				return fmt.Sprintf("%s.%s", o.name, o.props[g.intn(len(o.props))])
+			}
+		}
+		return g.numLeaf()
+	case 4:
+		if fns := g.allFuncs(); len(fns) > 0 {
+			f := fns[g.intn(len(fns))]
+			args := make([]string, f.params)
+			for i := range args {
+				args[i] = g.numExpr(depth - 1)
+			}
+			return fmt.Sprintf("%s(%s)", f.name, strings.Join(args, ", "))
+		}
+		return g.numLeaf()
+	default:
+		return fmt.Sprintf("(%s ? %s : %s)", g.boolExpr(depth-1), g.numExpr(depth-1), g.numExpr(depth-1))
+	}
+}
+
+func (g *gen) numLeaf() string {
+	if g.pct(g.cfg.IndetPercent) {
+		if g.pct(50) {
+			return "Math.random()"
+		}
+		return fmt.Sprintf("__input(%q)", g.pick("a", "b", "c"))
+	}
+	if ns := g.allNums(); len(ns) > 0 && g.pct(60) {
+		return ns[g.intn(len(ns))]
+	}
+	return fmt.Sprint(g.intn(100))
+}
+
+func (g *gen) strExpr(depth int) string {
+	if depth <= 0 || g.pct(40) {
+		return g.strLeaf()
+	}
+	switch g.intn(4) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.strExpr(depth-1), g.strExpr(depth-1))
+	case 1:
+		return fmt.Sprintf("(\"n\" + %s)", g.numExpr(depth-1))
+	case 2:
+		return fmt.Sprintf("%s.toUpperCase()", g.strLeaf())
+	default:
+		return fmt.Sprintf("%s.substr(0, 2)", g.strLeaf())
+	}
+}
+
+func (g *gen) strLeaf() string {
+	if ss := g.allStrs(); len(ss) > 0 && g.pct(60) {
+		return ss[g.intn(len(ss))]
+	}
+	return fmt.Sprintf("%q", g.pick("alpha", "beta", "gamma", "delta", "x", "yy"))
+}
+
+func (g *gen) boolExpr(depth int) string {
+	if depth <= 0 || g.pct(40) {
+		return fmt.Sprintf("(%s %s %s)", g.numExpr(0), g.pick("<", ">", "<=", ">=", "===", "!=="), g.numExpr(0))
+	}
+	switch g.intn(3) {
+	case 0:
+		return fmt.Sprintf("(%s && %s)", g.boolExpr(depth-1), g.boolExpr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s || %s)", g.boolExpr(depth-1), g.boolExpr(depth-1))
+	default:
+		return fmt.Sprintf("(!%s)", g.boolExpr(depth-1))
+	}
+}
+
+func (g *gen) pick(opts ...string) string { return opts[g.intn(len(opts))] }
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (g *gen) stmt(depth int) {
+	sc := g.cur()
+	choice := g.intn(12)
+	switch {
+	case choice <= 2: // numeric var
+		name := g.fresh("n")
+		g.line("var %s = %s;", name, g.numExpr(2))
+		sc.nums = append(sc.nums, name)
+	case choice == 3: // string var
+		name := g.fresh("s")
+		g.line("var %s = %s;", name, g.strExpr(2))
+		sc.strs = append(sc.strs, name)
+	case choice == 4: // object literal
+		name := g.fresh("o")
+		nprops := 1 + g.intn(3)
+		var props, names []string
+		for i := 0; i < nprops; i++ {
+			p := fmt.Sprintf("p%d", i)
+			props = append(props, fmt.Sprintf("%s: %s", p, g.numExpr(1)))
+			names = append(names, p)
+		}
+		g.line("var %s = {%s};", name, strings.Join(props, ", "))
+		sc.objs = append(sc.objs, objInfo{name: name, props: names})
+	case choice == 5: // assignment
+		if ns := g.assignableNums(); len(ns) > 0 {
+			g.line("%s = %s;", ns[g.intn(len(ns))], g.numExpr(2))
+		} else {
+			name := g.fresh("n")
+			g.line("var %s = %s;", name, g.numExpr(2))
+			sc.nums = append(sc.nums, name)
+		}
+	case choice == 6: // property write (static or computed)
+		if objs := g.allObjs(); len(objs) > 0 {
+			o := objs[g.intn(len(objs))]
+			if g.pct(70) && len(o.props) > 0 {
+				g.line("%s.%s = %s;", o.name, o.props[g.intn(len(o.props))], g.numExpr(1))
+			} else {
+				g.line("%s[%s] = %s;", o.name, g.strExpr(1), g.numExpr(1))
+			}
+		} else {
+			g.stmtFallback()
+		}
+	case choice == 7 && depth > 0: // if / if-else
+		g.line("if (%s) {", g.boolExpr(1))
+		g.nest(depth)
+		if g.pct(50) {
+			g.line("} else {")
+			g.nest(depth)
+		}
+		g.line("}")
+	case choice == 8 && depth > 0: // bounded for loop
+		iv := g.fresh("i")
+		g.line("for (var %s = 0; %s < %d; %s++) {", iv, iv, 1+g.intn(4), iv)
+		g.scopes = append(g.scopes, &genScope{loopVar: iv})
+		g.indent++
+		n := 1 + g.intn(3)
+		for i := 0; i < n; i++ {
+			g.stmt(depth - 1)
+		}
+		g.indent--
+		g.scopes = g.scopes[:len(g.scopes)-1]
+		g.line("}")
+	case choice == 9 && depth > 0: // function declaration
+		name := g.fresh("f")
+		params := g.intn(3)
+		ps := make([]string, params)
+		for i := range ps {
+			ps[i] = fmt.Sprintf("a%d", i)
+		}
+		g.line("function %s(%s) {", name, strings.Join(ps, ", "))
+		fs := &genScope{isFunc: true, nums: append([]string{}, ps...)}
+		g.scopes = append(g.scopes, fs)
+		g.indent++
+		n := 1 + g.intn(3)
+		for i := 0; i < n; i++ {
+			g.stmt(depth - 1)
+		}
+		g.line("return %s;", g.numExpr(1))
+		g.indent--
+		g.scopes = g.scopes[:len(g.scopes)-1]
+		g.line("}")
+		sc.funcs = append(sc.funcs, fnInfo{name: name, params: params})
+	case choice == 10 && g.cfg.WithForIn: // for-in over a known object
+		if objs := g.allObjs(); len(objs) > 0 {
+			o := objs[g.intn(len(objs))]
+			kv := g.fresh("k")
+			acc := g.fresh("s")
+			g.line("var %s = \"\";", acc)
+			sc.strs = append(sc.strs, acc)
+			g.line("for (var %s in %s) { %s = %s + %s; }", kv, o.name, acc, acc, kv)
+		} else {
+			g.stmtFallback()
+		}
+	case choice == 11 && depth > 0:
+		g.tryCatch(depth)
+	default:
+		g.whileLoop(depth)
+	}
+}
+
+// tryCatch emits a try/catch whose throw is guarded by a (possibly
+// indeterminate) condition, exercising the path-indeterminate exception
+// handling of the instrumented semantics.
+func (g *gen) tryCatch(depth int) {
+	sc := g.cur()
+	caught := g.fresh("n")
+	g.line("var %s = 0;", caught)
+	sc.nums = append(sc.nums, caught)
+	ev := g.fresh("e")
+	g.line("try {")
+	g.indent++
+	g.line("if (%s) { throw %s; }", g.boolExpr(1), g.numExpr(1))
+	if depth > 1 {
+		g.scopes = append(g.scopes, &genScope{})
+		g.stmt(depth - 1)
+		g.scopes = g.scopes[:len(g.scopes)-1]
+	}
+	g.indent--
+	g.line("} catch (%s) {", ev)
+	g.indent++
+	g.line("%s = %s + 1;", caught, ev)
+	g.indent--
+	g.line("}")
+}
+
+// whileLoop emits a while loop bounded by a counter but with a possibly
+// indeterminate early-exit condition, exercising the loop-continuation
+// frames and the counterfactual loop tail.
+func (g *gen) whileLoop(depth int) {
+	if depth <= 0 {
+		g.stmtFallback()
+		return
+	}
+	w := g.fresh("w")
+	g.line("var %s = 0;", w)
+	g.line("while (%s < %d && %s < %s) {", w, 2+g.intn(4), w, g.numExpr(1))
+	g.scopes = append(g.scopes, &genScope{loopVar: w})
+	g.indent++
+	n := 1 + g.intn(2)
+	for i := 0; i < n; i++ {
+		g.stmt(depth - 1)
+	}
+	g.line("%s = %s + 1;", w, w)
+	g.indent--
+	g.scopes = g.scopes[:len(g.scopes)-1]
+	g.line("}")
+	g.cur().nums = append(g.cur().nums, w)
+}
+
+func (g *gen) stmtFallback() {
+	name := g.fresh("n")
+	g.line("var %s = %s;", name, g.numExpr(1))
+	g.cur().nums = append(g.cur().nums, name)
+}
+
+func (g *gen) nest(depth int) {
+	g.scopes = append(g.scopes, &genScope{})
+	g.indent++
+	n := 1 + g.intn(3)
+	for i := 0; i < n; i++ {
+		g.stmt(depth - 1)
+	}
+	g.indent--
+	g.scopes = g.scopes[:len(g.scopes)-1]
+}

@@ -1,0 +1,437 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// JQueryVersion names one synthetic library variant. Each variant is
+// engineered to embody the per-version characteristic §5.1 attributes the
+// Table 1 outcome to:
+//
+//	1.0: eager reflective initialization — accessor and event-shortcut
+//	     methods installed through computed property names in loops (one
+//	     needing a 21-fold unroll), plus DOM feature detection;
+//	1.1: like 1.0, but the computed names also depend on DOM reads
+//	     (userAgent vendor prefix), so without a determinate DOM the
+//	     critical writes stay dynamic;
+//	1.2: the expensive initialization is lazy: installed behind a ready
+//	     callback never invoked without client code, so it is statically
+//	     dead; the page-level polling it does at runtime floods the dynamic
+//	     analysis with flushes unless the DOM is determinate;
+//	1.3: the reflective initialization happens inside event handlers, whose
+//	     entry flushes defeat the dynamic analysis even with a determinate
+//	     DOM.
+type JQueryVersion string
+
+// Supported versions.
+const (
+	JQ10 JQueryVersion = "1.0"
+	JQ11 JQueryVersion = "1.1"
+	JQ12 JQueryVersion = "1.2"
+	JQ13 JQueryVersion = "1.3"
+)
+
+// JQueryVersions lists the Table 1 rows in order.
+var JQueryVersions = []JQueryVersion{JQ10, JQ11, JQ12, JQ13}
+
+// attrProps is the 21-name accessor list (the paper: "one loop had to be
+// unrolled 21 times to enable specialization of two critical property
+// writes").
+var attrProps = []string{
+	"width", "height", "top", "left", "right", "bottom", "color",
+	"background", "border", "margin", "padding", "opacity", "display",
+	"position", "overflow", "visibility", "zIndex", "fontSize",
+	"lineHeight", "minWidth", "maxWidth",
+}
+
+// eventNames generates the event shortcut methods, jQuery-style.
+var eventNames = []string{
+	"click", "dblclick", "focus", "blur", "submit", "change", "select",
+	"keydown", "keypress", "keyup", "mouseover", "mouseout", "mousedown",
+	"mouseup", "mousemove", "load", "unload", "error", "resize", "scroll",
+}
+
+func jsStringArray(names []string) string {
+	quoted := make([]string, len(names))
+	for i, n := range names {
+		quoted[i] = fmt.Sprintf("%q", n)
+	}
+	return "[" + strings.Join(quoted, ", ") + "]"
+}
+
+// jqCore is the version-independent part of the library: the polymorphic
+// constructor (Figure 1's $), the method table, and utilities.
+const jqCore = `
+function jQuery(selector) {
+	if (typeof selector === "string") {
+		if (selector.charAt(0) === "<") {
+			var holder = document.createElement("div");
+			holder.innerHTML = selector;
+			this.elems = [holder.firstChild];
+		} else if (selector.charAt(0) === "#") {
+			this.elems = [document.getElementById(selector.substr(1))];
+		} else {
+			this.elems = document.getElementsByTagName(selector);
+		}
+	} else if (typeof selector === "function") {
+		jQuery.readyList.push(selector);
+		this.elems = [];
+	} else {
+		this.elems = [selector];
+	}
+	this.length = this.elems.length;
+	this.attrCache = {};
+	this.handlers = {};
+	this.defaults = {};
+	this.dirty = {};
+}
+jQuery.readyList = [];
+jQuery.fn = jQuery.prototype;
+
+jQuery.fn.get = function(i) { return this.elems[i]; };
+jQuery.fn.size = function() { return this.length; };
+jQuery.fn.each = function(fn) {
+	for (var ei = 0; ei < this.elems.length; ei++) {
+		fn.call(this.elems[ei], ei);
+	}
+	return this;
+};
+jQuery.fn.bind = function(type, fn) {
+	this.handlers[type] = fn;
+	return this;
+};
+jQuery.fn.trigger = function(type) {
+	var h = this.handlers[type];
+	if (h) { h.call(this); }
+	return this;
+};
+jQuery.fn.attr = function(name, value) {
+	if (value === undefined) { return this.attrCache[name]; }
+	this.attrCache[name] = value;
+	return this;
+};
+jQuery.fn.html = function(markup) {
+	this.each(function() { this.innerHTML = markup; });
+	return this;
+};
+jQuery.fn.defaultFor = function(name) { return this.defaults[name]; };
+jQuery.fn.invalidate = function(name) {
+	this.dirty[name] = true;
+	return this;
+};
+jQuery.fn.notify = function(name, v) {
+	var h = this.handlers[name];
+	if (h) { h.call(this, v); }
+	return this;
+};
+jQuery.extend = function(target, source) {
+	for (var k in source) { target[k] = source[k]; }
+	return target;
+};
+function $(s) { return new jQuery(s); }
+
+function cap(s) { return s.charAt(0).toUpperCase() + s.substr(1); }
+`
+
+// jqAccessorLoop installs the 21 get/set accessor pairs through computed
+// property names; prefixExpr lets 1.1 make the names DOM-dependent.
+func jqAccessorLoop(prefixGet, prefixSet string) string {
+	return fmt.Sprintf(`
+var attrProps = %s;
+function defAccessor(name) {
+	jQuery.fn[%s + cap(name)] = function() {
+		var cached = this.attr(name);
+		if (cached === undefined) { cached = this.defaultFor(name); }
+		return cached;
+	};
+	jQuery.fn[%s + cap(name)] = function(v) {
+		this.attr(name, v);
+		this.invalidate(name);
+		return this.notify(name, v);
+	};
+}
+for (var pi = 0; pi < attrProps.length; pi++) {
+	defAccessor(attrProps[pi]);
+}
+`, jsStringArray(attrProps), prefixGet, prefixSet)
+}
+
+// jqHooksLoop installs per-property css hook objects through computed
+// names, a second reflective population that the baseline smears together
+// with everything else.
+const jqHooksLoopSrc = `
+jQuery.cssHooks = {};
+function defHook(name) {
+	var hook = {
+		prop: name,
+		get: function(el) { return el.attr(name); },
+		set: function(el, v) { el.attr(name, v); return el; }
+	};
+	jQuery.cssHooks["hook" + cap(name)] = hook;
+	jQuery.fn["css" + cap(name)] = function(v) {
+		var h = jQuery.cssHooks["hook" + cap(name)];
+		if (v === undefined) { return h.get(this); }
+		return h.set(this, v);
+	};
+}
+for (var hi = 0; hi < attrProps.length; hi++) {
+	defHook(attrProps[hi]);
+}
+`
+
+// jqEventLoop installs the event shortcut methods.
+const jqEventLoopSrc = `
+function defShortcut(type) {
+	jQuery.fn[type] = function(fn) {
+		if (fn === undefined) { return this.trigger(type); }
+		return this.bind(type, fn);
+	};
+}
+for (var si = 0; si < eventNames.length; si++) {
+	defShortcut(eventNames[si]);
+}
+`
+
+// jqFeatureDetect performs browser feature detection against the DOM; its
+// results are indeterminate without the DetDOM assumption.
+const jqFeatureDetect = `
+var testDiv = document.createElement("div");
+testDiv.innerHTML = "<link/><table></table><a href='x'>a</a>";
+jQuery.support = {
+	htmlSerialize: testDiv.getElementsByTagName("link").length > 0,
+	tbody: testDiv.getElementsByTagName("tbody").length === 0,
+	anchors: testDiv.getElementsByTagName("a").length === 1
+};
+var ua = navigator.userAgent;
+jQuery.browser = {
+	mozilla: ua.indexOf("Gecko") >= 0,
+	msie: ua.indexOf("MSIE") >= 0,
+	webkit: ua.indexOf("WebKit") >= 0
+};
+if (jQuery.browser.msie) {
+	jQuery.fn.fixAttach = function(type, fn) {
+		var probe = document.createElement("span");
+		probe.setAttribute("data-ev", type);
+		return this.bind(type, fn);
+	};
+}
+if (!jQuery.support.htmlSerialize) {
+	jQuery.fn.cleanHTML = function(h) {
+		var wrapper = document.createElement("div");
+		wrapper.innerHTML = "<div>" + h + "</div>";
+		return wrapper.firstChild;
+	};
+}
+// Normalization pass over the document: per-element dispatch on DOM state.
+// Every callee lookup below is DOM-derived, so without the DetDOM
+// assumption each call is indeterminate and costs a heap flush — the bulk
+// of the flush counts in Table 1's Spec column.
+function normBlock(el) { el.setAttribute("data-norm", "block"); return 1; }
+function normInline(el) { el.setAttribute("data-norm", "inline"); return 2; }
+var allElems = document.getElementsByTagName("*");
+for (var ni = 0; ni < allElems.length; ni++) {
+	var el = allElems[ni];
+	var normalizer = el.tagName === "DIV" ? normBlock : normInline;
+	normalizer(el);
+}
+`
+
+// jqExpando models jQuery's unique expando stamping: the id derives from
+// Date.now, an indeterminate source even under the DetDOM assumption, so
+// the dispatch below accounts for the small residual flush counts in the
+// Spec+DetDOM column.
+const jqExpando = `
+jQuery.expando = "jq" + Date.now();
+function stampEven(o) { o[jQuery.expando] = 0; return o; }
+function stampOdd(o) { o[jQuery.expando] = 1; return o; }
+var stamper = Date.now() - Math.floor(Date.now()) >= 0 && Date.now() % 2 === 0 ? stampEven : stampOdd;
+stamper(jQuery.fn);
+`
+
+// jqUsage exercises the installed API so the call sites the static analysis
+// must resolve are real.
+const jqUsage = `
+var box = $("#main");
+box.setWidth(100).setHeight(50).setColor("red");
+var w = box.getWidth();
+var h = box.getHeight();
+box.setTop(w + h).setLeft(w - h);
+box.attr("title", "box");
+box.cssOpacity(0.5);
+var side = $("#content");
+side.setMargin(4).setPadding(8);
+side.cssBorder("1px");
+var banner = $("#banner");
+banner.setBackground("blue").setDisplay("block");
+$("#content").each(function(i) { var el = this; });
+$("div").bind("refresh", function() { return 1; });
+var items = $("ul");
+items.click(function() { return items.size(); });
+items.keyup(function() { return 2; });
+items.mouseover(function() { return banner.getBackground(); });
+var form = $("#mainform");
+form.submit(function() { return form.attr("title"); });
+form.setVisibility("hidden");
+window.jQuery = jQuery;
+window.$ = $;
+`
+
+// JQuery returns the synthetic library source for a version. The page
+// driver (tests and benchmarks) appends nothing: each source is a complete
+// program run against the DOM emulation.
+func JQuery(v JQueryVersion) string {
+	var b strings.Builder
+	b.WriteString("var eventNames = " + jsStringArray(eventNames) + ";\n")
+	switch v {
+	case JQ10:
+		b.WriteString(jqCore)
+		b.WriteString(jqAccessorLoop(`"get"`, `"set"`))
+		b.WriteString(jqHooksLoopSrc)
+		b.WriteString(jqEventLoopSrc)
+		b.WriteString(jqFeatureDetect)
+		b.WriteString(jqUsage)
+		b.WriteString(jqExpando)
+	case JQ11:
+		b.WriteString(jqCore)
+		// The vendor prefix is computed from the user agent: a DOM read.
+		b.WriteString(`
+var vendor = navigator.userAgent.indexOf("Gecko") >= 0 ? "get" : "Get";
+var vendorSet = navigator.userAgent.indexOf("Gecko") >= 0 ? "set" : "Set";
+`)
+		b.WriteString(jqAccessorLoop("vendor", "vendorSet"))
+		b.WriteString(jqHooksLoopSrc)
+		b.WriteString(jqEventLoopSrc)
+		b.WriteString(jqFeatureDetect)
+		b.WriteString(jqUsage)
+		b.WriteString(jqExpando)
+		b.WriteString(`
+// 1.1 also stamps a session nonce the same indeterminate way.
+var nonceStamper = Date.now() % 3 === 0 ? stampEven : stampOdd;
+nonceStamper(jQuery.readyList);
+`)
+	case JQ12:
+		b.WriteString(jqCore)
+		// Lazy initialization: the reflective setup only runs from ready(),
+		// which no code on this page calls — statically dead without
+		// client code (the paper: "complex initialization code executes
+		// lazily; without client code, this code is dead").
+		b.WriteString(`
+jQuery.initialized = false;
+jQuery.initialize = function() {
+	if (jQuery.initialized) { return; }
+	jQuery.initialized = true;
+` + jqAccessorLoop(`"get"`, `"set"`) + jqEventLoopSrc + `
+};
+jQuery.ready = function() {
+	jQuery.initialize();
+	for (var ri = 0; ri < jQuery.readyList.length; ri++) {
+		jQuery.readyList[ri].call(document);
+	}
+};
+// Page-level polling: every tick reads mutable DOM state and dispatches on
+// it, flooding the analysis with indeterminate calls unless the DOM is
+// assumed determinate.
+function poll() {
+	var state = document.readyState;
+	var probes = [function() { return 1; }, function() { return 2; }];
+	for (var qi = 0; qi < 1200; qi++) {
+		var pick = probes[state === "loading" ? 0 : 1];
+		pick();
+	}
+}
+poll();
+window.jQuery = jQuery;
+window.$ = $;
+`)
+	case JQ13:
+		b.WriteString(jqCore)
+		b.WriteString("var attrProps = " + jsStringArray(attrProps) + ";\n")
+		// The reflective initialization moved inside the ready event
+		// handler; handler entry flushes the heap (§4), so the property
+		// name list is indeterminate by the time the critical writes run.
+		b.WriteString(`
+jQuery.propList = ` + jsStringArray(attrProps) + `;
+document.addEventListener("DOMContentLoaded", function() {
+	var names = jQuery.propList;
+	for (var pi = 0; pi < names.length; pi++) {
+		defAccessor(names[pi]);
+	}
+	for (var si = 0; si < eventNames.length; si++) {
+		defShortcut(eventNames[si]);
+	}
+	jQuery.cssHooks = {};
+	for (var hi = 0; hi < names.length; hi++) {
+		defHook(names[hi]);
+	}
+	// Boot sequence: exercise the freshly installed API. By handler-entry
+	// flushing, everything here is indeterminate to the dynamic analysis.
+	var box = $("#main");
+	box.cssOpacity(0.5);
+	box.cssBorder("1px");
+	box.setWidth(100).setHeight(50).setColor("red");
+	box.setTop(box.getWidth() + box.getHeight()).setLeft(1);
+	var side = $("#content");
+	side.setMargin(4).setPadding(8);
+	var banner = $("#banner");
+	banner.setBackground("blue").setDisplay("block");
+	var items = $("ul");
+	items.click(function() { return items.size(); });
+	items.keyup(function() { return 2; });
+	items.mouseover(function() { return banner.getBackground(); });
+	var form = $("#mainform");
+	form.submit(function() { return form.attr("title"); });
+	form.setVisibility("hidden");
+});
+function defAccessor(name) {
+	jQuery.fn["get" + cap(name)] = function() {
+		var cached = this.attr(name);
+		if (cached === undefined) { cached = this.defaultFor(name); }
+		return cached;
+	};
+	jQuery.fn["set" + cap(name)] = function(v) {
+		this.attr(name, v);
+		this.invalidate(name);
+		return this.notify(name, v);
+	};
+}
+function defShortcut(type) {
+	jQuery.fn[type] = function(fn) {
+		if (fn === undefined) { return this.trigger(type); }
+		return this.bind(type, fn);
+	};
+}
+function defHook(name) {
+	var hook = {
+		prop: name,
+		get: function(el) { return el.attr(name); },
+		set: function(el, v) { el.attr(name, v); return el; }
+	};
+	jQuery.cssHooks["hook" + cap(name)] = hook;
+	jQuery.fn["css" + cap(name)] = function(v) {
+		var h = jQuery.cssHooks["hook" + cap(name)];
+		if (v === undefined) { return h.get(this); }
+		return h.set(this, v);
+	};
+}
+// Live-event dispatch handler: every event replays the handler table
+// through indeterminate lookups, so each entry costs a flush and the
+// flush budget drains.
+document.addEventListener("dispatch", function(ev) {
+	var table = [function() { return 1; }, function() { return 2; }];
+	for (var di = 0; di < 1200; di++) {
+		var f = table[Math.random() < 0.5 ? 0 : 1];
+		f();
+	}
+});
+`)
+		b.WriteString(jqFeatureDetect)
+		b.WriteString(`
+window.jQuery = jQuery;
+window.$ = $;
+var lateBox = $("#main");
+lateBox.attr("probe", 1);
+`)
+	}
+	return b.String()
+}

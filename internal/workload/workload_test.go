@@ -1,0 +1,145 @@
+package workload_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"determinacy/internal/dom"
+	"determinacy/internal/interp"
+	"determinacy/internal/ir"
+	"determinacy/internal/workload"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		a := workload.RandomProgram(workload.GenConfig{Seed: seed})
+		b := workload.RandomProgram(workload.GenConfig{Seed: seed})
+		if a != b {
+			t.Fatalf("seed %d: generator not deterministic", seed)
+		}
+	}
+	if workload.RandomProgram(workload.GenConfig{Seed: 1}) == workload.RandomProgram(workload.GenConfig{Seed: 2}) {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+// TestGeneratedProgramsRun: every generated program must compile and run to
+// completion without throwing, under varying inputs — the generator's
+// core contract for the soundness suite.
+func TestGeneratedProgramsRun(t *testing.T) {
+	f := func(seed uint64, runSeed uint8, forIn bool) bool {
+		src := workload.RandomProgram(workload.GenConfig{Seed: seed % 10000, WithForIn: forIn})
+		mod, err := ir.Compile("gen.js", src)
+		if err != nil {
+			t.Logf("compile failure (seed %d): %v\n%s", seed, err, src)
+			return false
+		}
+		it := interp.New(mod, interp.Options{
+			Seed: uint64(runSeed),
+			Inputs: map[string]interp.Value{
+				"a": interp.NumberVal(float64(runSeed)),
+				"b": interp.StringVal("s"),
+				"c": interp.BoolVal(runSeed%2 == 0),
+			},
+		})
+		if _, err := it.Run(); err != nil {
+			t.Logf("run failure (seed %d): %v\n%s", seed, err, src)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJQueryWorkloadsRunConcretely(t *testing.T) {
+	for _, v := range workload.JQueryVersions {
+		v := v
+		t.Run(string(v), func(t *testing.T) {
+			src := workload.JQuery(v)
+			mod, err := ir.Compile("jq.js", src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			it := interp.New(mod, interp.Options{})
+			b := dom.Install(it, dom.NewDocument(dom.Options{}))
+			if _, err := it.Run(); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if _, err := b.RunHandlers(8); err != nil {
+				t.Fatalf("handlers: %v", err)
+			}
+			// The library must actually have installed its API.
+			jq, ok := it.Global.Get("jQuery")
+			if !ok || !jq.IsCallable() {
+				t.Error("jQuery global missing after initialization")
+			}
+		})
+	}
+}
+
+func TestJQueryVersionCharacteristics(t *testing.T) {
+	v10 := workload.JQuery(workload.JQ10)
+	v11 := workload.JQuery(workload.JQ11)
+	v12 := workload.JQuery(workload.JQ12)
+	v13 := workload.JQuery(workload.JQ13)
+	if !strings.Contains(v10, `"get" + cap(name)`) {
+		t.Error("1.0 must build accessor names reflectively")
+	}
+	if !strings.Contains(v11, "vendor") || !strings.Contains(v11, "userAgent") {
+		t.Error("1.1 must derive names from the user agent")
+	}
+	if !strings.Contains(v12, "jQuery.initialize") {
+		t.Error("1.2 must initialize lazily")
+	}
+	if !strings.Contains(v13, "DOMContentLoaded") {
+		t.Error("1.3 must initialize inside an event handler")
+	}
+}
+
+func TestEvalCorpusShape(t *testing.T) {
+	corpus := workload.EvalCorpus()
+	if len(corpus) != 28 {
+		t.Fatalf("corpus has %d programs, want 28 (paper)", len(corpus))
+	}
+	runnable := 0
+	names := map[string]bool{}
+	for _, b := range corpus {
+		if names[b.Name] {
+			t.Errorf("duplicate benchmark name %s", b.Name)
+		}
+		names[b.Name] = true
+		if b.Runnable {
+			runnable++
+		}
+		if !strings.Contains(b.Source, "eval") {
+			t.Errorf("%s contains no eval", b.Name)
+		}
+	}
+	if runnable != 24 {
+		t.Errorf("runnable = %d, want 24", runnable)
+	}
+}
+
+func TestEvalCorpusRunnability(t *testing.T) {
+	for _, b := range workload.EvalCorpus() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			mod, err := ir.Compile(b.Name+".js", b.Source)
+			if err != nil {
+				t.Fatalf("all corpus programs must parse: %v", err)
+			}
+			it := interp.New(mod, interp.Options{})
+			dom.Install(it, dom.NewDocument(dom.Options{}))
+			_, err = it.Run()
+			if b.Runnable && err != nil {
+				t.Errorf("runnable benchmark failed: %v", err)
+			}
+			if !b.Runnable && err == nil {
+				t.Errorf("non-runnable benchmark unexpectedly succeeded")
+			}
+		})
+	}
+}
