@@ -22,6 +22,7 @@ import (
 	"determinacy/internal/facts"
 	"determinacy/internal/interp"
 	"determinacy/internal/ir"
+	"determinacy/internal/obs"
 	"determinacy/internal/pointsto"
 	"determinacy/internal/workload"
 )
@@ -323,6 +324,32 @@ func BenchmarkCompile(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Tracer overhead. The nil-tracer benchmark is the regression guard for the
+// near-zero-overhead contract (compare against BenchmarkFigure2Analysis from
+// before the obs layer existed); the collector benchmark shows the cost of
+// turning tracing on.
+
+func BenchmarkTracerDisabled(b *testing.B) {
+	benchAnalyze(b, fig2Bench, determinacy.Options{Seed: 2, MuJSLocals: true})
+}
+
+func BenchmarkTracerCollector(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		col := obs.NewCollector(4096)
+		_, err := determinacy.Analyze(fig2Bench, determinacy.Options{
+			Seed: 2, MuJSLocals: true, Out: io.Discard, Tracer: col,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = col.Total()
+	}
+	b.ReportMetric(float64(events), "events")
 }
 
 func BenchmarkPointsToBaselineJQ10(b *testing.B) {

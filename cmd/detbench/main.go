@@ -17,15 +17,17 @@ import (
 	"os"
 
 	"determinacy/internal/experiment"
+	"determinacy/internal/obs"
 )
 
 func main() {
 	var (
-		table1 = flag.Bool("table1", false, "reproduce Table 1")
-		evalst = flag.Bool("eval", false, "reproduce the §5.2 eval study")
-		all    = flag.Bool("all", false, "run everything")
-		budget = flag.Int("budget", 0, "points-to work budget (0 = default)")
-		seed   = flag.Uint64("seed", 0, "PRNG seed for the dynamic runs")
+		table1      = flag.Bool("table1", false, "reproduce Table 1")
+		evalst      = flag.Bool("eval", false, "reproduce the §5.2 eval study")
+		all         = flag.Bool("all", false, "run everything")
+		budget      = flag.Int("budget", 0, "points-to work budget (0 = default)")
+		seed        = flag.Uint64("seed", 0, "PRNG seed for the dynamic runs")
+		metricsJSON = flag.String("metrics-json", "", `also write experiment metrics as JSON to this file ("-" = stdout); EXPERIMENTS.md numbers regenerate from this dump`)
 	)
 	flag.Parse()
 	if !*table1 && !*evalst && !*all {
@@ -33,6 +35,10 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := experiment.Config{Budget: *budget, Seed: *seed}
+	var m *obs.Metrics
+	if *metricsJSON != "" {
+		m = obs.NewMetrics()
+	}
 
 	if *table1 || *all {
 		fmt.Println("== Table 1: pointer analysis scalability (paper §5.1) ==")
@@ -45,6 +51,9 @@ func main() {
 				r.Version, r.Baseline.Propagations, r.Spec.Propagations, r.DetDOM.Propagations)
 		}
 		fmt.Println()
+		if m != nil {
+			experiment.Table1Metrics(rows, m)
+		}
 	}
 
 	if *evalst || *all {
@@ -53,6 +62,26 @@ func main() {
 			s := experiment.RunEvalStudy(det, cfg)
 			fmt.Print(experiment.FormatEvalStudy(s))
 			fmt.Println()
+			if m != nil {
+				experiment.EvalStudyMetrics(s, m)
+			}
+		}
+	}
+
+	if m != nil {
+		w := os.Stdout
+		if *metricsJSON != "-" {
+			f, err := os.Create(*metricsJSON)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "detbench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := m.WriteJSON(w); err != nil {
+			fmt.Fprintln(os.Stderr, "detbench:", err)
+			os.Exit(1)
 		}
 	}
 }

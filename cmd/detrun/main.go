@@ -3,17 +3,34 @@
 //
 // Usage:
 //
-//	detrun [-dom] [-detdom] [-seed N] [-det-only] [-stats] [-dump-ir] file.js
+//	detrun [-dom] [-detdom] [-seed N] [-det-only] [-stats] [-dump-ir]
+//	       [-trace out.jsonl] [-trace-format jsonl|chrome] [-metrics -] file.js
+//
+// Exit codes distinguish analysis outcomes (see -help).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
 	"determinacy"
 	"determinacy/internal/ir"
+	"determinacy/internal/obs"
+)
+
+// Exit codes. Keep in sync with the usage text below.
+const (
+	exitOK        = 0
+	exitError     = 1 // generic failure (I/O, parse, internal)
+	exitUsage     = 2
+	exitFlush     = 3 // analysis stopped at the heap-flush cap
+	exitBudget    = 4 // instrumented execution exhausted its step budget
+	exitStack     = 5 // instrumented call-stack overflow
+	exitException = 6 // analyzed program threw an uncaught exception
 )
 
 func main() {
@@ -28,12 +45,29 @@ func main() {
 		flushes  = flag.Int("max-flushes", 1000, "stop after this many heap flushes (0 = unlimited)")
 		jsonOut  = flag.Bool("json", false, "emit facts as JSON lines instead of rendered text")
 		runs     = flag.Int("runs", 1, "instrumented runs with distinct seeds, merged per the paper's §7")
+		traceOut = flag.String("trace", "", `write a pipeline trace to this file ("-" = stdout)`)
+		traceFmt = flag.String("trace-format", "jsonl", "trace format: jsonl or chrome (trace_event JSON for Perfetto)")
+		metrics  = flag.String("metrics", "", `write Prometheus-style metrics to this file ("-" = stdout)`)
 	)
+	flag.Usage = func() {
+		o := flag.CommandLine.Output()
+		fmt.Fprintln(o, "usage: detrun [flags] file.js")
+		flag.PrintDefaults()
+		fmt.Fprintln(o, `
+exit codes:
+  0  analysis completed
+  1  generic error (I/O, parse, internal)
+  2  usage error
+  3  analysis stopped at the heap-flush cap (-max-flushes); facts printed are sound
+  4  instrumented execution exhausted its step budget
+  5  instrumented call-stack overflow
+  6  analyzed program threw an uncaught exception`)
+	}
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: detrun [flags] file.js")
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -61,6 +95,54 @@ func main() {
 		// Keep stdout clean for the fact dump.
 		opts.Out = os.Stderr
 	}
+
+	// Tracing: jsonl streams events as they happen; chrome buffers in memory
+	// and is written out after the run.
+	var (
+		chrome     *obs.ChromeTrace
+		jsonl      *obs.JSONLWriter
+		closeJSONL func()
+	)
+	if *traceOut != "" {
+		switch *traceFmt {
+		case "jsonl":
+			w, cl, err := openOut(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			jsonl, closeJSONL = obs.NewJSONLWriter(w), cl
+			opts.Tracer = jsonl
+		case "chrome":
+			chrome = obs.NewChromeTrace()
+			opts.Tracer = chrome
+		default:
+			fmt.Fprintf(os.Stderr, "detrun: unknown -trace-format %q (want jsonl or chrome)\n", *traceFmt)
+			os.Exit(exitUsage)
+		}
+	}
+	finishTrace := func() {
+		if chrome != nil {
+			w, cl, err := openOut(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			_, werr := chrome.WriteTo(w)
+			cl()
+			chrome = nil
+			if werr != nil {
+				fatal(werr)
+			}
+		}
+		if jsonl != nil {
+			werr := jsonl.Err()
+			closeJSONL()
+			jsonl = nil
+			if werr != nil {
+				fatal(werr)
+			}
+		}
+	}
+
 	var res *determinacy.Result
 	if *runs > 1 {
 		seeds := make([]uint64, *runs)
@@ -72,8 +154,10 @@ func main() {
 		res, err = determinacy.AnalyzeFile(flag.Arg(0), string(src), opts)
 	}
 	if err != nil {
+		finishTrace()
 		fatal(err)
 	}
+	finishTrace()
 	if res.Stopped != nil {
 		fmt.Fprintf(os.Stderr, "note: analysis stopped early: %v\n", res.Stopped)
 	}
@@ -82,15 +166,14 @@ func main() {
 		if err := res.Store().Encode(os.Stdout); err != nil {
 			fatal(err)
 		}
-		return
-	}
-
-	fs := res.Facts()
-	if *detOnly {
-		fs = res.DeterminateFacts()
-	}
-	for _, f := range fs {
-		fmt.Println(f)
+	} else {
+		fs := res.Facts()
+		if *detOnly {
+			fs = res.DeterminateFacts()
+		}
+		for _, f := range fs {
+			fmt.Println(f)
+		}
 	}
 
 	if *stats {
@@ -107,9 +190,55 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  flush %-22s %d\n", r, st.FlushReasons[r])
 		}
 	}
+
+	if *metrics != "" {
+		m := determinacy.NewMetrics()
+		res.ExportMetrics(m)
+		w, cl, err := openOut(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		if err := m.WriteProm(w); err != nil {
+			fatal(err)
+		}
+		cl()
+	}
+
+	if res.Stopped != nil {
+		os.Exit(exitFlush)
+	}
+}
+
+// openOut opens path for writing, with "-" meaning stdout (whose returned
+// close func is a no-op).
+func openOut(path string) (io.Writer, func(), error) {
+	if path == "-" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "detrun:", err)
-	os.Exit(1)
+	os.Exit(exitCode(err))
+}
+
+// exitCode maps analysis outcome errors to the documented exit codes.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, determinacy.ErrFlushLimit):
+		return exitFlush
+	case errors.Is(err, determinacy.ErrBudget):
+		return exitBudget
+	case errors.Is(err, determinacy.ErrStack):
+		return exitStack
+	case errors.Is(err, determinacy.ErrUncaughtException):
+		return exitException
+	default:
+		return exitError
+	}
 }

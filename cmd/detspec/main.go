@@ -30,6 +30,7 @@ func main() {
 		depth      = flag.Int("clone-depth", 4, "context clone nesting bound")
 		factsFile  = flag.String("facts", "", "load facts from a detrun -json dump instead of running the dynamic analysis")
 		generalize = flag.Bool("generalize", false, "also apply context-insensitive fact projections (§7)")
+		metrics    = flag.String("metrics", "", `write Prometheus-style metrics to this file ("-" = stdout)`)
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -49,6 +50,7 @@ func main() {
 		Generalize:    *generalize,
 	}
 	var spec *determinacy.Specialized
+	var res *determinacy.Result
 	if *factsFile != "" {
 		f, err := os.Open(*factsFile)
 		if err != nil {
@@ -60,7 +62,7 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		res, err := determinacy.AnalyzeFile(flag.Arg(0), string(src), determinacy.Options{
+		res, err = determinacy.AnalyzeFile(flag.Arg(0), string(src), determinacy.Options{
 			Seed:             *seed,
 			WithDOM:          *withDOM || *detDOM,
 			DeterministicDOM: *detDOM,
@@ -90,6 +92,34 @@ func main() {
 			for _, site := range spec.EvalSites {
 				fmt.Fprintf(os.Stderr, "  eval at line %-5d %s\n", site.Line, site.Status)
 			}
+		}
+	}
+
+	if *metrics != "" {
+		m := determinacy.NewMetrics()
+		if res != nil {
+			res.ExportMetrics(m)
+		}
+		s := spec.Stats
+		m.Counter("spec_branches_pruned_total").Add(int64(s.BranchesPruned))
+		m.Counter("spec_accesses_staticized_total").Add(int64(s.AccessesStaticized))
+		m.Counter("spec_loops_unrolled_total").Add(int64(s.LoopsUnrolled))
+		m.Counter("spec_unrolled_iterations_total").Add(int64(s.UnrolledIterations))
+		m.Counter("spec_clones_created_total").Add(int64(s.ClonesCreated))
+		m.Counter("spec_consts_folded_total").Add(int64(s.ConstsFolded))
+		m.Counter("spec_evals_eliminated_total").Add(int64(s.EvalsEliminated))
+		// "-" appends the dump to stdout after the specialized program.
+		w := os.Stdout
+		if *metrics != "-" {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := m.WriteProm(w); err != nil {
+			fatal(err)
 		}
 	}
 }

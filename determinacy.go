@@ -34,9 +34,41 @@ import (
 	"determinacy/internal/facts"
 	"determinacy/internal/interp"
 	"determinacy/internal/ir"
+	"determinacy/internal/obs"
 	"determinacy/internal/parser"
 	"determinacy/internal/pointsto"
 	"determinacy/internal/specialize"
+)
+
+// Observability aliases, so embedders configure tracing without importing
+// the internal package path directly.
+type (
+	// Tracer receives the pipeline's typed event stream; see internal/obs
+	// for the event taxonomy and the built-in sinks.
+	Tracer = obs.Tracer
+	// TraceEvent is one trace record.
+	TraceEvent = obs.Event
+	// Metrics is a registry of named counters/gauges/histograms.
+	Metrics = obs.Metrics
+)
+
+// NewMetrics creates an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// Analysis outcome errors, re-exported so CLI frontends can map them to
+// distinct exit codes.
+var (
+	// ErrFlushLimit reports that the analysis stopped at the heap-flush
+	// cap; facts collected before the stop remain sound.
+	ErrFlushLimit = core.ErrFlushLimit
+	// ErrBudget reports that the instrumented execution exhausted its step
+	// budget.
+	ErrBudget = core.ErrBudget
+	// ErrStack reports instrumented call-stack overflow.
+	ErrStack = core.ErrStack
+	// ErrUncaughtException reports that the analyzed program threw an
+	// exception that nothing caught.
+	ErrUncaughtException = errors.New("determinacy: uncaught exception in analyzed program")
 )
 
 // Options configures a dynamic determinacy analysis run.
@@ -73,6 +105,12 @@ type Options struct {
 	DisableCounterfactual bool
 	ImmediateTaint        bool
 	MuJSLocals            bool
+
+	// Tracer observes the whole pipeline: phase begin/end (parse, lower,
+	// exec, handlers, specialize), heap/env flushes with reasons,
+	// counterfactual nesting, taint spread, fact recording and eval
+	// encounters. nil disables tracing with near-zero overhead.
+	Tracer Tracer
 }
 
 // Value is a concrete input value for Options.Inputs.
@@ -121,6 +159,9 @@ type Result struct {
 	// staticInstrs is the instruction count before execution; program
 	// points at or beyond it belong to runtime-lowered eval code.
 	staticInstrs int
+	// tracer carries the run's tracer forward so client phases
+	// (Specialize) join the same event stream.
+	tracer obs.Tracer
 
 	// Stats summarizes the run: heap flushes by reason, counterfactual
 	// executions and aborts, executed steps.
@@ -140,11 +181,16 @@ func Analyze(src string, opts Options) (*Result, error) {
 
 // AnalyzeFile is Analyze with an explicit display name for diagnostics.
 func AnalyzeFile(name, src string, opts Options) (*Result, error) {
+	tr := opts.Tracer
+	endParse := obs.PhaseScope(tr, "parse")
 	prog, err := parser.Parse(name, src)
+	endParse()
 	if err != nil {
 		return nil, err
 	}
+	endLower := obs.PhaseScope(tr, "lower")
 	mod, err := ir.Lower(prog)
+	endLower()
 	if err != nil {
 		return nil, err
 	}
@@ -160,23 +206,29 @@ func AnalyzeFile(name, src string, opts Options) (*Result, error) {
 		DisableCounterfactual:  opts.DisableCounterfactual,
 		ImmediateTaint:         opts.ImmediateTaint,
 		MuJSLocals:             opts.MuJSLocals,
+		Tracer:                 tr,
 	})
-	res := &Result{prog: prog, mod: mod, store: store, staticInstrs: mod.NumInstrs}
+	res := &Result{prog: prog, mod: mod, store: store, staticInstrs: mod.NumInstrs, tracer: tr}
 
 	var binding *dom.CoreBinding
 	if opts.WithDOM {
 		binding = dom.InstallCore(a, dom.NewDocument(dom.Options{}), opts.DeterministicDOM)
 	}
+	endExec := obs.PhaseScope(tr, "exec")
 	_, runErr := a.Run()
+	endExec()
 	if runErr != nil && !errors.Is(runErr, core.ErrFlushLimit) {
+		res.Stats = a.Stats()
 		var thrown *core.Thrown
 		if errors.As(runErr, &thrown) {
-			return nil, fmt.Errorf("determinacy: uncaught exception in analyzed program")
+			return nil, ErrUncaughtException
 		}
 		return nil, runErr
 	}
 	if binding != nil && runErr == nil && opts.RunHandlers > 0 {
+		endHandlers := obs.PhaseScope(tr, "handlers")
 		n, herr := binding.RunHandlers(opts.RunHandlers)
+		endHandlers()
 		res.HandlersRan = n
 		if herr != nil {
 			return nil, herr
@@ -216,9 +268,7 @@ func AnalyzeRuns(src string, opts Options, seeds ...uint64) (*Result, error) {
 			continue
 		}
 		merged.store.Merge(res.store)
-		merged.Stats.HeapFlushes += res.Stats.HeapFlushes
-		merged.Stats.Counterfacts += res.Stats.Counterfacts
-		merged.Stats.Steps += res.Stats.Steps
+		merged.Stats.Merge(res.Stats)
 	}
 	if len(merged.store.Conflicts) > 0 {
 		return nil, fmt.Errorf("determinacy: %d conflicting determinate facts across runs (analysis bug)",
@@ -361,8 +411,19 @@ type Specialized struct {
 	DeadBranches []specialize.DeadBranch
 }
 
+// ExportMetrics publishes the run's statistics into a metrics registry:
+// step/flush/counterfactual counters (with per-reason flush labels), the
+// counterfactual-depth histogram, and fact-store totals.
+func (r *Result) ExportMetrics(m *Metrics) {
+	r.Stats.Export(m)
+	m.Counter("facts_total").Add(int64(r.store.Len()))
+	m.Counter("facts_determinate_total").Add(int64(r.store.NumDeterminate()))
+	m.Gauge("analysis_handlers_ran").Set(float64(r.HandlersRan))
+}
+
 // Specialize rewrites the analyzed program using the collected facts.
 func (r *Result) Specialize(opts SpecializeOptions) (*Specialized, error) {
+	defer obs.PhaseScope(r.tracer, "specialize")()
 	res, err := specialize.Specialize(r.prog, r.mod, r.store, specialize.Options{
 		MaxUnroll:     opts.MaxUnroll,
 		MaxCloneDepth: opts.MaxCloneDepth,
@@ -419,6 +480,9 @@ type PointsToOptions struct {
 	// Budget bounds solver work (0 = default); exceeding it reports
 	// BudgetExceeded, the stand-in for the paper's analysis timeout.
 	Budget int
+	// Tracer observes the solver: a "solve" phase pair plus periodic
+	// worklist snapshots. nil disables tracing.
+	Tracer Tracer
 }
 
 // PointsToReport summarizes a points-to run.
@@ -439,7 +503,7 @@ func PointsTo(src string, opts PointsToOptions) (*PointsToReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := pointsto.Analyze(mod, pointsto.Options{Budget: opts.Budget})
+	res := pointsto.Analyze(mod, pointsto.Options{Budget: opts.Budget, Tracer: opts.Tracer})
 	rep := &PointsToReport{
 		BudgetExceeded: res.BudgetExceeded,
 		Propagations:   res.Propagations,

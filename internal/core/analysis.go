@@ -8,6 +8,7 @@ import (
 	"determinacy/internal/facts"
 	"determinacy/internal/interp"
 	"determinacy/internal/ir"
+	"determinacy/internal/obs"
 )
 
 // Errors reported by the analysis.
@@ -71,7 +72,16 @@ type Options struct {
 	// MaxFlushes stops the analysis after this many heap flushes (0 =
 	// unlimited). The paper uses 1000.
 	MaxFlushes int
+	// Tracer receives the analysis' event stream (flushes, branch frames,
+	// counterfactuals, taint marking, fact recording, eval encounters).
+	// nil disables tracing; every emission site is guarded so the disabled
+	// path costs one branch and no allocations.
+	Tracer obs.Tracer
 }
+
+// MaxTrackedCFDepth is the size of Stats.CFDepthHist; deeper nestings fold
+// into the last bucket.
+const MaxTrackedCFDepth = 8
 
 // Stats summarizes one instrumented run.
 type Stats struct {
@@ -81,6 +91,58 @@ type Stats struct {
 	FlushReasons map[string]int
 	Counterfacts int // counterfactual branch executions
 	CFAborts     int // counterfactual aborts (depth, native, exception)
+	// CFDepthHist counts counterfactual executions by nesting depth
+	// (index 1 = outermost; nestings ≥ MaxTrackedCFDepth-1 fold into the
+	// last bucket).
+	CFDepthHist [MaxTrackedCFDepth]int
+}
+
+// NewStats returns a Stats with all maps initialized. It is the one place
+// the FlushReasons map is created, so merging and direct construction never
+// hit a nil map.
+func NewStats() Stats {
+	return Stats{FlushReasons: map[string]int{}}
+}
+
+// Merge folds another run's statistics into s, tolerating nil maps on
+// either side (a Stats constructed directly rather than via NewStats).
+func (s *Stats) Merge(o Stats) {
+	s.Steps += o.Steps
+	s.HeapFlushes += o.HeapFlushes
+	s.EnvFlushes += o.EnvFlushes
+	s.Counterfacts += o.Counterfacts
+	s.CFAborts += o.CFAborts
+	for i, n := range o.CFDepthHist {
+		s.CFDepthHist[i] += n
+	}
+	if len(o.FlushReasons) == 0 {
+		return
+	}
+	if s.FlushReasons == nil {
+		s.FlushReasons = make(map[string]int, len(o.FlushReasons))
+	}
+	for r, n := range o.FlushReasons {
+		s.FlushReasons[r] += n
+	}
+}
+
+// Export publishes the run statistics into a metrics registry using the
+// pipeline's canonical metric names.
+func (s Stats) Export(m *obs.Metrics) {
+	m.Counter("analysis_steps_total").Add(int64(s.Steps))
+	m.Counter("analysis_heap_flushes_total").Add(int64(s.HeapFlushes))
+	m.Counter("analysis_env_flushes_total").Add(int64(s.EnvFlushes))
+	m.Counter("analysis_counterfactuals_total").Add(int64(s.Counterfacts))
+	m.Counter("analysis_cf_aborts_total").Add(int64(s.CFAborts))
+	for r, n := range s.FlushReasons {
+		m.Counter(`analysis_heap_flushes_total{reason="` + r + `"}`).Add(int64(n))
+	}
+	h := m.Histogram("analysis_cf_depth", 1, 2, 3, 4, 5, 6, 7)
+	for depth, n := range s.CFDepthHist {
+		for i := 0; i < n; i++ {
+			h.Observe(float64(depth))
+		}
+	}
 }
 
 // Analysis is the instrumented interpreter. Create with New, execute with
@@ -102,6 +164,7 @@ type Analysis struct {
 	OnFlush func(reason string)
 
 	opts      Options
+	tracer    obs.Tracer
 	stats     Stats
 	heapEpoch uint64
 	envEpoch  uint64
@@ -158,9 +221,10 @@ func New(mod *ir.Module, store *facts.Store, opts Options) *Analysis {
 		Mod:       mod,
 		Facts:     store,
 		opts:      opts,
+		tracer:    opts.Tracer,
 		rng:       opts.Seed*2862933555777941757 + 3037000493,
 		evalCache: make(map[string]*ir.Function),
-		stats:     Stats{FlushReasons: map[string]int{}},
+		stats:     NewStats(),
 	}
 	a.setupRuntime()
 	return a
@@ -284,7 +348,14 @@ func (a *Analysis) Random() float64 {
 func (a *Analysis) FlushHeap(reason string) {
 	a.heapEpoch++
 	a.stats.HeapFlushes++
+	if a.stats.FlushReasons == nil {
+		a.stats.FlushReasons = map[string]int{}
+	}
 	a.stats.FlushReasons[reason]++
+	if a.tracer != nil {
+		a.tracer.Event(obs.Event{Kind: obs.EvHeapFlush, Phase: reason,
+			N1: int64(a.heapEpoch), N2: int64(a.stats.HeapFlushes)})
+	}
 	if a.OnFlush != nil {
 		a.OnFlush(reason)
 	}
@@ -298,6 +369,9 @@ func (a *Analysis) FlushHeap(reason string) {
 func (a *Analysis) flushEnv() {
 	a.envEpoch++
 	a.stats.EnvFlushes++
+	if a.tracer != nil {
+		a.tracer.Event(obs.Event{Kind: obs.EvEnvFlush, N1: int64(a.envEpoch)})
+	}
 }
 
 // flushAll is the conservative merge used for indeterminate calls and
@@ -426,6 +500,14 @@ func (a *Analysis) pushBranchKind(counterfactual, isLoop bool) *branchFrame {
 	if counterfactual {
 		a.cfDepth++
 		a.stats.Counterfacts++
+		d := a.cfDepth
+		if d >= MaxTrackedCFDepth {
+			d = MaxTrackedCFDepth - 1
+		}
+		a.stats.CFDepthHist[d]++
+	}
+	if a.tracer != nil {
+		a.tracer.Event(branchEvent(bf, true, int64(len(a.branches)), int64(a.cfDepth)))
 	}
 	return bf
 }
@@ -465,10 +547,34 @@ func (a *Analysis) applyLoopTaints(bf *branchFrame) {
 // popBranch removes the frame; callers then invoke markIndeterminate or
 // undoAndMark on it.
 func (a *Analysis) popBranch(bf *branchFrame) {
+	if a.tracer != nil {
+		a.tracer.Event(branchEvent(bf, false, int64(len(a.branches)), int64(a.cfDepth)))
+	}
 	a.branches = a.branches[:len(a.branches)-1]
 	if bf.counterfactual {
 		a.cfDepth--
 	}
+}
+
+// branchEvent builds the enter/exit event for a branch frame. Enter and
+// exit report the same depth for the same frame so B/E pairs in the Chrome
+// exporter match up.
+func branchEvent(bf *branchFrame, enter bool, branchDepth, cfDepth int64) obs.Event {
+	e := obs.Event{N1: branchDepth}
+	switch {
+	case bf.counterfactual && enter:
+		e.Kind, e.N1 = obs.EvCFEnter, cfDepth
+	case bf.counterfactual:
+		e.Kind, e.N1 = obs.EvCFExit, cfDepth
+	case enter:
+		e.Kind = obs.EvBranchEnter
+	default:
+		e.Kind = obs.EvBranchExit
+	}
+	if bf.isLoop {
+		e.Detail = "loop"
+	}
+	return e
 }
 
 func (a *Analysis) journalVar(env *DEnv, slot int) {
@@ -518,6 +624,9 @@ func (a *Analysis) journalOpen(o *DObj) {
 // For deletes through indeterminate names, markAbsent additionally flags
 // every property's existence as uncertain.
 func (a *Analysis) openRecord(o *DObj, markAbsent bool) {
+	if a.tracer != nil {
+		a.tracer.Event(obs.Event{Kind: obs.EvTaint, Phase: "open-record", N1: int64(len(o.keys))})
+	}
 	a.journalOpen(o)
 	o.forcedOpen = true
 	for _, k := range o.OwnKeys() {
@@ -563,6 +672,9 @@ func (a *Analysis) hasOwnConcrete(o *DObj, name string) (bool, bool) {
 // then merged into the enclosing branch frame, since nested branches
 // contribute to the outer branch's write domains.
 func (a *Analysis) markIndeterminate(bf *branchFrame) {
+	if a.tracer != nil && len(bf.journal) > 0 {
+		a.tracer.Event(obs.Event{Kind: obs.EvTaint, Phase: "post-branch-mark", N1: int64(len(bf.journal))})
+	}
 	for _, w := range bf.journal {
 		switch w.kind {
 		case wVar:
@@ -590,6 +702,9 @@ func (a *Analysis) markIndeterminate(bf *branchFrame) {
 // (ρ̂'[vd := ρ̂?], ĥ'[pd := ĥ?]) and then marked indeterminate, since other
 // executions may perform it.
 func (a *Analysis) undoAndMark(bf *branchFrame) {
+	if a.tracer != nil && len(bf.journal) > 0 {
+		a.tracer.Event(obs.Event{Kind: obs.EvTaint, Phase: "cf-undo-mark", N1: int64(len(bf.journal))})
+	}
 	a.undoJournal(bf)
 	for _, w := range bf.journal {
 		switch w.kind {
@@ -679,7 +794,11 @@ func (a *Analysis) rawDelete(o *DObj, name string) {
 // markStaticWrites marks the statically determined write-set of a block
 // indeterminate (rule CNTRABORT's ρ̂[vd(s) := ρ̂?]).
 func (a *Analysis) markStaticWrites(f *DFrame, b *ir.Block) {
-	for _, v := range ir.WritesOf(b) {
+	writes := ir.WritesOf(b)
+	if a.tracer != nil && len(writes) > 0 {
+		a.tracer.Event(obs.Event{Kind: obs.EvTaint, Phase: "static-writes", N1: int64(len(writes))})
+	}
+	for _, v := range writes {
 		e := f.Env.at(v.Hops)
 		a.journalVar(e, v.Slot)
 		e.Slots[v.Slot] = e.Slots[v.Slot].Indet()
@@ -708,7 +827,17 @@ func (a *Analysis) record(f *DFrame, in ir.Instr, v Value) {
 	f.instrSeq[in.IID()] = seq + 1
 	det := v.Det && a.seqStable(f, in.IID()) && !f.ctxUnstable
 	a.noteRecorded(f, in.IID())
-	a.Facts.Record(in.IID(), f.Ctx, seq, det, Snapshot(v))
+	invalidated := a.Facts.Record(in.IID(), f.Ctx, seq, det, Snapshot(v))
+	if a.tracer != nil {
+		detN := int64(0)
+		if det {
+			detN = 1
+		}
+		a.tracer.Event(obs.Event{Kind: obs.EvFactRecord, N1: int64(in.IID()), N2: detN})
+		if invalidated {
+			a.tracer.Event(obs.Event{Kind: obs.EvFactInvalidate, N1: int64(in.IID())})
+		}
+	}
 }
 
 // seqStable reports whether the current arrival at id has a stable

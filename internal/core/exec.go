@@ -8,6 +8,7 @@ import (
 	"determinacy/internal/facts"
 	"determinacy/internal/interp"
 	"determinacy/internal/ir"
+	"determinacy/internal/obs"
 )
 
 // outKind enumerates statement completions. oCFAbort is internal: it unwinds
@@ -1065,6 +1066,13 @@ func (a *Analysis) execEval(f *DFrame, in *ir.Call) outcome {
 	if argv.Kind != String {
 		a.define(f, in, in.Dst, argv)
 		return okOut
+	}
+	if a.tracer != nil {
+		detail := "det"
+		if !argv.Det {
+			detail = "indet"
+		}
+		a.tracer.Event(obs.Event{Kind: obs.EvEval, Detail: detail, N1: int64(len(argv.S))})
 	}
 	fn, out := a.lowerEvalFor(f.Fn, argv.S)
 	if out.kind != oNormal {

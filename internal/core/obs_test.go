@@ -1,0 +1,101 @@
+package core_test
+
+import (
+	"io"
+	"testing"
+
+	"determinacy/internal/core"
+	"determinacy/internal/facts"
+	"determinacy/internal/ir"
+	"determinacy/internal/obs"
+)
+
+// TestObsDisabledTracerZeroAlloc pins the contract that a nil tracer costs
+// nothing on the hot path: every emission site guards on the tracer before
+// constructing the event, so the disabled path must not allocate.
+func TestObsDisabledTracerZeroAlloc(t *testing.T) {
+	mod := ir.MustCompile("p.js", "var x = 1;")
+	a := core.New(mod, facts.NewStore(), core.Options{Out: io.Discard})
+	// First flush allocates the reasons-map entry; steady state must not.
+	a.FlushHeap("warmup")
+	allocs := testing.AllocsPerRun(200, func() {
+		a.FlushHeap("warmup")
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-tracer FlushHeap allocates %v times per op, want 0", allocs)
+	}
+}
+
+// TestObsCoreEvents checks the event stream of an execution that branches on
+// an indeterminate condition: branch/counterfactual enter and exit events
+// must pair up, and the counterfactual abort must surface as a reasoned heap
+// flush.
+func TestObsCoreEvents(t *testing.T) {
+	src := `
+var k = "a";
+if (Math.random() < 0.5) { k = "b"; }
+var o = { a: function() { return 1; }, b: function() { return 2; } };
+var r = o[k]();
+`
+	col := obs.NewCollector(1024)
+	mod := ir.MustCompile("p.js", src)
+	a := core.New(mod, facts.NewStore(), core.Options{Out: io.Discard, Tracer: col})
+	if _, err := a.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	if enter, exit := col.Count(obs.EvBranchEnter), col.Count(obs.EvBranchExit); enter != exit {
+		t.Errorf("branch enter/exit unbalanced: %d vs %d", enter, exit)
+	}
+	cfEnter, cfExit := col.Count(obs.EvCFEnter), col.Count(obs.EvCFExit)
+	if cfEnter != cfExit {
+		t.Errorf("counterfactual enter/exit unbalanced: %d vs %d", cfEnter, cfExit)
+	}
+	if cfEnter == 0 {
+		t.Error("expected at least one counterfactual execution for an indeterminate branch")
+	}
+	flushes := 0
+	for _, e := range col.Events() {
+		if e.Kind != obs.EvHeapFlush {
+			continue
+		}
+		flushes++
+		if e.Phase == "" {
+			t.Errorf("heap-flush event without a reason: %+v", e)
+		}
+	}
+	if flushes == 0 {
+		t.Error("expected at least one heap-flush event")
+	}
+	if col.Count(obs.EvFactRecord) == 0 {
+		t.Error("expected fact-record events")
+	}
+	// Event counts mirror the aggregate stats.
+	st := a.Stats()
+	if flushes != st.HeapFlushes {
+		t.Errorf("flush events %d != Stats.HeapFlushes %d", flushes, st.HeapFlushes)
+	}
+	if cfEnter != st.Counterfacts {
+		t.Errorf("counterfactual events %d != Stats.Counterfacts %d", cfEnter, st.Counterfacts)
+	}
+}
+
+// TestObsStatsMergeNilSafe covers the satellite requirement that merging
+// stats never panics on nil maps, whichever side lacks one.
+func TestObsStatsMergeNilSafe(t *testing.T) {
+	var a core.Stats // zero value: nil FlushReasons
+	b := core.NewStats()
+	b.HeapFlushes = 2
+	b.FlushReasons["call-indet"] = 2
+	a.Merge(b)
+	if a.HeapFlushes != 2 || a.FlushReasons["call-indet"] != 2 {
+		t.Fatalf("merge into zero-value stats: %+v", a)
+	}
+
+	c := core.NewStats()
+	c.Steps = 7
+	c.Merge(core.Stats{Steps: 3}) // nil-map right operand
+	if c.Steps != 10 {
+		t.Fatalf("merge with nil-map operand: %+v", c)
+	}
+}

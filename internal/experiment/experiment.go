@@ -17,6 +17,7 @@ import (
 	"determinacy/internal/dom"
 	"determinacy/internal/facts"
 	"determinacy/internal/ir"
+	"determinacy/internal/obs"
 	"determinacy/internal/parser"
 	"determinacy/internal/pointsto"
 	"determinacy/internal/specialize"
@@ -34,6 +35,9 @@ type Config struct {
 	HandlerLimit int
 	// Seed drives the runs' PRNG.
 	Seed uint64
+	// Tracer observes every dynamic run and solver invocation performed by
+	// the experiments. nil disables tracing.
+	Tracer obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +85,7 @@ func RunDynamic(src string, detDOM bool, cfg Config) (*DynamicRun, error) {
 		Now:        1371161337000, // PLDI'13 week; any fixed instant works
 		MaxFlushes: cfg.MaxFlushes,
 		Out:        io.Discard,
+		Tracer:     cfg.Tracer,
 	})
 	doc := dom.NewDocument(dom.Options{})
 	binding := dom.InstallCore(a, doc, detDOM)
@@ -168,7 +173,7 @@ func runTable1Row(v workload.JQueryVersion, cfg Config) Table1Row {
 		return row
 	}
 	start := time.Now()
-	base := pointsto.Analyze(mod, pointsto.Options{Budget: cfg.Budget})
+	base := pointsto.Analyze(mod, pointsto.Options{Budget: cfg.Budget, Tracer: cfg.Tracer})
 	row.Baseline = Table1Cell{
 		Completed:    !base.BudgetExceeded,
 		Propagations: base.Propagations,
@@ -212,11 +217,64 @@ func specCell(src string, detDOM bool, cfg Config) (Table1Cell, error) {
 		return cell, fmt.Errorf("specialized output does not compile: %w", err)
 	}
 	start := time.Now()
-	pt := pointsto.Analyze(mod, pointsto.Options{Budget: cfg.Budget})
+	pt := pointsto.Analyze(mod, pointsto.Options{Budget: cfg.Budget, Tracer: cfg.Tracer})
 	cell.Completed = !pt.BudgetExceeded
 	cell.Propagations = pt.Propagations
 	cell.Duration = time.Since(start)
 	return cell, nil
+}
+
+// Table1Metrics publishes Table 1 outcomes into a metrics registry with
+// version/config labels. Rows are iterated in slice order, so repeated
+// exports of the same results are identical.
+func Table1Metrics(rows []Table1Row, m *obs.Metrics) {
+	for _, r := range rows {
+		if r.Err != nil {
+			m.Counter(fmt.Sprintf(`table1_errors_total{version=%q}`, r.Version)).Inc()
+			continue
+		}
+		for _, c := range []struct {
+			name string
+			cell Table1Cell
+		}{
+			{"baseline", r.Baseline},
+			{"spec", r.Spec},
+			{"spec_detdom", r.DetDOM},
+		} {
+			labels := fmt.Sprintf(`{version=%q,config=%q}`, r.Version, c.name)
+			m.Counter("table1_propagations_total" + labels).Add(int64(c.cell.Propagations))
+			m.Gauge("table1_completed" + labels).Set(boolGauge(c.cell.Completed))
+			m.Gauge("table1_flushes" + labels).Set(float64(c.cell.Flushes))
+			m.Gauge("table1_duration_seconds" + labels).Set(c.cell.Duration.Seconds())
+		}
+	}
+}
+
+// EvalStudyMetrics publishes the §5.2 study counts into a metrics registry.
+// Failure reasons iterate in the fixed reporting order (not map order) so
+// dumps are deterministic.
+func EvalStudyMetrics(s *EvalStudy, m *obs.Metrics) {
+	mode := "dom"
+	if s.DetDOM {
+		mode = "detdom"
+	}
+	labels := fmt.Sprintf(`{mode=%q}`, mode)
+	m.Counter("evalstudy_benchmarks_total" + labels).Add(int64(s.Total))
+	m.Counter("evalstudy_runnable_total" + labels).Add(int64(s.Runnable))
+	m.Counter("evalstudy_handled_total" + labels).Add(int64(s.Handled))
+	m.Counter("evalstudy_beyond_syntactic_total" + labels).Add(int64(s.OnlyOurs))
+	for _, r := range []string{"indeterminate-argument", "not-covered", "indeterminate-callee", "indeterminate-loop-bound", "parse-failed", "residual-eval"} {
+		if n := s.ByReason[r]; n > 0 {
+			m.Counter(fmt.Sprintf("evalstudy_failures_total{mode=%q,reason=%q}", mode, r)).Add(int64(n))
+		}
+	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // FormatTable1 renders rows like the paper's Table 1.
@@ -319,7 +377,7 @@ func evalOne(b workload.EvalBenchmark, detDOM bool, cfg Config) EvalOutcome {
 		out.Err = fmt.Errorf("specialized output does not compile: %w", err)
 		return out
 	}
-	pt := pointsto.Analyze(mod, pointsto.Options{Budget: cfg.Budget})
+	pt := pointsto.Analyze(mod, pointsto.Options{Budget: cfg.Budget, Tracer: cfg.Tracer})
 	out.Handled = len(pt.EvalSites) == 0 && !pt.BudgetExceeded
 	if !out.Handled {
 		out.Reason = worstReason(res.EvalSites)

@@ -167,8 +167,10 @@ func key(instr ir.ID, ctx Context, seq int) string {
 
 // Record adds one observation. Repeated observations of the same point,
 // context and occurrence join: any indeterminate observation or value
-// mismatch makes the fact indeterminate.
-func (s *Store) Record(instr ir.ID, ctx Context, seq int, det bool, val Snapshot) {
+// mismatch makes the fact indeterminate. The return value reports whether
+// this observation invalidated a previously determinate fact (the obs layer
+// surfaces these as fact-invalidate events).
+func (s *Store) Record(instr ir.ID, ctx Context, seq int, det bool, val Snapshot) bool {
 	if seq > s.MaxSeq {
 		seq = s.MaxSeq
 	}
@@ -177,9 +179,10 @@ func (s *Store) Record(instr ir.ID, ctx Context, seq int, det bool, val Snapshot
 	if !ok {
 		s.m[k] = &Fact{Instr: instr, Ctx: ctx.Clone(), Seq: seq, Det: det, Val: val, Hits: 1}
 		s.order = append(s.order, k)
-		return
+		return false
 	}
 	f.Hits++
+	wasDet := f.Det
 	if !det {
 		f.Det = false
 	}
@@ -191,6 +194,7 @@ func (s *Store) Record(instr ir.ID, ctx Context, seq int, det bool, val Snapshot
 		// sound.
 		f.Det = false
 	}
+	return wasDet && !f.Det
 }
 
 // Merge folds facts from another run into s. A determinate fact in either

@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a registry of named counters, gauges and histograms. Handles
+// are get-or-create and safe for concurrent use; hot paths should hold on
+// to the handle rather than re-looking it up by name.
+//
+// Names follow the Prometheus convention (snake_case, optional
+// {label="value"} suffix); both dump formats sort by name, so output is
+// deterministic regardless of registration order.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it at zero.
+func (m *Metrics) Counter(name string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it at zero.
+func (m *Metrics) Gauge(name string) *Gauge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// DefBuckets are the default histogram bucket upper bounds: a 1-2-5 decade
+// ladder wide enough for both nesting depths and propagation counts.
+var DefBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 1000, 10000, 100000}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds (DefBuckets when none are given). Bounds are only applied on
+// creation; later calls return the existing histogram unchanged.
+func (m *Metrics) Histogram(name string, bounds ...float64) *Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hists[name]
+	if !ok {
+		if len(bounds) == 0 {
+			bounds = DefBuckets
+		}
+		bs := make([]float64, len(bounds))
+		copy(bs, bounds)
+		sort.Float64s(bs)
+		h = &Histogram{bounds: bs, counts: make([]int64, len(bs)+1)}
+		m.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float metric that can move both ways.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetMax stores v if it exceeds the current value.
+func (g *Gauge) SetMax(v float64) {
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a bucketed distribution with cumulative Prometheus
+// semantics: bucket i counts observations ≤ bounds[i], plus an implicit
+// +Inf bucket.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64
+	sum    float64
+	n      int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum reports the sample total.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshot returns bounds and cumulative counts for dumping.
+func (h *Histogram) snapshot() (bounds []float64, cum []int64, sum float64, n int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bounds = h.bounds
+	cum = make([]int64, len(h.counts))
+	var acc int64
+	for i, c := range h.counts {
+		acc += c
+		cum[i] = acc
+	}
+	return bounds, cum, h.sum, h.n
+}
+
+// ---------------------------------------------------------------------------
+// Dumps
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// baseName strips a {label=...} suffix for TYPE comments.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WriteProm writes a Prometheus-style text dump, sorted by metric name so
+// the output is byte-for-byte deterministic.
+func (m *Metrics) WriteProm(w io.Writer) error {
+	m.mu.Lock()
+	cnames := sortedKeys(m.counters)
+	gnames := sortedKeys(m.gauges)
+	hnames := sortedKeys(m.hists)
+	counters, gauges, hists := m.counters, m.gauges, m.hists
+	m.mu.Unlock()
+
+	var b strings.Builder
+	lastType := ""
+	for _, n := range cnames {
+		if bn := baseName(n); bn != lastType {
+			fmt.Fprintf(&b, "# TYPE %s counter\n", bn)
+			lastType = bn
+		}
+		fmt.Fprintf(&b, "%s %d\n", n, counters[n].Value())
+	}
+	lastType = ""
+	for _, n := range gnames {
+		if bn := baseName(n); bn != lastType {
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", bn)
+			lastType = bn
+		}
+		fmt.Fprintf(&b, "%s %s\n", n, formatFloat(gauges[n].Value()))
+	}
+	for _, n := range hnames {
+		bounds, cum, sum, count := hists[n].snapshot()
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", baseName(n))
+		for i, ub := range bounds {
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", n, formatFloat(ub), cum[i])
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, cum[len(cum)-1])
+		fmt.Fprintf(&b, "%s_sum %s\n", n, formatFloat(sum))
+		fmt.Fprintf(&b, "%s_count %d\n", n, count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// histJSON is the JSON shape of one histogram.
+type histJSON struct {
+	Count   int64   `json:"count"`
+	Sum     float64 `json:"sum"`
+	Bounds  []float64
+	Buckets []int64
+}
+
+// MarshalJSON renders buckets as ordered {le, n} pairs; the implicit +Inf
+// bound is encoded as the string "+Inf" (JSON has no infinity literal).
+func (h histJSON) MarshalJSON() ([]byte, error) {
+	type bucket struct {
+		LE any   `json:"le"`
+		N  int64 `json:"n"`
+	}
+	out := struct {
+		Count   int64    `json:"count"`
+		Sum     float64  `json:"sum"`
+		Buckets []bucket `json:"buckets"`
+	}{Count: h.Count, Sum: h.Sum, Buckets: make([]bucket, 0, len(h.Bounds)+1)}
+	for i, ub := range h.Bounds {
+		out.Buckets = append(out.Buckets, bucket{LE: ub, N: h.Buckets[i]})
+	}
+	out.Buckets = append(out.Buckets, bucket{LE: "+Inf", N: h.Buckets[len(h.Buckets)-1]})
+	return json.Marshal(out)
+}
+
+// WriteJSON writes the registry as one JSON object. encoding/json sorts map
+// keys, so the output is deterministic.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	m.mu.Lock()
+	counters := make(map[string]int64, len(m.counters))
+	for n, c := range m.counters {
+		counters[n] = c.Value()
+	}
+	gauges := make(map[string]float64, len(m.gauges))
+	for n, g := range m.gauges {
+		gauges[n] = g.Value()
+	}
+	hists := make(map[string]histJSON, len(m.hists))
+	for n, h := range m.hists {
+		bounds, cum, sum, count := h.snapshot()
+		hists[n] = histJSON{Count: count, Sum: sum, Bounds: bounds, Buckets: cum}
+	}
+	m.mu.Unlock()
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Counters   map[string]int64    `json:"counters"`
+		Gauges     map[string]float64  `json:"gauges"`
+		Histograms map[string]histJSON `json:"histograms"`
+	}{counters, gauges, hists})
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,435 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func ev(kind EventKind, phase string, n1 int64) Event {
+	return Event{Kind: kind, Phase: phase, N1: n1}
+}
+
+func TestObsCollectorOrdering(t *testing.T) {
+	tests := []struct {
+		name     string
+		capacity int
+		send     []Event
+		want     []Event // expected retained events, oldest first
+		dropped  uint64
+	}{
+		{
+			name:     "under capacity preserves order",
+			capacity: 8,
+			send: []Event{
+				ev(EvPhaseBegin, "parse", 0),
+				ev(EvHeapFlush, "indet-call", 1),
+				ev(EvPhaseEnd, "parse", 0),
+			},
+			want: []Event{
+				ev(EvPhaseBegin, "parse", 0),
+				ev(EvHeapFlush, "indet-call", 1),
+				ev(EvPhaseEnd, "parse", 0),
+			},
+		},
+		{
+			name:     "exactly at capacity",
+			capacity: 2,
+			send:     []Event{ev(EvCFEnter, "", 1), ev(EvCFExit, "", 1)},
+			want:     []Event{ev(EvCFEnter, "", 1), ev(EvCFExit, "", 1)},
+		},
+		{
+			name:     "wraparound keeps newest in order",
+			capacity: 3,
+			send: []Event{
+				ev(EvHeapFlush, "a", 1), ev(EvHeapFlush, "b", 2), ev(EvHeapFlush, "c", 3),
+				ev(EvHeapFlush, "d", 4), ev(EvHeapFlush, "e", 5),
+			},
+			want:    []Event{ev(EvHeapFlush, "c", 3), ev(EvHeapFlush, "d", 4), ev(EvHeapFlush, "e", 5)},
+			dropped: 2,
+		},
+		{
+			name:     "wraparound multiple cycles",
+			capacity: 2,
+			send: []Event{
+				ev(EvTaint, "m1", 1), ev(EvTaint, "m2", 2), ev(EvTaint, "m3", 3),
+				ev(EvTaint, "m4", 4), ev(EvTaint, "m5", 5), ev(EvTaint, "m6", 6),
+				ev(EvTaint, "m7", 7),
+			},
+			want:    []Event{ev(EvTaint, "m6", 6), ev(EvTaint, "m7", 7)},
+			dropped: 5,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := NewCollector(tt.capacity)
+			for _, e := range tt.send {
+				c.Event(e)
+			}
+			got := c.Events()
+			if len(got) != len(tt.want) {
+				t.Fatalf("retained %d events, want %d: %v", len(got), len(tt.want), got)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Errorf("event %d = %+v, want %+v", i, got[i], tt.want[i])
+				}
+			}
+			if c.Dropped() != tt.dropped {
+				t.Errorf("Dropped() = %d, want %d", c.Dropped(), tt.dropped)
+			}
+			if c.Total() != uint64(len(tt.send)) {
+				t.Errorf("Total() = %d, want %d", c.Total(), len(tt.send))
+			}
+		})
+	}
+}
+
+func TestObsCollectorCount(t *testing.T) {
+	c := NewCollector(16)
+	for i := 0; i < 3; i++ {
+		c.Event(ev(EvHeapFlush, "r", int64(i)))
+	}
+	c.Event(ev(EvCFEnter, "", 1))
+	if got := c.Count(EvHeapFlush); got != 3 {
+		t.Errorf("Count(EvHeapFlush) = %d, want 3", got)
+	}
+	if got := c.Count(EvEval); got != 0 {
+		t.Errorf("Count(EvEval) = %d, want 0", got)
+	}
+}
+
+func TestObsJSONLWriter(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONLWriter(&buf)
+	j.Event(Event{Kind: EvPhaseBegin, Phase: "exec"})
+	j.Event(Event{Kind: EvHeapFlush, Phase: "indet-call", N1: 2, N2: 7})
+	j.Event(Event{Kind: EvSolver, N1: 1, N2: 2, N3: 3, N4: 4})
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("line %d is not valid JSON: %s", i, line)
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := rec["ev"]; !ok {
+			t.Errorf("line %d missing ev field: %s", i, line)
+		}
+		if got := rec["seq"].(float64); got != float64(i) {
+			t.Errorf("line %d seq = %v, want %d", i, got, i)
+		}
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if second["ev"] != "heap-flush" || second["phase"] != "indet-call" || second["n2"].(float64) != 7 {
+		t.Errorf("unexpected flush record: %v", second)
+	}
+}
+
+func TestObsChromeTraceValidity(t *testing.T) {
+	tests := []struct {
+		name string
+		send []Event
+		// wantNames must all appear among the record names.
+		wantNames []string
+	}{
+		{
+			name: "phases and flushes",
+			send: []Event{
+				ev(EvPhaseBegin, "parse", 0), ev(EvPhaseEnd, "parse", 0),
+				ev(EvPhaseBegin, "exec", 0),
+				ev(EvHeapFlush, "indet-call", 1),
+				ev(EvPhaseEnd, "exec", 0),
+			},
+			wantNames: []string{"parse", "exec", "flush:indet-call"},
+		},
+		{
+			name: "counterfactual nesting and solver counters",
+			send: []Event{
+				{Kind: EvCFEnter, N1: 1}, {Kind: EvCFEnter, N1: 2},
+				{Kind: EvCFExit, N1: 2}, {Kind: EvCFExit, N1: 1},
+				{Kind: EvBranchEnter, Detail: "loop", N1: 1}, {Kind: EvBranchExit, Detail: "loop", N1: 1},
+				{Kind: EvSolver, N1: 100, N2: 5, N3: 40, N4: 12},
+				{Kind: EvFactRecord, N1: 3, N2: 1},
+				{Kind: EvFactInvalidate, N1: 3},
+				{Kind: EvEval, Detail: "indet", N1: 42},
+				{Kind: EvTaint, Phase: "post-branch-mark", N1: 9},
+				{Kind: EvEnvFlush, N1: 1},
+			},
+			wantNames: []string{"counterfactual", "indet-loop", "pointsto", "eval:indet",
+				"taint:post-branch-mark", "env-flush", "facts"},
+		},
+		{
+			name:      "empty trace is still valid",
+			send:      nil,
+			wantNames: []string{"facts"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ct := NewChromeTrace()
+			for _, e := range tt.send {
+				ct.Event(e)
+			}
+			var buf bytes.Buffer
+			if _, err := ct.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !json.Valid(buf.Bytes()) {
+				t.Fatalf("chrome trace is not valid JSON:\n%s", buf.String())
+			}
+			var doc struct {
+				TraceEvents []map[string]any `json:"traceEvents"`
+			}
+			if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+				t.Fatal(err)
+			}
+			names := map[string]bool{}
+			for i, rec := range doc.TraceEvents {
+				ph, ok := rec["ph"].(string)
+				if !ok || ph == "" {
+					t.Errorf("record %d missing ph: %v", i, rec)
+				}
+				if _, ok := rec["ts"].(float64); !ok {
+					t.Errorf("record %d missing ts: %v", i, rec)
+				}
+				if name, ok := rec["name"].(string); ok {
+					names[name] = true
+				}
+			}
+			for _, want := range tt.wantNames {
+				if !names[want] {
+					t.Errorf("trace missing record name %q; have %v", want, names)
+				}
+			}
+		})
+	}
+}
+
+func TestObsChromeBeginEndBalance(t *testing.T) {
+	ct := NewChromeTrace()
+	ct.Event(Event{Kind: EvPhaseBegin, Phase: "exec"})
+	ct.Event(Event{Kind: EvCFEnter, N1: 1})
+	ct.Event(Event{Kind: EvCFExit, N1: 1})
+	ct.Event(Event{Kind: EvPhaseEnd, Phase: "exec"})
+	var buf bytes.Buffer
+	if _, err := ct.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Tid int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	depth := map[int]int{}
+	for _, rec := range doc.TraceEvents {
+		switch rec.Ph {
+		case "B":
+			depth[rec.Tid]++
+		case "E":
+			depth[rec.Tid]--
+			if depth[rec.Tid] < 0 {
+				t.Fatalf("E without matching B on tid %d", rec.Tid)
+			}
+		}
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			t.Errorf("tid %d ends with %d unclosed B records", tid, d)
+		}
+	}
+}
+
+func TestObsMetricsDumpDeterminism(t *testing.T) {
+	build := func(order []int) *Metrics {
+		m := NewMetrics()
+		ops := []func(){
+			func() { m.Counter("zeta_total").Add(3) },
+			func() { m.Counter(`alpha_total{reason="x"}`).Inc() },
+			func() { m.Gauge("beta_gauge").Set(2.5) },
+			func() {
+				h := m.Histogram("depth", 1, 2, 5)
+				h.Observe(1)
+				h.Observe(3)
+				h.Observe(100)
+			},
+		}
+		for _, i := range order {
+			ops[i]()
+		}
+		return m
+	}
+	var a, b, a2 bytes.Buffer
+	ma := build([]int{0, 1, 2, 3})
+	mb := build([]int{3, 2, 1, 0})
+	if err := ma.WriteProm(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := mb.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("prom dump depends on registration order:\n--- a ---\n%s--- b ---\n%s", a.String(), b.String())
+	}
+	// Repeated dumps of the same registry are identical.
+	if err := ma.WriteProm(&a2); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != a2.String() {
+		t.Errorf("repeated prom dumps differ")
+	}
+
+	var ja, jb bytes.Buffer
+	if err := ma.WriteJSON(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := mb.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if ja.String() != jb.String() {
+		t.Errorf("json dump depends on registration order:\n%s\nvs\n%s", ja.String(), jb.String())
+	}
+	if !json.Valid(ja.Bytes()) {
+		t.Fatalf("metrics JSON invalid: %s", ja.String())
+	}
+}
+
+func TestObsMetricsContent(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("flushes_total").Add(7)
+	m.Counter("flushes_total").Inc() // same handle by name
+	m.Gauge("hwm").SetMax(3)
+	m.Gauge("hwm").SetMax(2) // lower, must not replace
+	h := m.Histogram("cf_depth", 1, 2, 4)
+	for _, v := range []float64{1, 1, 2, 3, 9} {
+		h.Observe(v)
+	}
+
+	if got := m.Counter("flushes_total").Value(); got != 8 {
+		t.Errorf("counter = %d, want 8", got)
+	}
+	if got := m.Gauge("hwm").Value(); got != 3 {
+		t.Errorf("gauge = %v, want 3", got)
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("histogram count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 16 {
+		t.Errorf("histogram sum = %v, want 16", got)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE flushes_total counter",
+		"flushes_total 8",
+		"hwm 3",
+		`cf_depth_bucket{le="1"} 2`,
+		`cf_depth_bucket{le="2"} 3`,
+		`cf_depth_bucket{le="4"} 4`,
+		`cf_depth_bucket{le="+Inf"} 5`,
+		"cf_depth_sum 16",
+		"cf_depth_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestObsMulti(t *testing.T) {
+	if got := Multi(nil, nil); got != nil {
+		t.Errorf("Multi(nil, nil) = %v, want nil", got)
+	}
+	c := NewCollector(4)
+	if got := Multi(nil, c, nil); got != Tracer(c) {
+		t.Errorf("Multi with one live tracer should return it directly")
+	}
+	c2 := NewCollector(4)
+	m := Multi(c, c2)
+	m.Event(ev(EvHeapFlush, "r", 1))
+	if c.Total() != 1 || c2.Total() != 1 {
+		t.Errorf("multi did not fan out: %d, %d", c.Total(), c2.Total())
+	}
+}
+
+func TestObsPhaseScope(t *testing.T) {
+	c := NewCollector(8)
+	done := PhaseScope(c, "solve")
+	done()
+	evs := c.Events()
+	if len(evs) != 2 || evs[0].Kind != EvPhaseBegin || evs[1].Kind != EvPhaseEnd ||
+		evs[0].Phase != "solve" || evs[1].Phase != "solve" {
+		t.Fatalf("unexpected phase events: %+v", evs)
+	}
+	// nil tracer path must be a no-op and must not panic.
+	PhaseScope(nil, "x")()
+}
+
+// TestObsDisabledPathAllocs asserts that the guarded emission pattern used
+// throughout the pipeline — and PhaseScope with a nil tracer — performs no
+// allocation when tracing is disabled.
+func TestObsDisabledPathAllocs(t *testing.T) {
+	var tr Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		if tr != nil {
+			tr.Event(Event{Kind: EvHeapFlush, Phase: "indet-call", N1: 1, N2: 2})
+		}
+		PhaseScope(tr, "exec")()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing path allocates %v bytes/op, want 0", allocs)
+	}
+}
+
+func TestObsEventKindString(t *testing.T) {
+	seen := map[string]bool{}
+	for k := EventKind(0); k < numEventKinds; k++ {
+		s := k.String()
+		if s == "" || s == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if EventKind(200).String() != "unknown" {
+		t.Errorf("out-of-range kind should stringify as unknown")
+	}
+}
+
+func ExampleMetrics_WriteProm() {
+	m := NewMetrics()
+	m.Counter("analysis_heap_flushes_total").Add(3)
+	m.Gauge("pointsto_worklist_hwm").Set(17)
+	var buf bytes.Buffer
+	if err := m.WriteProm(&buf); err != nil {
+		panic(err)
+	}
+	fmt.Print(buf.String())
+	// Output:
+	// # TYPE analysis_heap_flushes_total counter
+	// analysis_heap_flushes_total 3
+	// # TYPE pointsto_worklist_hwm gauge
+	// pointsto_worklist_hwm 17
+}

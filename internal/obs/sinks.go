@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// Collector: ring-buffered in-memory sink
+
+// Collector keeps the last capacity events in a ring buffer. It is the sink
+// of choice for tests and for post-run summaries that only need recent
+// history (e.g. "what flushed right before the budget ran out").
+type Collector struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int // index of the oldest event once the ring is full
+	total uint64
+}
+
+// NewCollector creates a collector holding up to capacity events
+// (4096 when capacity <= 0).
+func NewCollector(capacity int) *Collector {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Collector{buf: make([]Event, 0, capacity)}
+}
+
+// Event implements Tracer.
+func (c *Collector) Event(e Event) {
+	c.mu.Lock()
+	if len(c.buf) < cap(c.buf) {
+		c.buf = append(c.buf, e)
+	} else {
+		c.buf[c.next] = e
+		c.next++
+		if c.next == len(c.buf) {
+			c.next = 0
+		}
+	}
+	c.total++
+	c.mu.Unlock()
+}
+
+// Events returns the retained events oldest-first.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, 0, len(c.buf))
+	out = append(out, c.buf[c.next:]...)
+	out = append(out, c.buf[:c.next]...)
+	return out
+}
+
+// Total reports how many events were ever received.
+func (c *Collector) Total() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Dropped reports how many events fell out of the ring.
+func (c *Collector) Dropped() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total - uint64(len(c.buf))
+}
+
+// Count reports how many retained events have the given kind.
+func (c *Collector) Count(k EventKind) int {
+	n := 0
+	for _, e := range c.Events() {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// JSONLWriter: one JSON object per event
+
+// jsonlEvent is the wire shape of one JSONL record.
+type jsonlEvent struct {
+	Seq    uint64 `json:"seq"`
+	TsUS   int64  `json:"ts_us"`
+	Kind   string `json:"ev"`
+	Phase  string `json:"phase,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	N1     int64  `json:"n1,omitempty"`
+	N2     int64  `json:"n2,omitempty"`
+	N3     int64  `json:"n3,omitempty"`
+	N4     int64  `json:"n4,omitempty"`
+}
+
+// JSONLWriter streams events as JSON lines. Timestamps are microseconds
+// since the writer was created. Write errors are sticky and surfaced by
+// Err, keeping the Tracer interface allocation- and error-free at emission
+// sites.
+type JSONLWriter struct {
+	mu    sync.Mutex
+	enc   *json.Encoder
+	start time.Time
+	seq   uint64
+	err   error
+}
+
+// NewJSONLWriter creates a JSONL sink writing to w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{enc: json.NewEncoder(w), start: time.Now()}
+}
+
+// Event implements Tracer.
+func (j *JSONLWriter) Event(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	rec := jsonlEvent{
+		Seq:    j.seq,
+		TsUS:   time.Since(j.start).Microseconds(),
+		Kind:   e.Kind.String(),
+		Phase:  e.Phase,
+		Detail: e.Detail,
+		N1:     e.N1, N2: e.N2, N3: e.N3, N4: e.N4,
+	}
+	j.seq++
+	j.err = j.enc.Encode(rec)
+}
+
+// Err returns the first write error, if any.
+func (j *JSONLWriter) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// ---------------------------------------------------------------------------
+// ChromeTrace: trace_event JSON for Perfetto / about://tracing
+
+// chromeRec is one trace_event record. Ph and Ts are always present — the
+// loader requires them.
+type chromeRec struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	Ts   int64            `json:"ts"`
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	S    string           `json:"s,omitempty"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// Thread lanes in the exported trace.
+const (
+	chromeTidPhases   = 1 // pipeline phases
+	chromeTidBranches = 2 // indeterminate branches + counterfactuals
+	chromeTidSolver   = 3 // points-to counters
+)
+
+// ChromeTrace buffers events and writes them as Chrome trace_event JSON
+// ({"traceEvents": [...]}), loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Phases and counterfactual nesting become duration
+// (B/E) slices; flushes, taints and evals become instant events;
+// solver snapshots become counter tracks. Per-fact events are aggregated
+// into a final counter rather than recorded individually (they are far too
+// frequent to be useful as slices).
+type ChromeTrace struct {
+	mu          sync.Mutex
+	start       time.Time
+	recs        []chromeRec
+	factRecords int64
+	factInvalid int64
+}
+
+// NewChromeTrace creates an empty Chrome-format sink.
+func NewChromeTrace() *ChromeTrace {
+	return &ChromeTrace{start: time.Now()}
+}
+
+// Event implements Tracer.
+func (c *ChromeTrace) Event(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts := time.Since(c.start).Microseconds()
+	switch e.Kind {
+	case EvPhaseBegin, EvPhaseEnd:
+		ph := "B"
+		if e.Kind == EvPhaseEnd {
+			ph = "E"
+		}
+		c.push(chromeRec{Name: e.Phase, Ph: ph, Ts: ts, Tid: chromeTidPhases})
+	case EvBranchEnter, EvBranchExit:
+		name := "indet-branch"
+		if e.Detail == "loop" {
+			name = "indet-loop"
+		}
+		ph := "B"
+		if e.Kind == EvBranchExit {
+			ph = "E"
+		}
+		c.push(chromeRec{Name: name, Ph: ph, Ts: ts, Tid: chromeTidBranches,
+			Args: map[string]int64{"depth": e.N1}})
+	case EvCFEnter, EvCFExit:
+		ph := "B"
+		if e.Kind == EvCFExit {
+			ph = "E"
+		}
+		c.push(chromeRec{Name: "counterfactual", Ph: ph, Ts: ts, Tid: chromeTidBranches,
+			Args: map[string]int64{"depth": e.N1}})
+	case EvHeapFlush:
+		c.push(chromeRec{Name: "flush:" + e.Phase, Ph: "i", S: "t", Ts: ts,
+			Tid: chromeTidPhases, Args: map[string]int64{"epoch": e.N1, "total": e.N2}})
+	case EvEnvFlush:
+		c.push(chromeRec{Name: "env-flush", Ph: "i", S: "t", Ts: ts,
+			Tid: chromeTidPhases, Args: map[string]int64{"epoch": e.N1}})
+	case EvTaint:
+		c.push(chromeRec{Name: "taint:" + e.Phase, Ph: "i", S: "t", Ts: ts,
+			Tid: chromeTidBranches, Args: map[string]int64{"locations": e.N1}})
+	case EvEval:
+		c.push(chromeRec{Name: "eval:" + e.Detail, Ph: "i", S: "t", Ts: ts,
+			Tid: chromeTidPhases, Args: map[string]int64{"srclen": e.N1}})
+	case EvSolver:
+		c.push(chromeRec{Name: "pointsto", Ph: "C", Ts: ts, Tid: chromeTidSolver,
+			Args: map[string]int64{"work": e.N1, "worklist": e.N2, "nodes": e.N3, "objects": e.N4}})
+	case EvFactRecord:
+		c.factRecords++
+	case EvFactInvalidate:
+		c.factInvalid++
+	}
+}
+
+func (c *ChromeTrace) push(r chromeRec) {
+	r.Pid = 1
+	c.recs = append(c.recs, r)
+}
+
+// WriteTo writes the buffered trace as a single JSON document.
+func (c *ChromeTrace) WriteTo(w io.Writer) (int64, error) {
+	c.mu.Lock()
+	recs := make([]chromeRec, len(c.recs))
+	copy(recs, c.recs)
+	ts := time.Since(c.start).Microseconds()
+	recs = append(recs, chromeRec{
+		Name: "facts", Ph: "C", Ts: ts, Pid: 1, Tid: chromeTidSolver,
+		Args: map[string]int64{"recorded": c.factRecords, "invalidated": c.factInvalid},
+	})
+	c.mu.Unlock()
+
+	doc := struct {
+		TraceEvents     []chromeRec `json:"traceEvents"`
+		DisplayTimeUnit string      `json:"displayTimeUnit"`
+	}{recs, "ms"}
+	data, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(data)
+	if err != nil {
+		return int64(n), err
+	}
+	m, err := fmt.Fprintln(w)
+	return int64(n + m), err
+}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"determinacy/internal/ir"
+	"determinacy/internal/obs"
 )
 
 // ObjID identifies an abstract object.
@@ -70,7 +71,15 @@ type Options struct {
 	// the default of 5 million. Exceeding it sets Result.BudgetExceeded,
 	// the deterministic analogue of the paper's 10-minute timeout.
 	Budget int
+	// Tracer receives solve-phase events and periodic worklist snapshots
+	// (EvSolver, every solverSnapshotEvery propagations). nil disables
+	// tracing at no cost.
+	Tracer obs.Tracer
 }
+
+// solverSnapshotEvery is the propagation-count interval between EvSolver
+// snapshots; a power of two so the check is a mask.
+const solverSnapshotEvery = 8192
 
 // Result carries the analysis outputs.
 type Result struct {
@@ -89,6 +98,9 @@ type Result struct {
 	// EvalSites lists call sites whose only resolved callee is the eval
 	// native: code the static analysis cannot see.
 	EvalSites []ir.ID
+	// WorklistHWM is the worklist's high-water mark, a measure of how
+	// bursty propagation was (sharding/batching candidates watch this).
+	WorklistHWM int
 	// Duration is solver wall-clock time.
 	Duration time.Duration
 
@@ -207,9 +219,11 @@ type analysis struct {
 	protos    map[string]ObjID
 	evalObj   ObjID
 
-	worklist []int
-	work     int
-	exceeded bool
+	worklist    []int
+	worklistHWM int
+	work        int
+	exceeded    bool
+	tracer      obs.Tracer
 }
 
 type varKey struct {
@@ -259,11 +273,15 @@ func Analyze(mod *ir.Module, opts Options) *Result {
 		allocObjOf: map[ir.ID]ObjID{},
 		callSites:  map[ir.ID]*callInfo{},
 		protos:     map[string]ObjID{},
+		tracer:     opts.Tracer,
 	}
 	start := time.Now()
+	done := obs.PhaseScope(a.tracer, "solve")
 	a.setupBuiltins()
 	a.processFunction(mod.Top())
 	a.solve()
+	a.snapshot()
+	done()
 
 	res := &Result{
 		Callees:        map[ir.ID][]*Object{},
@@ -271,6 +289,7 @@ func Analyze(mod *ir.Module, opts Options) *Result {
 		Propagations:   a.work,
 		NumObjects:     len(a.objs),
 		NumNodes:       len(a.nodes),
+		WorklistHWM:    a.worklistHWM,
 		Duration:       time.Since(start),
 		an:             a,
 	}
@@ -435,7 +454,20 @@ func (a *analysis) enqueue(n int) {
 	if !nd.inWorklist {
 		nd.inWorklist = true
 		a.worklist = append(a.worklist, n)
+		if len(a.worklist) > a.worklistHWM {
+			a.worklistHWM = len(a.worklist)
+		}
 	}
+}
+
+// snapshot emits an EvSolver event describing the current solver state.
+func (a *analysis) snapshot() {
+	if a.tracer == nil {
+		return
+	}
+	a.tracer.Event(obs.Event{Kind: obs.EvSolver,
+		N1: int64(a.work), N2: int64(len(a.worklist)),
+		N3: int64(len(a.nodes)), N4: int64(len(a.objs))})
 }
 
 func (a *analysis) solve() {
@@ -452,6 +484,9 @@ func (a *analysis) solve() {
 				a.exceeded = true
 				return
 			}
+			if a.tracer != nil && a.work%solverSnapshotEvery == 0 {
+				a.snapshot()
+			}
 			for _, to := range nd.copies {
 				a.addObj(to, o)
 			}
@@ -460,6 +495,23 @@ func (a *analysis) solve() {
 			}
 		}
 	}
+}
+
+// Export publishes the solver's result counters into a metrics registry
+// using the pipeline's canonical metric names.
+func (r *Result) Export(m *obs.Metrics) {
+	m.Counter("pointsto_propagations_total").Add(int64(r.Propagations))
+	m.Gauge("pointsto_nodes").Set(float64(r.NumNodes))
+	m.Gauge("pointsto_objects").Set(float64(r.NumObjects))
+	m.Gauge("pointsto_reachable_funcs").Set(float64(r.ReachableFuncs))
+	m.Gauge("pointsto_worklist_hwm").SetMax(float64(r.WorklistHWM))
+	m.Gauge("pointsto_eval_sites").Set(float64(len(r.EvalSites)))
+	exceeded := 0.0
+	if r.BudgetExceeded {
+		exceeded = 1
+	}
+	m.Gauge("pointsto_budget_exceeded").Set(exceeded)
+	m.Gauge("pointsto_duration_seconds").Set(r.Duration.Seconds())
 }
 
 // FunctionReached reports whether the function with the given index became
