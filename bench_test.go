@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"determinacy"
+	"determinacy/internal/batch/progcache"
 	"determinacy/internal/core"
 	"determinacy/internal/experiment"
 	"determinacy/internal/facts"
@@ -350,6 +351,66 @@ func BenchmarkTracerCollector(b *testing.B) {
 		events = col.Total()
 	}
 	b.ReportMetric(float64(events), "events")
+}
+
+// ---------------------------------------------------------------------------
+// Batch engine: full Table 1 serial vs parallel, and the compile cache.
+// On a single-core runner the two Table 1 variants coincide (see
+// EXPERIMENTS.md); the busy/longest-job metrics expose the scheduling bound
+// — busy-ms/longest-ms is the speedup ceiling any worker count can reach.
+
+func benchTable1Pool(b *testing.B, workers int) {
+	m := obs.NewMetrics()
+	var rows []experiment.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows = experiment.RunTable1(experiment.Config{Workers: workers, Metrics: m})
+	}
+	for _, r := range rows {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	busy := float64(m.Counter("batch_pool_busy_nanoseconds_total").Value())
+	wall := float64(m.Counter("batch_pool_wall_nanoseconds_total").Value())
+	b.ReportMetric(busy/float64(b.N)/1e6, "busy-ms")
+	b.ReportMetric(wall/float64(b.N)/1e6, "wall-ms")
+	b.ReportMetric(m.Gauge("batch_pool_longest_job_seconds").Value()*1e3, "longest-ms")
+}
+
+func BenchmarkTable1Serial(b *testing.B)   { benchTable1Pool(b, 1) }
+func BenchmarkTable1Parallel(b *testing.B) { benchTable1Pool(b, 4) }
+
+func BenchmarkProgCacheMiss(b *testing.B) {
+	src := workload.JQuery(workload.JQ10)
+	c := progcache.New(b.N + 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// A fresh display name per iteration forces a distinct key, so every
+		// call pays the full lex→parse→lower cost plus insertion.
+		if _, _, err := c.Compile(sprintInt("jq-", i), src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if s := c.Stats(); s.Hits != 0 {
+		b.Fatalf("miss benchmark hit the cache: %+v", s)
+	}
+}
+
+func BenchmarkProgCacheHit(b *testing.B) {
+	src := workload.JQuery(workload.JQ10)
+	c := progcache.New(0)
+	if _, _, err := c.Compile("jq.js", src); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Compile("jq.js", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if s := c.Stats(); s.Misses != 1 {
+		b.Fatalf("hit benchmark missed the cache: %+v", s)
+	}
 }
 
 func BenchmarkPointsToBaselineJQ10(b *testing.B) {

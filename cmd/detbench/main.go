@@ -27,6 +27,7 @@ func main() {
 		all         = flag.Bool("all", false, "run everything")
 		budget      = flag.Int("budget", 0, "points-to work budget (0 = default)")
 		seed        = flag.Uint64("seed", 0, "PRNG seed for the dynamic runs")
+		workers     = flag.Int("workers", 0, "concurrent analysis jobs (0 = GOMAXPROCS, 1 = serial); output is byte-identical for every setting")
 		metricsJSON = flag.String("metrics-json", "", `also write experiment metrics as JSON to this file ("-" = stdout); EXPERIMENTS.md numbers regenerate from this dump`)
 	)
 	flag.Parse()
@@ -34,11 +35,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	cfg := experiment.Config{Budget: *budget, Seed: *seed}
 	var m *obs.Metrics
 	if *metricsJSON != "" {
 		m = obs.NewMetrics()
 	}
+	cfg := experiment.Config{Budget: *budget, Seed: *seed, Workers: *workers, Metrics: m}
 
 	if *table1 || *all {
 		fmt.Println("== Table 1: pointer analysis scalability (paper §5.1) ==")

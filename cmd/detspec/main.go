@@ -31,6 +31,8 @@ func main() {
 		factsFile  = flag.String("facts", "", "load facts from a detrun -json dump instead of running the dynamic analysis")
 		generalize = flag.Bool("generalize", false, "also apply context-insensitive fact projections (§7)")
 		metrics    = flag.String("metrics", "", `write Prometheus-style metrics to this file ("-" = stdout)`)
+		runs       = flag.Int("runs", 1, "merge facts from this many dynamic runs with consecutive seeds (§7) before specializing")
+		workers    = flag.Int("workers", 0, "concurrent dynamic runs when -runs > 1 (0 = GOMAXPROCS, 1 = serial); the merged facts are identical for every setting")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -62,14 +64,26 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		res, err = determinacy.AnalyzeFile(flag.Arg(0), string(src), determinacy.Options{
+		opts := determinacy.Options{
 			Seed:             *seed,
 			WithDOM:          *withDOM || *detDOM,
 			DeterministicDOM: *detDOM,
 			RunHandlers:      8,
 			MaxFlushes:       1000,
 			Out:              io.Discard,
-		})
+			Workers:          *workers,
+		}
+		if *runs > 1 {
+			// §7: facts from runs on different seeds are all sound and merge
+			// by union; the runs fan out across the worker pool.
+			seeds := make([]uint64, *runs)
+			for i := range seeds {
+				seeds[i] = *seed + uint64(i)
+			}
+			res, err = determinacy.AnalyzeRuns(string(src), opts, seeds...)
+		} else {
+			res, err = determinacy.AnalyzeFile(flag.Arg(0), string(src), opts)
+		}
 		if err != nil {
 			fatal(err)
 		}

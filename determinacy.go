@@ -29,6 +29,8 @@ import (
 	"io"
 
 	"determinacy/internal/ast"
+	"determinacy/internal/batch"
+	"determinacy/internal/batch/progcache"
 	"determinacy/internal/core"
 	"determinacy/internal/dom"
 	"determinacy/internal/facts"
@@ -111,6 +113,12 @@ type Options struct {
 	// counterfactual nesting, taint spread, fact recording and eval
 	// encounters. nil disables tracing with near-zero overhead.
 	Tracer Tracer
+
+	// Workers bounds how many instrumented runs AnalyzeRuns executes
+	// concurrently (0 = GOMAXPROCS, 1 = strictly serial). Per-seed results
+	// are merged in seed submission order, so the merged facts and
+	// statistics are identical for every setting; see internal/batch.
+	Workers int
 }
 
 // Value is a concrete input value for Options.Inputs.
@@ -194,6 +202,14 @@ func AnalyzeFile(name, src string, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return analyzeLowered(prog, mod, opts)
+}
+
+// analyzeLowered runs the instrumented semantics over an already-compiled
+// program. The module is mutated during the run (eval'd code lowers into
+// it), so callers sharing a cached compile must pass a fresh Clone.
+func analyzeLowered(prog *ast.Program, mod *ir.Module, opts Options) (*Result, error) {
+	tr := opts.Tracer
 	store := facts.NewStore()
 	a := core.New(mod, store, core.Options{
 		Seed:                   opts.Seed,
@@ -248,27 +264,46 @@ func AnalyzeFile(name, src string, opts Options) (*Result, error) {
 // observations to indeterminate; two runs claiming different determinate
 // values at the same key would indicate an analysis bug and is surfaced as
 // an error.
+// The runs are fanned across a bounded worker pool (Options.Workers) and a
+// shared compilation cache, so the source compiles once regardless of seed
+// count; merging per-seed results in seed submission order keeps the merged
+// store and statistics identical to a serial sweep.
 func AnalyzeRuns(src string, opts Options, seeds ...uint64) (*Result, error) {
 	if len(seeds) == 0 {
 		seeds = []uint64{0}
 	}
-	var merged *Result
-	for _, seed := range seeds {
+	type runOut struct {
+		res *Result
+		err error
+	}
+	pool := batch.New(opts.Workers)
+	outs := batch.Map(pool, len(seeds), func(i int) runOut {
 		o := opts
-		o.Seed = seed
-		res, err := AnalyzeFile("program.js", src, o)
+		o.Seed = seeds[i]
+		prog, mod, err := runsCache.Compile("program.js", src)
 		if err != nil {
-			return nil, fmt.Errorf("determinacy: run with seed %d: %w", seed, err)
+			return runOut{err: fmt.Errorf("determinacy: run with seed %d: %w", seeds[i], err)}
+		}
+		res, err := analyzeLowered(prog, mod, o)
+		if err != nil {
+			return runOut{err: fmt.Errorf("determinacy: run with seed %d: %w", seeds[i], err)}
 		}
 		// Runtime-lowered eval code gets fresh instruction IDs per run, so
 		// only facts at static program points merge across runs.
 		res.store = res.store.Restrict(ir.ID(res.staticInstrs))
+		return runOut{res: res}
+	})
+	var merged *Result
+	for _, out := range outs {
+		if out.err != nil {
+			return nil, out.err
+		}
 		if merged == nil {
-			merged = res
+			merged = out.res
 			continue
 		}
-		merged.store.Merge(res.store)
-		merged.Stats.Merge(res.Stats)
+		merged.store.Merge(out.res.store)
+		merged.Stats.Merge(out.res.Stats)
 	}
 	if len(merged.store.Conflicts) > 0 {
 		return nil, fmt.Errorf("determinacy: %d conflicting determinate facts across runs (analysis bug)",
@@ -276,6 +311,11 @@ func AnalyzeRuns(src string, opts Options, seeds ...uint64) (*Result, error) {
 	}
 	return merged, nil
 }
+
+// runsCache backs AnalyzeRuns' per-seed compiles: content-addressed, so
+// repeated sweeps over the same source (and the first sweep's N-1 extra
+// seeds) skip the front end entirely.
+var runsCache = progcache.New(0)
 
 // Run executes src under the plain concrete interpreter (no
 // instrumentation), returning everything printed to console.

@@ -1,0 +1,205 @@
+// Package batch is a bounded worker-pool engine for fanning independent
+// analysis jobs across goroutines. The paper's two case studies (Table 1
+// jQuery specialization, §5.2 eval elimination) and multi-seed fact
+// gathering (§7) are embarrassingly parallel batches of independent
+// analyses; this package runs them concurrently while guaranteeing output
+// byte-identical to the serial path.
+//
+// The determinism contract: Map places each job's result at its submission
+// index and callers fold results in submission order, so for deterministic
+// jobs the merged outcome is independent of worker count and goroutine
+// scheduling. The differential suite in this package's tests asserts the
+// contract end to end against the experiment harness.
+package batch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"determinacy/internal/obs"
+)
+
+// Pool runs batches of jobs on a bounded set of worker goroutines. A Pool
+// is cheap (it holds no goroutines between batches — workers are spawned
+// per Map call and exit when the batch drains) and safe for concurrent use.
+type Pool struct {
+	workers int
+	metrics *obs.Metrics
+	pubMu   sync.Mutex // serializes publish so delta accounting stays exact
+	// published is the snapshot already mirrored into the registry; publish
+	// adds only the delta, so several pools can share one registry and
+	// their counters accumulate instead of clobbering.
+	published Snapshot
+
+	jobs    atomic.Int64
+	batches atomic.Int64
+	busyNS  atomic.Int64
+	wallNS  atomic.Int64
+	longNS  atomic.Int64 // longest single job observed
+}
+
+// New creates a pool with the given worker bound; non-positive means
+// GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// WithMetrics attaches a metrics registry; the pool then maintains
+// batch_pool_* counters and gauges (jobs, batches, busy/wall time,
+// utilization, longest job) live. Returns the pool for chaining.
+func (p *Pool) WithMetrics(m *obs.Metrics) *Pool {
+	p.metrics = m
+	if m != nil {
+		m.Gauge("batch_pool_workers").Set(float64(p.workers))
+	}
+	return p
+}
+
+// Workers reports the pool's worker bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Snapshot is a point-in-time view of cumulative pool activity.
+type Snapshot struct {
+	Jobs, Batches int64
+	// Busy is the summed duration of all jobs; Wall is the summed
+	// wall-clock duration of all Map calls.
+	Busy, Wall time.Duration
+	// LongestJob is the longest single job observed — the lower bound on
+	// any batch's wall-clock time regardless of worker count.
+	LongestJob time.Duration
+}
+
+// Utilization is Busy / (Wall × workers): the fraction of available worker
+// time spent executing jobs.
+func (s Snapshot) utilization(workers int) float64 {
+	if s.Wall <= 0 || workers <= 0 {
+		return 0
+	}
+	return float64(s.Busy) / (float64(s.Wall) * float64(workers))
+}
+
+// Snapshot reports cumulative pool activity.
+func (p *Pool) Snapshot() Snapshot {
+	return Snapshot{
+		Jobs:       p.jobs.Load(),
+		Batches:    p.batches.Load(),
+		Busy:       time.Duration(p.busyNS.Load()),
+		Wall:       time.Duration(p.wallNS.Load()),
+		LongestJob: time.Duration(p.longNS.Load()),
+	}
+}
+
+// Utilization reports cumulative busy time over available worker time.
+func (p *Pool) Utilization() float64 { return p.Snapshot().utilization(p.workers) }
+
+// Map runs job(0..n-1) on the pool's workers and returns the n results in
+// submission order. Jobs are claimed from a shared counter, so workers stay
+// busy under uneven job costs, but the result slice layout — and therefore
+// everything a caller derives from it by in-order folding — is identical to
+// a serial loop. A panicking job stops the batch after in-flight jobs
+// finish and re-panics on the calling goroutine.
+func Map[T any](p *Pool, n int, job func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+
+	start := time.Now()
+	var busy atomic.Int64
+
+	timedJob := func(i int) {
+		t0 := time.Now()
+		out[i] = job(i)
+		d := int64(time.Since(t0))
+		busy.Add(d)
+		atomicMax(&p.longNS, d)
+	}
+
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			timedJob(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		var panicOnce sync.Once
+		var panicked atomic.Bool
+		var panicVal any
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n || panicked.Load() {
+						return
+					}
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								panicOnce.Do(func() {
+									panicVal = fmt.Errorf("batch: job %d panicked: %v", i, r)
+									panicked.Store(true)
+								})
+							}
+						}()
+						timedJob(i)
+					}()
+				}
+			}()
+		}
+		wg.Wait()
+		if panicked.Load() {
+			panic(panicVal)
+		}
+	}
+
+	wall := time.Since(start)
+	p.jobs.Add(int64(n))
+	p.batches.Add(1)
+	p.busyNS.Add(busy.Load())
+	p.wallNS.Add(int64(wall))
+	p.publish()
+	return out
+}
+
+// publish mirrors cumulative activity into the attached registry. The
+// pool-wide mutex serializes concurrent batch completions so the raise-to-
+// cumulative-total counter updates stay exact.
+func (p *Pool) publish() {
+	m := p.metrics
+	if m == nil {
+		return
+	}
+	p.pubMu.Lock()
+	defer p.pubMu.Unlock()
+	s := p.Snapshot()
+	m.Counter("batch_pool_jobs_total").Add(s.Jobs - p.published.Jobs)
+	m.Counter("batch_pool_batches_total").Add(s.Batches - p.published.Batches)
+	m.Counter("batch_pool_busy_nanoseconds_total").Add(int64(s.Busy - p.published.Busy))
+	m.Counter("batch_pool_wall_nanoseconds_total").Add(int64(s.Wall - p.published.Wall))
+	m.Gauge("batch_pool_workers").Set(float64(p.workers))
+	m.Gauge("batch_pool_utilization").Set(s.utilization(p.workers))
+	m.Gauge("batch_pool_longest_job_seconds").SetMax(s.LongestJob.Seconds())
+	p.published = s
+}
+
+// atomicMax stores v into p if it exceeds the current value.
+func atomicMax(p *atomic.Int64, v int64) {
+	for {
+		cur := p.Load()
+		if cur >= v || p.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

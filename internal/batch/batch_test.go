@@ -1,0 +1,152 @@
+package batch
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"determinacy/internal/obs"
+)
+
+func TestMapPreservesSubmissionOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 32} {
+		p := New(workers)
+		out := Map(p, 100, func(i int) int { return i * i })
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: got %d results, want 100", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyBatch(t *testing.T) {
+	p := New(4)
+	if out := Map(p, 0, func(i int) int { return i }); out != nil {
+		t.Fatalf("Map with n=0 returned %v, want nil", out)
+	}
+	if s := p.Snapshot(); s.Batches != 0 || s.Jobs != 0 {
+		t.Fatalf("empty batch recorded activity: %+v", s)
+	}
+}
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	for _, w := range []int{0, -3} {
+		if got := New(w).Workers(); got != runtime.GOMAXPROCS(0) {
+			t.Fatalf("New(%d).Workers() = %d, want GOMAXPROCS = %d", w, got, runtime.GOMAXPROCS(0))
+		}
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Fatalf("New(7).Workers() = %d, want 7", got)
+	}
+}
+
+func TestMapRunsEveryJobExactlyOnce(t *testing.T) {
+	const n = 500
+	var counts [n]int32
+	var mu sync.Mutex
+	p := New(8)
+	Map(p, n, func(i int) struct{} {
+		mu.Lock()
+		counts[i]++
+		mu.Unlock()
+		return struct{}{}
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("job %d ran %d times, want exactly once", i, c)
+		}
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	p := New(4)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Map did not re-panic on the caller")
+		}
+		msg, ok := r.(error)
+		if !ok || !strings.Contains(msg.Error(), "job 3 panicked: boom") {
+			t.Fatalf("panic value = %v, want wrapped job-3 boom", r)
+		}
+	}()
+	Map(p, 8, func(i int) int {
+		if i == 3 {
+			panic("boom")
+		}
+		return i
+	})
+}
+
+func TestSnapshotAccounting(t *testing.T) {
+	p := New(2)
+	const n = 6
+	Map(p, n, func(i int) int {
+		time.Sleep(2 * time.Millisecond)
+		return i
+	})
+	s := p.Snapshot()
+	if s.Jobs != n || s.Batches != 1 {
+		t.Fatalf("jobs=%d batches=%d, want %d/1", s.Jobs, s.Batches, n)
+	}
+	if s.Busy < n*2*time.Millisecond {
+		t.Fatalf("busy = %v, want >= %v", s.Busy, n*2*time.Millisecond)
+	}
+	if s.Wall <= 0 || s.LongestJob < 2*time.Millisecond {
+		t.Fatalf("wall = %v longest = %v, want both positive", s.Wall, s.LongestJob)
+	}
+	if u := p.Utilization(); u <= 0 || u > 1.5 {
+		t.Fatalf("utilization = %v, want in (0, 1] (small scheduling slop tolerated)", u)
+	}
+}
+
+// TestSharedRegistryAccumulates pins the delta-publishing contract: several
+// pools mirroring into one registry must accumulate, not clobber each other.
+func TestSharedRegistryAccumulates(t *testing.T) {
+	m := obs.NewMetrics()
+	p1 := New(2).WithMetrics(m)
+	p2 := New(4).WithMetrics(m)
+	Map(p1, 10, func(i int) int { return i })
+	Map(p2, 7, func(i int) int { return i })
+	Map(p1, 3, func(i int) int { return i })
+	if got := m.Counter("batch_pool_jobs_total").Value(); got != 20 {
+		t.Fatalf("jobs_total = %d, want 20 (10+7+3 across two pools)", got)
+	}
+	if got := m.Counter("batch_pool_batches_total").Value(); got != 3 {
+		t.Fatalf("batches_total = %d, want 3", got)
+	}
+}
+
+// TestConcurrentBatches drives one pool from many goroutines at once; run
+// under -race this checks Map and the metrics mirror for data races.
+func TestConcurrentBatches(t *testing.T) {
+	m := obs.NewMetrics()
+	p := New(4).WithMetrics(m)
+	var wg sync.WaitGroup
+	const batches, jobs = 8, 25
+	for b := 0; b < batches; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := Map(p, jobs, func(i int) int { return i + 1 })
+			for i, v := range out {
+				if v != i+1 {
+					t.Errorf("out[%d] = %d, want %d", i, v, i+1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s := p.Snapshot(); s.Jobs != batches*jobs || s.Batches != batches {
+		t.Fatalf("snapshot %+v, want %d jobs / %d batches", s, batches*jobs, batches)
+	}
+	if got := m.Counter("batch_pool_jobs_total").Value(); got != batches*jobs {
+		t.Fatalf("jobs_total = %d, want %d", got, batches*jobs)
+	}
+}

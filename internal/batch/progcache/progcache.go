@@ -1,0 +1,187 @@
+// Package progcache is a content-addressed compilation cache for the
+// determinacy pipeline's front end. Lex→parse→lower results are keyed by a
+// hash of the display name and source text, bounded by an LRU policy, and
+// shared read-only across concurrent workers: the baseline/specialized
+// cells of one Table 1 row and the N seeds of a seed-sweep analysis all
+// compile the same source exactly once.
+//
+// Cached ASTs are handed out by pointer — every downstream consumer
+// (lowering, the specializer, fact rendering) treats the AST as read-only.
+// Cached modules are never handed out directly: runtime eval lowering
+// mutates a module, so Compile returns a fresh ir.Module.Clone per call,
+// which shares the immutable instructions but isolates all mutation.
+package progcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+	"sync/atomic"
+
+	"determinacy/internal/ast"
+	"determinacy/internal/ir"
+	"determinacy/internal/obs"
+	"determinacy/internal/parser"
+)
+
+// DefaultMaxEntries bounds the cache when New is given a non-positive
+// capacity. The experiment harness holds at most a few dozen distinct
+// sources (4 jQuery versions × a handful of specialized variants plus the
+// 28-program corpus), so this keeps every workload resident.
+const DefaultMaxEntries = 128
+
+// Cache is a bounded, content-addressed compile cache. It is safe for
+// concurrent use; concurrent misses on the same key compile once and share
+// the result (the losers block until the winner finishes).
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[cacheKey]*entry
+	lru     *list.List // front = most recently used; values are *entry
+
+	metrics *obs.Metrics
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// cacheKey is the content address: a hash of display name and source text.
+// The name participates so diagnostics (which embed it) stay byte-identical
+// to an uncached compile.
+type cacheKey [sha256.Size]byte
+
+type entry struct {
+	key  cacheKey
+	elem *list.Element
+
+	// once guards the single compilation of this entry; concurrent misses
+	// on the same key wait on it rather than compiling redundantly.
+	once sync.Once
+	prog *ast.Program
+	mod  *ir.Module // pristine master, never executed — only cloned
+	err  error
+}
+
+// New creates a cache bounded to max entries (DefaultMaxEntries when
+// max <= 0).
+func New(max int) *Cache {
+	if max <= 0 {
+		max = DefaultMaxEntries
+	}
+	return &Cache{max: max, entries: make(map[cacheKey]*entry), lru: list.New()}
+}
+
+// WithMetrics attaches a metrics registry; the cache then maintains
+// progcache_{hits,misses,evictions}_total counters and a progcache_entries
+// gauge live. Returns the cache for chaining.
+func (c *Cache) WithMetrics(m *obs.Metrics) *Cache {
+	c.metrics = m
+	return c
+}
+
+func keyOf(file, src string) cacheKey {
+	h := sha256.New()
+	h.Write([]byte(file))
+	h.Write([]byte{0})
+	h.Write([]byte(src))
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// Compile parses and lowers source, serving repeated requests for the same
+// (file, src) from the cache. The returned program is the shared cached AST
+// (read-only by convention); the returned module is a fresh clone that the
+// caller may execute and mutate freely. Front-end errors are cached too —
+// they are deterministic per source text.
+func (c *Cache) Compile(file, src string) (*ast.Program, *ir.Module, error) {
+	k := keyOf(file, src)
+
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	if ok {
+		c.lru.MoveToFront(e.elem)
+	} else {
+		e = &entry{key: k}
+		e.elem = c.lru.PushFront(e)
+		c.entries[k] = e
+		for len(c.entries) > c.max {
+			back := c.lru.Back()
+			be := back.Value.(*entry)
+			c.lru.Remove(back)
+			delete(c.entries, be.key)
+			c.evictions.Add(1)
+			c.count(func(m *obs.Metrics) { m.Counter("progcache_evictions_total").Inc() })
+		}
+	}
+	entries := len(c.entries)
+	c.mu.Unlock()
+
+	if ok {
+		c.hits.Add(1)
+		c.count(func(m *obs.Metrics) { m.Counter("progcache_hits_total").Inc() })
+	} else {
+		c.misses.Add(1)
+		c.count(func(m *obs.Metrics) { m.Counter("progcache_misses_total").Inc() })
+	}
+	c.count(func(m *obs.Metrics) {
+		m.Gauge("progcache_entries").Set(float64(entries))
+		s := c.Stats()
+		m.Gauge("progcache_hit_ratio").Set(s.HitRate())
+	})
+
+	e.once.Do(func() {
+		prog, err := parser.Parse(file, src)
+		if err != nil {
+			e.err = err
+			return
+		}
+		mod, err := ir.Lower(prog)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.prog, e.mod = prog, mod
+	})
+	if e.err != nil {
+		return nil, nil, e.err
+	}
+	return e.prog, e.mod.Clone(), nil
+}
+
+// count runs f against the attached registry, if any.
+func (c *Cache) count(f func(*obs.Metrics)) {
+	if c.metrics != nil {
+		f(c.metrics)
+	}
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	Hits, Misses, Evictions int64
+	Entries                 int
+}
+
+// HitRate is hits / (hits + misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats reports cumulative hit/miss/eviction counts and the live entry
+// count.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   n,
+	}
+}
+

@@ -1,0 +1,165 @@
+package progcache
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"determinacy/internal/obs"
+)
+
+const progA = `var x = 1 + 2; var y = x * 3;`
+const progB = `function f(n) { return n + 1; } var r = f(41);`
+const progC = `var s = "hello"; var t = s + " world";`
+
+func TestCompileHitMiss(t *testing.T) {
+	c := New(0)
+	p1, m1, err := c.Compile("a.js", progA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, m2, err := c.Compile("a.js", progA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("cached AST should be the shared pointer on a hit")
+	}
+	if m1 == m2 {
+		t.Fatal("modules must be fresh clones, never the same pointer")
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", s)
+	}
+	// Same source under a different display name is a different key: the
+	// name is embedded in diagnostics, so sharing across names would leak
+	// the wrong file name into errors and fact rendering.
+	if _, _, err := c.Compile("b.js", progA); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Misses != 2 {
+		t.Fatalf("distinct file name should miss; stats = %+v", s)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	c := New(0)
+	_, m1, err := c.Compile("a.js", progA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nFuncs, nInstrs := len(m1.Funcs), m1.NumInstrs
+	// Simulate what runtime eval lowering does to a module: grow it.
+	m1.Funcs = append(m1.Funcs, m1.Funcs[0])
+	m1.NumInstrs += 100
+
+	_, m2, err := c.Compile("a.js", progA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Funcs) != nFuncs || m2.NumInstrs != nInstrs {
+		t.Fatalf("mutating one clone leaked into the cache: funcs=%d instrs=%d, want %d/%d",
+			len(m2.Funcs), m2.NumInstrs, nFuncs, nInstrs)
+	}
+}
+
+func TestErrorsAreCached(t *testing.T) {
+	c := New(0)
+	_, _, err1 := c.Compile("bad.js", `var = = ;`)
+	if err1 == nil {
+		t.Fatal("expected a parse error")
+	}
+	_, _, err2 := c.Compile("bad.js", `var = = ;`)
+	if err2 == nil || err2.Error() != err1.Error() {
+		t.Fatalf("cached error mismatch: %v vs %v", err1, err2)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("error entries should hit like any other; stats = %+v", s)
+	}
+	if !strings.Contains(err1.Error(), "expected") {
+		t.Fatalf("unexpected diagnostic: %v", err1)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	mustCompile(t, c, "a.js", progA)
+	mustCompile(t, c, "b.js", progB)
+	mustCompile(t, c, "a.js", progA) // refresh a: b is now LRU
+	mustCompile(t, c, "c.js", progC) // evicts b
+	if s := c.Stats(); s.Entries != 2 || s.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 entries / 1 eviction", s)
+	}
+	mustCompile(t, c, "a.js", progA) // still resident
+	if s := c.Stats(); s.Hits != 2 {
+		t.Fatalf("refreshed entry should survive; stats = %+v", s)
+	}
+	mustCompile(t, c, "b.js", progB) // evicted, so a miss again
+	if s := c.Stats(); s.Misses != 4 || s.Evictions != 2 {
+		t.Fatalf("stats = %+v, want 4 misses / 2 evictions", s)
+	}
+}
+
+// TestConcurrentSingleflight checks that racing misses on one key compile
+// once and share the entry. Run under -race this also exercises the lock
+// discipline around the LRU list.
+func TestConcurrentSingleflight(t *testing.T) {
+	c := New(0)
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, m, err := c.Compile("a.js", progA)
+			if err != nil || p == nil || m == nil {
+				t.Errorf("concurrent Compile failed: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 miss / 1 entry for %d racers", s, goroutines)
+	}
+	if s.Hits != goroutines-1 {
+		t.Fatalf("hits = %d, want %d", s.Hits, goroutines-1)
+	}
+}
+
+func TestMetricsMirror(t *testing.T) {
+	m := obs.NewMetrics()
+	c := New(0).WithMetrics(m)
+	mustCompile(t, c, "a.js", progA)
+	mustCompile(t, c, "a.js", progA)
+	mustCompile(t, c, "b.js", progB)
+	if got := m.Counter("progcache_hits_total").Value(); got != 1 {
+		t.Fatalf("hits_total = %d, want 1", got)
+	}
+	if got := m.Counter("progcache_misses_total").Value(); got != 2 {
+		t.Fatalf("misses_total = %d, want 2", got)
+	}
+	if got := m.Gauge("progcache_entries").Value(); got != 2 {
+		t.Fatalf("entries gauge = %v, want 2", got)
+	}
+	want := Stats{Hits: 1, Misses: 2}.HitRate()
+	if got := m.Gauge("progcache_hit_ratio").Value(); got != want {
+		t.Fatalf("hit_ratio = %v, want %v", got, want)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	if hr := (Stats{}).HitRate(); hr != 0 {
+		t.Fatalf("empty HitRate = %v, want 0", hr)
+	}
+	if hr := (Stats{Hits: 3, Misses: 1}).HitRate(); hr != 0.75 {
+		t.Fatalf("HitRate = %v, want 0.75", hr)
+	}
+}
+
+func mustCompile(t *testing.T, c *Cache, file, src string) {
+	t.Helper()
+	if _, _, err := c.Compile(file, src); err != nil {
+		t.Fatalf("Compile(%s): %v", file, err)
+	}
+}

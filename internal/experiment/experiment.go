@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"determinacy/internal/ast"
+	"determinacy/internal/batch"
+	"determinacy/internal/batch/progcache"
 	"determinacy/internal/core"
 	"determinacy/internal/dom"
 	"determinacy/internal/facts"
@@ -38,6 +40,19 @@ type Config struct {
 	// Tracer observes every dynamic run and solver invocation performed by
 	// the experiments. nil disables tracing.
 	Tracer obs.Tracer
+	// Workers bounds how many independent experiment jobs (Table 1 cells,
+	// eval-study benchmarks) run concurrently (0 = GOMAXPROCS, 1 = strictly
+	// serial). Results are collected in submission order, so every output —
+	// rows, study counts, formatted tables — is byte-identical across
+	// settings.
+	Workers int
+	// Cache is the shared compilation cache; when nil, withDefaults
+	// installs a fresh one, so the baseline/spec/detdom cells of one
+	// jQuery version compile its source once.
+	Cache *progcache.Cache
+	// Metrics, when non-nil, additionally receives pool utilization
+	// (batch_pool_*) and compile-cache hit-rate (progcache_*) series.
+	Metrics *obs.Metrics
 }
 
 func (c Config) withDefaults() Config {
@@ -53,7 +68,31 @@ func (c Config) withDefaults() Config {
 	if c.HandlerLimit == 0 {
 		c.HandlerLimit = 8
 	}
+	if c.Cache == nil {
+		c.Cache = progcache.New(0).WithMetrics(c.Metrics)
+	}
 	return c
+}
+
+// pool builds the worker pool used by one study run.
+func (c Config) pool() *batch.Pool {
+	return batch.New(c.Workers).WithMetrics(c.Metrics)
+}
+
+// compile routes front-end work through the shared cache.
+func (c Config) compile(file, src string) (*ast.Program, *ir.Module, error) {
+	if c.Cache != nil {
+		return c.Cache.Compile(file, src)
+	}
+	prog, err := parser.Parse(file, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	mod, err := ir.Lower(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, mod, nil
 }
 
 // DynamicRun is the result of one instrumented execution against the DOM.
@@ -71,13 +110,9 @@ type DynamicRun struct {
 // emulation, driving registered event handlers afterwards.
 func RunDynamic(src string, detDOM bool, cfg Config) (*DynamicRun, error) {
 	cfg = cfg.withDefaults()
-	prog, err := parser.Parse("workload.js", src)
+	prog, mod, err := cfg.compile("workload.js", src)
 	if err != nil {
-		return nil, fmt.Errorf("parse: %w", err)
-	}
-	mod, err := ir.Lower(prog)
-	if err != nil {
-		return nil, fmt.Errorf("lower: %w", err)
+		return nil, fmt.Errorf("compile: %w", err)
 	}
 	store := facts.NewStore()
 	a := core.New(mod, store, core.Options{
@@ -147,17 +182,54 @@ type Table1Row struct {
 	Err      error
 }
 
-// RunTable1 reproduces Table 1.
+// RunTable1 reproduces Table 1. The three cells of each version row are
+// independent analyses; they fan out across cfg.Workers pool workers and
+// reassemble in row-major submission order, so the returned rows — and
+// FormatTable1's rendering of them — are byte-identical to a serial run
+// for every worker count.
 func RunTable1(cfg Config) []Table1Row {
 	cfg = cfg.withDefaults()
-	rows := make([]Table1Row, 0, len(workload.JQueryVersions))
-	for _, v := range workload.JQueryVersions {
-		rows = append(rows, runTable1Row(v, cfg))
+	versions := workload.JQueryVersions
+	type cellOut struct {
+		cell Table1Cell
+		err  error
+	}
+	const kinds = 3 // baseline, spec, spec+detdom
+	outs := batch.Map(cfg.pool(), len(versions)*kinds, func(i int) cellOut {
+		src := workload.JQuery(versions[i/kinds])
+		var out cellOut
+		switch i % kinds {
+		case 0:
+			out.cell, out.err = baselineCell(src, cfg)
+		case 1:
+			out.cell, out.err = specCell(src, false, cfg)
+		default:
+			out.cell, out.err = specCell(src, true, cfg)
+		}
+		return out
+	})
+	rows := make([]Table1Row, 0, len(versions))
+	for ri, v := range versions {
+		row := Table1Row{Version: v}
+		base, spec, det := outs[ri*kinds], outs[ri*kinds+1], outs[ri*kinds+2]
+		// Keep the serial path's error precedence: the first failing stage
+		// sets Err and the later cells stay zero.
+		switch {
+		case base.err != nil:
+			row.Err = base.err
+		case spec.err != nil:
+			row.Baseline, row.Err = base.cell, spec.err
+		case det.err != nil:
+			row.Baseline, row.Spec, row.Err = base.cell, spec.cell, det.err
+		default:
+			row.Baseline, row.Spec, row.DetDOM = base.cell, spec.cell, det.cell
+		}
+		rows = append(rows, row)
 	}
 	return rows
 }
 
-// RunTable1Version runs a single row (used by benchmarks).
+// RunTable1Version runs a single row serially (used by benchmarks).
 func RunTable1Version(v workload.JQueryVersion, cfg Config) Table1Row {
 	return runTable1Row(v, cfg.withDefaults())
 }
@@ -166,19 +238,12 @@ func runTable1Row(v workload.JQueryVersion, cfg Config) Table1Row {
 	row := Table1Row{Version: v}
 	src := workload.JQuery(v)
 
-	// Baseline: the plain points-to analysis on the original program.
-	mod, err := ir.Compile("jquery.js", src)
+	cell, err := baselineCell(src, cfg)
 	if err != nil {
 		row.Err = err
 		return row
 	}
-	start := time.Now()
-	base := pointsto.Analyze(mod, pointsto.Options{Budget: cfg.Budget, Tracer: cfg.Tracer})
-	row.Baseline = Table1Cell{
-		Completed:    !base.BudgetExceeded,
-		Propagations: base.Propagations,
-		Duration:     time.Since(start),
-	}
+	row.Baseline = cell
 
 	// Spec and Spec+DetDOM: dynamic facts, specialization, then points-to
 	// on the specialized program.
@@ -197,6 +262,21 @@ func runTable1Row(v workload.JQueryVersion, cfg Config) Table1Row {
 	return row
 }
 
+// baselineCell runs the plain points-to analysis on the original program.
+func baselineCell(src string, cfg Config) (Table1Cell, error) {
+	_, mod, err := cfg.compile("jquery.js", src)
+	if err != nil {
+		return Table1Cell{}, err
+	}
+	start := time.Now()
+	base := pointsto.Analyze(mod, pointsto.Options{Budget: cfg.Budget, Tracer: cfg.Tracer})
+	return Table1Cell{
+		Completed:    !base.BudgetExceeded,
+		Propagations: base.Propagations,
+		Duration:     time.Since(start),
+	}, nil
+}
+
 func specCell(src string, detDOM bool, cfg Config) (Table1Cell, error) {
 	dyn, err := RunDynamic(src, detDOM, cfg)
 	if err != nil {
@@ -212,7 +292,7 @@ func specCell(src string, detDOM bool, cfg Config) (Table1Cell, error) {
 	}
 	cell.SpecStats = res.Stats
 	specSrc := ast.Print(res.Program)
-	mod, err := ir.Compile("jquery-spec.js", specSrc)
+	_, mod, err := cfg.compile("jquery-spec.js", specSrc)
 	if err != nil {
 		return cell, fmt.Errorf("specialized output does not compile: %w", err)
 	}
@@ -325,12 +405,18 @@ type EvalStudy struct {
 	Benchmarks []EvalOutcome
 }
 
-// RunEvalStudy runs the corpus through the pipeline.
+// RunEvalStudy runs the corpus through the pipeline. The benchmarks are
+// independent and fan out across cfg.Workers pool workers; aggregation
+// folds the outcomes in corpus submission order, so the study counts and
+// FormatEvalStudy's rendering are byte-identical to a serial run.
 func RunEvalStudy(detDOM bool, cfg Config) *EvalStudy {
 	cfg = cfg.withDefaults()
+	corpus := workload.EvalCorpus()
+	outs := batch.Map(cfg.pool(), len(corpus), func(i int) EvalOutcome {
+		return evalOne(corpus[i], detDOM, cfg)
+	})
 	study := &EvalStudy{DetDOM: detDOM, ByReason: map[string]int{}}
-	for _, b := range workload.EvalCorpus() {
-		out := evalOne(b, detDOM, cfg)
+	for _, out := range outs {
 		study.Total++
 		if out.Runnable {
 			study.Runnable++
@@ -372,7 +458,7 @@ func evalOne(b workload.EvalBenchmark, detDOM bool, cfg Config) EvalOutcome {
 	out.Sites = res.EvalSites
 
 	specSrc := ast.Print(res.Program)
-	mod, err := ir.Compile("spec.js", specSrc)
+	_, mod, err := cfg.compile("spec.js", specSrc)
 	if err != nil {
 		out.Err = fmt.Errorf("specialized output does not compile: %w", err)
 		return out

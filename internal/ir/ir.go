@@ -355,6 +355,36 @@ type Module struct {
 // within one activation of its function (it sits inside a loop).
 func (m *Module) IsReentrant(id ID) bool { return m.reentrant[id] }
 
+// Clone returns a module that shares m's functions and instructions (which
+// are immutable once lowered) but has an independent function list, index
+// maps and instruction-ID counter. Executing a clone — in particular
+// lowering eval'd code at runtime, which appends functions and registers
+// fresh instructions — never mutates m or any sibling clone, so one
+// pristine module can safely back many concurrent analysis runs.
+func (m *Module) Clone() *Module {
+	out := &Module{
+		Funcs:     append([]*Function(nil), m.Funcs...),
+		File:      m.File,
+		Source:    m.Source,
+		NumInstrs: m.NumInstrs,
+	}
+	if m.byID != nil {
+		out.byID = make(map[ID]Instr, len(m.byID))
+		for k, v := range m.byID {
+			out.byID[k] = v
+		}
+		out.fnOf = make(map[ID]*Function, len(m.fnOf))
+		for k, v := range m.fnOf {
+			out.fnOf[k] = v
+		}
+		out.reentrant = make(map[ID]bool, len(m.reentrant))
+		for k, v := range m.reentrant {
+			out.reentrant[k] = v
+		}
+	}
+	return out
+}
+
 // ForEachInstr visits every registered instruction with its enclosing
 // function, in unspecified order.
 func (m *Module) ForEachInstr(f func(Instr, *Function)) {

@@ -39,3 +39,87 @@ func FuzzParseAndLower(f *testing.F) {
 		}
 	})
 }
+
+// FuzzLower targets the lowering phase and the module invariants the rest
+// of the pipeline leans on: dense instruction registration, consistent
+// index maps, panic-free printing, and Clone producing a structurally
+// identical module. The seed corpus is checked in under
+// testdata/fuzz/FuzzLower. Run with go test -fuzz=FuzzLower.
+func FuzzLower(f *testing.F) {
+	f.Add("var x = 1;")
+	f.Add(`function outer() { function inner(a) { return a + 1; } return inner(2); } outer();`)
+	f.Add(`while (x < 10) { x = x + 1; if (x == 5) { break; } else { continue; } }`)
+	f.Add(`var o = {a: 1, b: "two"}; for (var k in o) { delete o[k]; }`)
+	f.Add(`try { throw {code: 7}; } catch (e) { var c = e.code; } finally { done = true; }`)
+	f.Add(`var f = function g(n) { return n ? g(n - 1) : 0; }; f(3);`)
+	f.Add(`var r = eval("1 + " + Math.random());`)
+	for seed := uint64(40); seed < 44; seed++ {
+		f.Add(workload.RandomProgram(workload.GenConfig{Seed: seed, WithForIn: true}))
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := parser.Parse("fuzz.js", src)
+		if err != nil {
+			return
+		}
+		mod, err := ir.Lower(prog)
+		if err != nil {
+			return // rejection is fine; panics and invariant breaks are not
+		}
+
+		if len(mod.Funcs) == 0 || mod.Top() != mod.Funcs[0] {
+			t.Fatalf("module has no coherent top-level function")
+		}
+		for i, fn := range mod.Funcs {
+			if fn == nil || fn.Body == nil {
+				t.Fatalf("function %d is nil or bodyless", i)
+			}
+			if fn.Index != i {
+				t.Fatalf("function %q at position %d has Index %d", fn.Name, i, fn.Index)
+			}
+		}
+
+		seen := 0
+		mod.ForEachInstr(func(in ir.Instr, fn *ir.Function) {
+			seen++
+			id := in.IID()
+			if id < 0 || int(id) >= mod.NumInstrs {
+				t.Fatalf("instruction ID %d outside [0, NumInstrs=%d)", id, mod.NumInstrs)
+			}
+			if fn == nil {
+				t.Fatalf("instruction %d has no enclosing function", id)
+			}
+			if got := mod.InstrAt(id); got != in {
+				t.Fatalf("InstrAt(%d) does not round-trip", id)
+			}
+			if got := mod.FuncOf(id); got != fn {
+				t.Fatalf("FuncOf(%d) disagrees with ForEachInstr", id)
+			}
+		})
+		if seen > mod.NumInstrs {
+			t.Fatalf("%d registered instructions exceed NumInstrs %d", seen, mod.NumInstrs)
+		}
+
+		if s := mod.String(); len(s) == 0 && seen > 0 {
+			t.Fatalf("module with %d instructions printed empty", seen)
+		}
+
+		clone := mod.Clone()
+		if clone == mod {
+			t.Fatal("Clone returned the receiver")
+		}
+		if clone.NumInstrs != mod.NumInstrs || len(clone.Funcs) != len(mod.Funcs) {
+			t.Fatalf("clone shape differs: %d/%d instrs, %d/%d funcs",
+				clone.NumInstrs, mod.NumInstrs, len(clone.Funcs), len(mod.Funcs))
+		}
+		for id := 0; id < mod.NumInstrs; id++ {
+			if clone.InstrAt(ir.ID(id)) != mod.InstrAt(ir.ID(id)) ||
+				clone.FuncOf(ir.ID(id)) != mod.FuncOf(ir.ID(id)) ||
+				clone.IsReentrant(ir.ID(id)) != mod.IsReentrant(ir.ID(id)) {
+				t.Fatalf("clone diverges from original at instruction %d", id)
+			}
+		}
+		if clone.String() != mod.String() {
+			t.Fatal("clone prints differently from the original")
+		}
+	})
+}
