@@ -35,6 +35,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	badFlag := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "detbench: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *budget < 0 {
+		badFlag("-budget must be non-negative, got %d", *budget)
+	}
+	if *workers < 0 {
+		badFlag("-workers must be non-negative, got %d", *workers)
+	}
 	var m *obs.Metrics
 	if *metricsJSON != "" {
 		m = obs.NewMetrics()

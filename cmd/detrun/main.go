@@ -69,6 +69,19 @@ exit codes:
 		flag.Usage()
 		os.Exit(exitUsage)
 	}
+	badFlag := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "detrun: "+format+"\n", args...)
+		os.Exit(exitUsage)
+	}
+	if *runs < 1 {
+		badFlag("-runs must be at least 1, got %d", *runs)
+	}
+	if *flushes < 0 {
+		badFlag("-max-flushes must be non-negative, got %d", *flushes)
+	}
+	if *handlers < 0 {
+		badFlag("-handlers must be non-negative, got %d", *handlers)
+	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)

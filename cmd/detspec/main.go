@@ -40,6 +40,22 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	badFlag := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "detspec: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *runs < 1 {
+		badFlag("-runs must be at least 1, got %d", *runs)
+	}
+	if *workers < 0 {
+		badFlag("-workers must be non-negative, got %d", *workers)
+	}
+	if *maxUnroll < 0 {
+		badFlag("-max-unroll must be non-negative, got %d", *maxUnroll)
+	}
+	if *depth < 0 {
+		badFlag("-clone-depth must be non-negative, got %d", *depth)
+	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)

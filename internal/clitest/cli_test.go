@@ -1,0 +1,84 @@
+// Package clitest builds the command-line binaries and exercises their flag
+// validation: nonsensical numeric flags must produce a usage error (exit
+// code 2) and a diagnostic on stderr, not a hang, panic, or silent clamp.
+package clitest
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// build compiles a command into dir and returns the binary path.
+func build(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "determinacy/cmd/"+name)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func TestRejectNonsensicalFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	js := filepath.Join(dir, "prog.js")
+	if err := os.WriteFile(js, []byte("var x = 1 + 2;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		cmd  string
+		args []string
+	}{
+		{"detrun", []string{"-runs", "0", js}},
+		{"detrun", []string{"-runs", "-3", js}},
+		{"detrun", []string{"-max-flushes", "-1", js}},
+		{"detrun", []string{"-handlers", "-1", js}},
+		{"detspec", []string{"-runs", "0", js}},
+		{"detspec", []string{"-workers", "-1", js}},
+		{"detspec", []string{"-max-unroll", "-1", js}},
+		{"detspec", []string{"-clone-depth", "-1", js}},
+		{"detbench", []string{"-table1", "-workers", "-1"}},
+		{"detbench", []string{"-table1", "-budget", "-1"}},
+		{"detfuzz", []string{"-seeds", "0"}},
+		{"detfuzz", []string{"-resolutions", "0"}},
+		{"detfuzz", []string{"-workers", "-1"}},
+	}
+
+	bins := map[string]string{}
+	for _, c := range cases {
+		if _, ok := bins[c.cmd]; !ok {
+			bins[c.cmd] = build(t, dir, c.cmd)
+		}
+	}
+
+	for _, c := range cases {
+		cmd := exec.Command(bins[c.cmd], c.args...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Errorf("%s %v: expected a usage failure, got %v", c.cmd, c.args, err)
+			continue
+		}
+		if code := ee.ExitCode(); code != 2 {
+			t.Errorf("%s %v: exit code %d, want 2\nstderr: %s", c.cmd, c.args, code, stderr.String())
+		}
+		if stderr.Len() == 0 {
+			t.Errorf("%s %v: no diagnostic on stderr", c.cmd, c.args)
+		}
+	}
+
+	// Sane flags must still work end to end.
+	good := exec.Command(bins["detrun"], "-runs", "2", js)
+	if out, err := good.CombinedOutput(); err != nil {
+		t.Errorf("detrun with valid flags failed: %v\n%s", err, out)
+	}
+}

@@ -444,15 +444,46 @@ type writeRec struct {
 	oldEpoch uint64
 	oldProp  dprop
 	existed  bool
-	// oldKeyLen snapshots key-order length for exact undo of insertions.
+	// oldKeyIdx is the property's position in the object's key order at
+	// journal time (-1 when absent), so undoing a delete reinserts the key
+	// where it was: key order is observable through for-in.
+	oldKeyIdx     int
 	oldForcedOpen bool
 	kindProp      bool
+}
+
+// propLoc and openLoc identify heap locations for journal deduplication.
+type propLoc struct {
+	obj  *DObj
+	name string
+}
+
+type openLoc struct{ obj *DObj }
+
+// loc identifies the location a record writes. Slot and register backing
+// arrays are allocated once per environment/frame and never reallocated,
+// so their element pointers are stable identities.
+func (w *writeRec) loc() any {
+	switch w.kind {
+	case wVar:
+		return &w.env.Slots[w.slot]
+	case wReg:
+		return &w.regs[w.reg]
+	case wProp:
+		return propLoc{w.obj, w.name}
+	default:
+		return openLoc{w.obj}
+	}
 }
 
 // branchFrame tracks writes performed while executing a branch guarded by an
 // indeterminate condition (or counterfactually).
 type branchFrame struct {
-	journal        []writeRec
+	journal []writeRec
+	// seen indexes journaled locations once this frame has absorbed a
+	// child journal (see mergeUp); nil until then. addJournal keeps it
+	// fresh so later merges still deduplicate correctly.
+	seen           map[any]bool
 	counterfactual bool
 	// isLoop marks frames opened for a loop continuation under an
 	// indeterminate condition (rules ÎF1/CNTR applied to the while
@@ -577,12 +608,21 @@ func branchEvent(bf *branchFrame, enter bool, branchDepth, cfDepth int64) obs.Ev
 	return e
 }
 
+// addJournal appends a write record, keeping the location index fresh once
+// a merge has materialized it.
+func (bf *branchFrame) addJournal(w writeRec) {
+	bf.journal = append(bf.journal, w)
+	if bf.seen != nil {
+		bf.seen[w.loc()] = true
+	}
+}
+
 func (a *Analysis) journalVar(env *DEnv, slot int) {
 	if len(a.branches) == 0 {
 		return
 	}
 	bf := a.branches[len(a.branches)-1]
-	bf.journal = append(bf.journal, writeRec{
+	bf.addJournal(writeRec{
 		kind: wVar, env: env, slot: slot,
 		oldVal: env.Slots[slot], oldEpoch: env.Epochs[slot],
 	})
@@ -593,7 +633,7 @@ func (a *Analysis) journalReg(regs []Value, reg ir.Reg) {
 		return
 	}
 	bf := a.branches[len(a.branches)-1]
-	bf.journal = append(bf.journal, writeRec{
+	bf.addJournal(writeRec{
 		kind: wReg, regs: regs, reg: reg, oldVal: regs[reg],
 	})
 }
@@ -604,8 +644,18 @@ func (a *Analysis) journalProp(o *DObj, name string) {
 	}
 	bf := a.branches[len(a.branches)-1]
 	p, existed := o.props[name]
-	bf.journal = append(bf.journal, writeRec{
+	keyIdx := -1
+	if existed {
+		for i, k := range o.keys {
+			if k == name {
+				keyIdx = i
+				break
+			}
+		}
+	}
+	bf.addJournal(writeRec{
 		kind: wProp, obj: o, name: name, oldProp: p, existed: existed,
+		oldKeyIdx:     keyIdx,
 		oldForcedOpen: o.forcedOpen,
 	})
 }
@@ -615,7 +665,7 @@ func (a *Analysis) journalOpen(o *DObj) {
 		return
 	}
 	bf := a.branches[len(a.branches)-1]
-	bf.journal = append(bf.journal, writeRec{kind: wOpen, obj: o, oldForcedOpen: o.forcedOpen})
+	bf.addJournal(writeRec{kind: wOpen, obj: o, oldForcedOpen: o.forcedOpen})
 }
 
 // openRecord implements rule ŜTO with an indeterminate property name d'=?:
@@ -645,6 +695,17 @@ func (o *DObj) OwnKeys() []string {
 	out := make([]string, len(o.keys))
 	copy(out, o.keys)
 	return out
+}
+
+// OwnProp returns the concrete value of an own property. Phantom cells are
+// concretely absent and report false. The differential harness uses this to
+// snapshot final object state without touching instrumentation.
+func (o *DObj) OwnProp(name string) (Value, bool) {
+	p, ok := o.props[name]
+	if !ok || p.phantom {
+		return Value{}, false
+	}
+	return p.val, true
 }
 
 // hasOwnConcrete reports the concrete own-property answer plus its
@@ -684,6 +745,15 @@ func (a *Analysis) markIndeterminate(bf *branchFrame) {
 		case wProp:
 			if p, ok := w.obj.props[w.name]; ok {
 				p.val = p.val.Indet()
+				if !w.existed || w.oldProp.phantom || w.oldProp.maybeAbsent {
+					// The property did not determinately exist before the
+					// branch, so executions that skip the branch may lack
+					// it entirely: existence joins to indeterminate along
+					// with the value. (Found by detfuzz: a for-in over the
+					// object otherwise enumerates the key as a determinate
+					// fact that executions skipping the branch violate.)
+					p.maybeAbsent = true
+				}
 				w.obj.props[w.name] = p
 			} else if w.existed {
 				// Deleted during the branch: other executions may still
@@ -705,6 +775,25 @@ func (a *Analysis) undoAndMark(bf *branchFrame) {
 	if a.tracer != nil && len(bf.journal) > 0 {
 		a.tracer.Event(obs.Event{Kind: obs.EvTaint, Phase: "cf-undo-mark", N1: int64(len(bf.journal))})
 	}
+	// Capture each journaled property's end-of-branch presence before the
+	// undo: a property the counterfactual deleted comes back when the
+	// journal is reverted, but executions that really take the branch lose
+	// it, so its existence must join to indeterminate.
+	type propKey struct {
+		obj  *DObj
+		name string
+	}
+	var cfAbsent map[propKey]bool
+	for _, w := range bf.journal {
+		if w.kind != wProp {
+			continue
+		}
+		if cfAbsent == nil {
+			cfAbsent = make(map[propKey]bool)
+		}
+		p, ok := w.obj.props[w.name]
+		cfAbsent[propKey{w.obj, w.name}] = !ok || p.phantom
+	}
 	a.undoJournal(bf)
 	for _, w := range bf.journal {
 		switch w.kind {
@@ -715,6 +804,9 @@ func (a *Analysis) undoAndMark(bf *branchFrame) {
 		case wProp:
 			if p, ok := w.obj.props[w.name]; ok {
 				p.val = p.val.Indet()
+				if cfAbsent[propKey{w.obj, w.name}] {
+					p.maybeAbsent = true
+				}
 				w.obj.props[w.name] = p
 			} else {
 				a.phantomProp(w.obj, w.name)
@@ -741,6 +833,7 @@ func (a *Analysis) undoJournal(bf *branchFrame) {
 		case wProp:
 			if w.existed {
 				w.obj.props[w.name] = w.oldProp
+				w.obj.restoreKey(w.name, w.oldKeyIdx)
 			} else {
 				a.rawDelete(w.obj, w.name)
 			}
@@ -759,12 +852,59 @@ func (a *Analysis) undoOnly(bf *branchFrame) {
 	a.mergeUp(bf)
 }
 
+// mergeUp folds a popped frame's journal into the enclosing frame, since
+// nested branches contribute to the outer branch's write domains. Only the
+// first record per location survives the merge: it carries the oldest
+// pre-write state, which is all that undo and marking need (marking acts on
+// the location's current value, undo restores the oldest). Wholesale
+// concatenation made the journal grow with the number of writes rather than
+// the number of locations, and a budget-aborted indeterminate while loop —
+// which pops one nested frame per iteration, each merge feeding the next
+// frame's marking pass — turned that into a quadratic cascade, hanging the
+// analysis long after ErrBudget fired. (Found by detfuzz.)
 func (a *Analysis) mergeUp(bf *branchFrame) {
 	if len(a.branches) == 0 {
 		return
 	}
 	parent := a.branches[len(a.branches)-1]
-	parent.journal = append(parent.journal, bf.journal...)
+	if parent.seen == nil {
+		parent.seen = make(map[any]bool, len(parent.journal)+len(bf.journal))
+		for i := range parent.journal {
+			parent.seen[parent.journal[i].loc()] = true
+		}
+	}
+	for i := range bf.journal {
+		k := bf.journal[i].loc()
+		if parent.seen[k] {
+			continue
+		}
+		parent.seen[k] = true
+		parent.journal = append(parent.journal, bf.journal[i])
+	}
+}
+
+// restoreKey puts name back at its pre-journal position in the key order
+// when a write performed inside a branch is undone. Without it a restored
+// deleted property would be invisible to for-in — or sit at the wrong
+// position after a delete-then-readd, whose intermediate records a journal
+// merge may have dropped — and concrete key order (which for-in facts
+// observe) would diverge from an uninstrumented run.
+func (o *DObj) restoreKey(name string, idx int) {
+	for i, k := range o.keys {
+		if k == name {
+			if i == idx {
+				return
+			}
+			o.keys = append(o.keys[:i], o.keys[i+1:]...)
+			break
+		}
+	}
+	if idx < 0 || idx > len(o.keys) {
+		idx = len(o.keys)
+	}
+	o.keys = append(o.keys, "")
+	copy(o.keys[idx+1:], o.keys[idx:])
+	o.keys[idx] = name
 }
 
 // phantomProp installs an existence-uncertain property reading undefined?.

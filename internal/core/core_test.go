@@ -593,6 +593,42 @@ func TestForInIndeterminateKeySet(t *testing.T) {
 	}
 }
 
+func TestForInKeysAfterIndetBranchWrite(t *testing.T) {
+	// A property created under an indeterminate branch exists only in the
+	// executions that take the branch, so the key set — and any for-in
+	// derived value — must be indeterminate. Found by detfuzz (seed 1799):
+	// the key facts were recorded determinate and replays that skipped the
+	// branch violated them.
+	mod, store, a := analyze(t, `(function(){
+		var o = {a: 1};
+		if (Math.random() < 2) { o.b = 2; }
+		var keys = "";
+		for (var k in o) keys = keys + k;
+		var after = keys;
+	})();`, core.Options{})
+	wantDet(t, oneFactAtLine(t, mod, store, 6, loadVar("keys")), mod, false)
+	if a.Stats().FlushReasons["forin-indet"] == 0 {
+		t.Errorf("expected forin-indet flush, got %v", a.Stats().FlushReasons)
+	}
+}
+
+func TestForInKeysAfterCounterfactualDelete(t *testing.T) {
+	// The concretely-false branch deletes a property; executions that take
+	// it lose the key, so its existence joins to indeterminate after the
+	// counterfactual undo.
+	mod, store, a := analyze(t, `(function(){
+		var o = {a: 1, b: 2};
+		if (Math.random() > 2) { delete o.b; }
+		var keys = "";
+		for (var k in o) keys = keys + k;
+		var after = keys;
+	})();`, core.Options{})
+	wantDet(t, oneFactAtLine(t, mod, store, 6, loadVar("keys")), mod, false)
+	if a.Stats().FlushReasons["forin-indet"] == 0 {
+		t.Errorf("expected forin-indet flush, got %v", a.Stats().FlushReasons)
+	}
+}
+
 func TestEscapeFromIndetBranchFlushes(t *testing.T) {
 	// A return crossing an indeterminate branch boundary is a conservative
 	// control-flow merge: everything flushes.

@@ -456,7 +456,15 @@ func (a *Analysis) compareOp(op string, l, r Value, det bool) Value {
 		}
 		return BoolV(b, det)
 	}
-	ln, rn := interp.ToNumber(prim(lp)), interp.ToNumber(prim(rp))
+	// Plain objects survive toPrimitive as objects and convert to NaN;
+	// they must not reach prim, which would drop the object pointer.
+	ln, rn := math.NaN(), math.NaN()
+	if lp.Kind != Object {
+		ln = interp.ToNumber(prim(lp))
+	}
+	if rp.Kind != Object {
+		rn = interp.ToNumber(prim(rp))
+	}
 	if math.IsNaN(ln) || math.IsNaN(rn) {
 		return BoolV(false, det)
 	}

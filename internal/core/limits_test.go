@@ -4,6 +4,7 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"determinacy/internal/core"
 	"determinacy/internal/facts"
@@ -58,6 +59,35 @@ func TestBudgetInsideCounterfactualContained(t *testing.T) {
 	}
 	if store.Len() == 0 {
 		t.Error("facts before the budget stop must survive")
+	}
+}
+
+// TestIndetLoopBudgetTerminatesPromptly: a non-terminating loop under an
+// indeterminate condition pushes one nested branch frame per iteration, and
+// after the step budget fires every frame is popped, marked, and merged into
+// its parent. That finish path must stay linear in the distinct locations
+// written: wholesale journal concatenation made it quadratic in iteration
+// count, hanging the analysis for minutes after ErrBudget. (Found by
+// detfuzz, fuzz crasher 82c225e8a0038142.)
+func TestIndetLoopBudgetTerminatesPromptly(t *testing.T) {
+	mod := ir.MustCompile("t.js", `
+		var i = 0;
+		var o = {a: 1, b: 2};
+		while (Math.random() < 2) {
+			i = i + 1;
+			o.c = i;
+			delete o.a;
+			o.a = i;
+		}
+	`)
+	a := core.New(mod, facts.NewStore(), core.Options{MaxSteps: 300000, MaxFlushes: 1 << 20})
+	start := time.Now()
+	_, err := a.Run()
+	if !errors.Is(err, core.ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("budget-aborted loop took %v to unwind", elapsed)
 	}
 }
 

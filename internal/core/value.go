@@ -8,6 +8,7 @@
 package core
 
 import (
+	"math"
 	"strconv"
 	"strings"
 
@@ -379,6 +380,13 @@ func (a *Analysis) toBool(v Value) bool {
 func (a *Analysis) toNumber(v Value) float64 {
 	if v.Kind == Object {
 		p, _ := a.toPrimitive(v)
+		if p.Kind == Object {
+			// Plain objects stay objects under toPrimitive; feeding them
+			// through prim would fabricate an interp object value with a
+			// nil pointer. ToNumber of "[object Object]" is NaN.
+			// (Found by detfuzz.)
+			return math.NaN()
+		}
 		return interp.ToNumber(prim(p))
 	}
 	return interp.ToNumber(prim(v))

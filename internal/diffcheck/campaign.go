@@ -1,0 +1,98 @@
+package diffcheck
+
+import (
+	"time"
+
+	"determinacy/internal/batch"
+)
+
+// Config parameterizes a fuzz campaign.
+type Config struct {
+	// Seeds is the number of generated programs per round (default 200).
+	Seeds int
+	// Resolutions is the number of concrete replays per program, each under
+	// a different resolution of the indeterminate inputs (default 8).
+	Resolutions int
+	// BaseSeed is the first generator seed; program i uses BaseSeed+i.
+	BaseSeed uint64
+	// Workers bounds campaign concurrency (0 = GOMAXPROCS).
+	Workers int
+	// Reduce minimizes every failing program with the delta-debugging
+	// reducer before reporting it.
+	Reduce bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seeds <= 0 {
+		c.Seeds = 200
+	}
+	if c.Resolutions <= 0 {
+		c.Resolutions = 8
+	}
+	return c
+}
+
+// Report summarizes a campaign; it marshals directly as the detfuzz JSON
+// output.
+type Report struct {
+	Programs     int       `json:"programs"`
+	Resolutions  int       `json:"resolutions"`
+	FactsChecked int       `json:"facts_checked"`
+	Failures     []Failure `json:"failures"`
+	ElapsedMS    int64     `json:"elapsed_ms"`
+}
+
+// Run fans the campaign's programs out across the batch worker pool and
+// collects every oracle violation.
+func Run(cfg Config) Report {
+	cfg = cfg.withDefaults()
+	pool := batch.New(cfg.Workers)
+	return runOn(pool, cfg)
+}
+
+// RunFor repeats campaign rounds, advancing the seed range each time,
+// until the deadline passes (at least one round always runs).
+func RunFor(cfg Config, d time.Duration) Report {
+	cfg = cfg.withDefaults()
+	pool := batch.New(cfg.Workers)
+	deadline := time.Now().Add(d)
+	total := Report{Resolutions: cfg.Resolutions}
+	start := time.Now()
+	for {
+		rep := runOn(pool, cfg)
+		total.Programs += rep.Programs
+		total.FactsChecked += rep.FactsChecked
+		total.Failures = append(total.Failures, rep.Failures...)
+		cfg.BaseSeed += uint64(cfg.Seeds)
+		if !time.Now().Before(deadline) {
+			break
+		}
+	}
+	total.ElapsedMS = time.Since(start).Milliseconds()
+	return total
+}
+
+func runOn(pool *batch.Pool, cfg Config) Report {
+	start := time.Now()
+	type outcome struct {
+		checked int
+		fail    *Failure
+	}
+	outs := batch.Map(pool, cfg.Seeds, func(i int) outcome {
+		checked, f := CheckSeed(cfg.BaseSeed+uint64(i), cfg.Resolutions)
+		return outcome{checked, f}
+	})
+	rep := Report{Programs: cfg.Seeds, Resolutions: cfg.Resolutions}
+	for _, o := range outs {
+		rep.FactsChecked += o.checked
+		if o.fail != nil {
+			if cfg.Reduce {
+				o.fail.Minimized = Reduce(o.fail.Program,
+					SameFailure(o.fail.Kind, cfg.Resolutions, o.fail.GenSeed))
+			}
+			rep.Failures = append(rep.Failures, *o.fail)
+		}
+	}
+	rep.ElapsedMS = time.Since(start).Milliseconds()
+	return rep
+}

@@ -1,0 +1,37 @@
+package diffcheck
+
+import "strings"
+
+// Reduce shrinks a failing program to a locally line-minimal reproducer
+// with the ddmin delta-debugging algorithm (Zeller/Hildebrandt, as applied
+// to compiler bugs by Regehr et al.): repeatedly remove line chunks at
+// increasing granularity while stillFails keeps reporting the violation.
+// stillFails must treat non-compiling candidates as not failing (the
+// predicates built by SameFailure do), so the result always compiles.
+func Reduce(src string, stillFails func(string) bool) string {
+	lines := strings.Split(strings.TrimRight(src, "\n"), "\n")
+	n := 2
+	for len(lines) >= 2 {
+		chunk := (len(lines) + n - 1) / n
+		removed := false
+		for start := 0; start < len(lines); start += chunk {
+			end := min(start+chunk, len(lines))
+			cand := make([]string, 0, len(lines)-(end-start))
+			cand = append(cand, lines[:start]...)
+			cand = append(cand, lines[end:]...)
+			if len(cand) > 0 && stillFails(strings.Join(cand, "\n")+"\n") {
+				lines = cand
+				n = max(n-1, 2)
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			if chunk <= 1 {
+				break
+			}
+			n = min(n*2, len(lines))
+		}
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

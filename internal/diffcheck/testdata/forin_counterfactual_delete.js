@@ -1,0 +1,10 @@
+// Distilled while fixing the forin_indet_branch_key bug: a delete inside a
+// counterfactually executed branch (concretely false condition) was undone
+// in the property map but not in the key-order slice, leaving the restored
+// property invisible to for-in — the instrumented run then computed keys
+// "a" (determinate!) where every concrete run computes "ab".
+var o = {a: 1, b: 2};
+if (Math.random() > 2) { delete o.b; }
+var keys = "";
+for (var k in o) { keys = keys + k; }
+__observe("keys", keys);

@@ -1,0 +1,29 @@
+// detfuzz seed 1799, minimized: the property written to o18 below is
+// created under an indeterminate branch, so it exists only in executions
+// that take the branch. The analysis used to record the for-in key
+// sequence as determinate facts, which replays skipping the branch
+// violated (predicted "al", concrete run enumerated other keys).
+var n1 = __input("b");
+var n2 = n1;
+if ((!(n1 === n2))) {
+  function f12() {
+  }
+}
+function C16(a0) {
+}
+var n17 = (-((n2 < 37) ? 46 : n2));
+var o18 = new C16(Math.floor(77));
+if ((63 > 40)) {
+  if (((n1 >= 46) || (__input("a") >= 73))) {
+    var s19 = "alpha".substr(0, 2);
+    o18[s19] = n17;
+  }
+}
+function f21() {
+  function f22(a0, a1) {
+  }
+  function C32(a0) {
+  }
+}
+var s41 = "";
+for (var k40 in o18) { s41 = s41 + k40; }

@@ -1,0 +1,29 @@
+// detfuzz seed 878, minimized: two instrumented runs under different
+// resolutions of __input("a") take different arms of the branch below and
+// allocate a different number of objects, so a later determinate object
+// literal carries a different allocation number in each run. Store.Merge
+// used to flag that as a fact conflict even though allocation numbering is
+// run-local (the soundness theorem's address bijection is per run pair).
+try {
+  if ((n2 < n2)) { throw 39; }
+  function f4() {
+    if ((36 < n2)) {
+    }
+  }
+} catch (e3) {
+  n2 = e3 + 1;
+}
+var n8 = Math.random();
+if ((40 > __input("a"))) {
+  var o9 = {p0: Math.random()};
+} else {
+  for (var i10 = 0; i10 < 2; i10++) {
+    var o11 = {p0: i10, p1: (i10 + n8), p2: __input("b")};
+  }
+}
+for (var i13 = 0; i13 < 2; i13++) {
+  if (((n2 >= n2) || (__input("c") > 36))) {
+    function f18() {
+    }
+  }
+}

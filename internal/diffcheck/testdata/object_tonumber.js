@@ -1,0 +1,18 @@
+// ToNumber on a plain object (not an array, function, or error) must yield
+// NaN via "[object Object]". The concrete interpreter instead recursed
+// forever (toPrimitive returns plain objects unchanged, ToNumber called
+// itself on the result), and the instrumented one fed the object through
+// prim(), fabricating a concrete object value with a nil pointer and
+// crashing in toPrimitive. Found by detfuzz (fuzz crasher 23b97f82c0713a4e,
+// minimized from `{00:000}%0` in a for-loop update clause).
+var o = {a: 1};
+var n = o % 2;
+var m = o - 1;
+var p = -o;
+var q = (o < 5);
+var r = (5 >= o);
+__observe("n", "" + n);
+__observe("m", "" + m);
+__observe("p", "" + p);
+__observe("q", "" + q);
+__observe("r", "" + r);

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"determinacy/internal/ir"
 )
@@ -20,13 +21,48 @@ type wireFact struct {
 }
 
 type wireSnap struct {
-	Kind    int     `json:"kind"`
-	Bool    bool    `json:"bool,omitempty"`
-	Num     float64 `json:"num,omitempty"`
-	Str     string  `json:"str,omitempty"`
-	Alloc   int     `json:"alloc,omitempty"`
-	FnIndex int     `json:"fn,omitempty"`
-	Native  string  `json:"native,omitempty"`
+	Kind int     `json:"kind"`
+	Bool bool    `json:"bool,omitempty"`
+	Num  float64 `json:"num,omitempty"`
+	// NumS carries non-finite numbers ("NaN", "+Inf", "-Inf"), which JSON
+	// has no literal for and encoding/json refuses to emit. Without it a
+	// store holding a 0/0 fact could not be encoded at all.
+	NumS    string `json:"nums,omitempty"`
+	Str     string `json:"str,omitempty"`
+	Alloc   int    `json:"alloc,omitempty"`
+	FnIndex int    `json:"fn,omitempty"`
+	Native  string `json:"native,omitempty"`
+}
+
+// encodeNum splits a float into its JSON-safe parts. Negative zero also
+// travels as a string: omitempty drops a -0.0 Num field (it compares equal
+// to zero), which would silently decode as +0.
+func encodeNum(n float64) (float64, string) {
+	switch {
+	case math.IsNaN(n):
+		return 0, "NaN"
+	case math.IsInf(n, 1):
+		return 0, "+Inf"
+	case math.IsInf(n, -1):
+		return 0, "-Inf"
+	case n == 0 && math.Signbit(n):
+		return 0, "-0"
+	}
+	return n, ""
+}
+
+func decodeNum(n float64, s string) float64 {
+	switch s {
+	case "NaN":
+		return math.NaN()
+	case "+Inf":
+		return math.Inf(1)
+	case "-Inf":
+		return math.Inf(-1)
+	case "-0":
+		return math.Copysign(0, -1)
+	}
+	return n
 }
 
 // Encode writes the store as JSON lines, one fact per line, in recording
@@ -36,10 +72,11 @@ func (s *Store) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for _, f := range s.All() {
+		num, numS := encodeNum(f.Val.Num)
 		wf := wireFact{
 			Instr: int(f.Instr), Seq: f.Seq, Det: f.Det, Hits: f.Hits,
 			Val: wireSnap{
-				Kind: int(f.Val.Kind), Bool: f.Val.Bool, Num: f.Val.Num,
+				Kind: int(f.Val.Kind), Bool: f.Val.Bool, Num: num, NumS: numS,
 				Str: f.Val.Str, Alloc: f.Val.Alloc, FnIndex: f.Val.FnIndex,
 				Native: f.Val.Native,
 			},
@@ -71,7 +108,8 @@ func Decode(r io.Reader) (*Store, error) {
 			ctx = append(ctx, ContextEntry{Site: ir.ID(e[0]), Seq: e[1]})
 		}
 		val := Snapshot{
-			Kind: ValueKind(wf.Val.Kind), Bool: wf.Val.Bool, Num: wf.Val.Num,
+			Kind: ValueKind(wf.Val.Kind), Bool: wf.Val.Bool,
+			Num: decodeNum(wf.Val.Num, wf.Val.NumS),
 			Str: wf.Val.Str, Alloc: wf.Val.Alloc, FnIndex: wf.Val.FnIndex,
 			Native: wf.Val.Native,
 		}

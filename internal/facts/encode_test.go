@@ -2,6 +2,7 @@ package facts_test
 
 import (
 	"bytes"
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -115,4 +116,37 @@ func TestRestrict(t *testing.T) {
 	if _, ok := r.Lookup(50, nil, 0); ok {
 		t.Error("fact beyond the limit survived")
 	}
+}
+
+// TestEncodeNonFiniteNumbers: JSON has no literal for NaN or the infinities,
+// and encoding/json errors out on them — a store holding a 0/0 fact must
+// still round-trip (they travel in the "nums" field).
+func TestEncodeNonFiniteNumbers(t *testing.T) {
+	s := facts.NewStore()
+	s.Record(1, nil, 0, true, facts.Snapshot{Kind: facts.VNumber, Num: math.NaN()})
+	s.Record(2, nil, 0, true, facts.Snapshot{Kind: facts.VNumber, Num: math.Inf(1)})
+	s.Record(3, nil, 0, false, facts.Snapshot{Kind: facts.VNumber, Num: math.Inf(-1)})
+	s.Record(4, nil, 0, true, facts.Snapshot{Kind: facts.VNumber, Num: math.Copysign(0, -1)})
+
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	d, err := facts.Decode(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	check := func(instr int, want func(float64) bool, desc string) {
+		f, ok := d.Lookup(ir.ID(instr), nil, 0)
+		if !ok {
+			t.Fatalf("fact %d missing after round trip", instr)
+		}
+		if !want(f.Val.Num) {
+			t.Errorf("fact %d: got %v, want %s", instr, f.Val.Num, desc)
+		}
+	}
+	check(1, math.IsNaN, "NaN")
+	check(2, func(n float64) bool { return math.IsInf(n, 1) }, "+Inf")
+	check(3, func(n float64) bool { return math.IsInf(n, -1) }, "-Inf")
+	check(4, func(n float64) bool { return n == 0 && math.Signbit(n) }, "-0")
 }

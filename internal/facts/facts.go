@@ -65,9 +65,10 @@ const (
 )
 
 // Snapshot is a comparable image of a runtime value. Object identity is
-// captured by allocation number; across executions, objects correspond by
-// allocation order, which the soundness theorem's address bijection µ makes
-// precise.
+// captured by allocation number, which is only meaningful within a single
+// execution: across runs the soundness theorem relates heaps by an address
+// bijection µ that is never materialized, so cross-run comparisons must use
+// EquivalentAcrossRuns rather than Equal.
 type Snapshot struct {
 	Kind  ValueKind
 	Bool  bool
@@ -104,6 +105,20 @@ func (s Snapshot) Equal(o Snapshot) bool {
 	default:
 		return s.Alloc == o.Alloc
 	}
+}
+
+// EquivalentAcrossRuns reports whether two snapshots taken in different
+// executions may denote the same value. Allocation numbers are
+// execution-local — an indeterminate branch that allocates a different
+// number of objects in each run shifts every later allocation number even
+// when the objects themselves correspond under the address bijection µ — so
+// plain objects compare by kind only. Function identity (ir.Function index
+// or native name) and primitives are stable across runs and compare exactly.
+func (s Snapshot) EquivalentAcrossRuns(o Snapshot) bool {
+	if s.Kind == VObject {
+		return o.Kind == VObject
+	}
+	return s.Equal(o)
 }
 
 func (s Snapshot) String() string {
@@ -198,9 +213,14 @@ func (s *Store) Record(instr ir.ID, ctx Context, seq int, det bool, val Snapshot
 }
 
 // Merge folds facts from another run into s. A determinate fact in either
-// store with conflicting values marks a conflict (analysis bug); a point
-// determinate in one store and absent in the other stays as-is — facts from
-// different runs are all sound and combine by union (paper §7).
+// store with values that cannot denote the same result marks a conflict
+// (analysis bug); a point determinate in one store and absent in the other
+// stays as-is — facts from different runs are all sound and combine by
+// union (paper §7). Because the two stores come from different executions,
+// values compare with EquivalentAcrossRuns: object facts whose allocation
+// numbers differ are not conflicts (allocation numbering is run-local), but
+// the merged fact keeps only the kind-level claim, so it joins to
+// indeterminate rather than asserting either run's allocation number.
 func (s *Store) Merge(o *Store) {
 	for _, k := range o.order {
 		of := o.m[k]
@@ -213,10 +233,15 @@ func (s *Store) Merge(o *Store) {
 			continue
 		}
 		f.Hits += of.Hits
-		if f.Det && of.Det && !f.Val.Equal(of.Val) {
+		switch {
+		case f.Det && of.Det && !f.Val.EquivalentAcrossRuns(of.Val):
 			f.Det = false
 			s.Conflicts = append(s.Conflicts, k)
-		} else if !of.Det {
+		case f.Det && of.Det && !f.Val.Equal(of.Val):
+			// Same value modulo µ but different run-local allocation
+			// numbers: neither number is meaningful in the merged store.
+			f.Det = false
+		case !of.Det:
 			f.Det = false
 		}
 	}

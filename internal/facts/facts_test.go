@@ -100,6 +100,63 @@ func TestMergeUnionAndConflicts(t *testing.T) {
 	}
 }
 
+// TestMergeObjectAllocsAreRunLocal: two runs that determinately allocate
+// "the same" object at a point can disagree on the allocation number when an
+// earlier indeterminate branch allocates a different number of objects in
+// each run (found by detfuzz, seed 878). That is not a conflict — the
+// soundness theorem's address bijection µ is per-run-pair — but the merged
+// fact must not assert either run's allocation number, so it joins to
+// indeterminate.
+func TestMergeObjectAllocsAreRunLocal(t *testing.T) {
+	obj := func(alloc int) facts.Snapshot {
+		return facts.Snapshot{Kind: facts.VObject, Alloc: alloc}
+	}
+	a := facts.NewStore()
+	a.Record(1, nil, 0, true, obj(85))
+	b := facts.NewStore()
+	b.Record(1, nil, 0, true, obj(83))
+	a.Merge(b)
+	if len(a.Conflicts) != 0 {
+		t.Errorf("object facts with run-local alloc numbers flagged as conflict: %v", a.Conflicts)
+	}
+	if f, _ := a.Lookup(1, nil, 0); f.Det {
+		t.Error("merged object fact with differing allocs must join to indeterminate")
+	}
+
+	// An object vs a primitive at the same point IS a conflict.
+	c := facts.NewStore()
+	c.Record(1, nil, 0, true, num(7))
+	a2 := facts.NewStore()
+	a2.Record(1, nil, 0, true, obj(85))
+	a2.Merge(c)
+	if len(a2.Conflicts) != 1 {
+		t.Errorf("object vs number must conflict, got %v", a2.Conflicts)
+	}
+
+	// Closures compare by function index across runs: same index is fine
+	// even with differing allocs, different index conflicts.
+	fn := func(idx, alloc int) facts.Snapshot {
+		return facts.Snapshot{Kind: facts.VFunction, FnIndex: idx, Alloc: alloc}
+	}
+	d := facts.NewStore()
+	d.Record(2, nil, 0, true, fn(3, 10))
+	e := facts.NewStore()
+	e.Record(2, nil, 0, true, fn(3, 99))
+	d.Merge(e)
+	if len(d.Conflicts) != 0 {
+		t.Errorf("same-function closures must merge cleanly: %v", d.Conflicts)
+	}
+	if f, _ := d.Lookup(2, nil, 0); !f.Det {
+		t.Error("same-function closure fact must stay determinate")
+	}
+	g := facts.NewStore()
+	g.Record(2, nil, 0, true, fn(4, 10))
+	d.Merge(g)
+	if len(d.Conflicts) != 1 {
+		t.Errorf("different-function closures must conflict: %v", d.Conflicts)
+	}
+}
+
 func TestDeterminateAt(t *testing.T) {
 	s := facts.NewStore()
 	s.Record(7, ctx(1, 0), 0, true, str("x"))
@@ -198,5 +255,52 @@ func TestCloneIndependence(t *testing.T) {
 	d[0].Seq = 99
 	if c[0].Seq == 99 {
 		t.Error("Clone must be independent")
+	}
+}
+
+// TestFactKeyCollisionResistance records facts under crafted near-miss
+// coordinates — digit sequences that straddle the boundaries between the
+// instruction ID, context entries, and occurrence number — and requires the
+// store to keep them all distinct. A collision in the internal key encoding
+// would silently merge facts from different program points.
+func TestFactKeyCollisionResistance(t *testing.T) {
+	type coord struct {
+		instr ir.ID
+		ctx   facts.Context
+		seq   int
+	}
+	coords := []coord{
+		{1, nil, 23},
+		{12, nil, 3},
+		{123, nil, 0},
+		{1, ctx(2, 3), 4},
+		{12, ctx(3, 4), 0},
+		{1, ctx(23, 4), 0},
+		{1, ctx(2, 34), 0},
+		{1, ctx(2, 3, 4, 5), 0},
+		{1, ctx(2, 3), 45},
+		{1, ctx(23, 4, 5, 0), 0},
+		{11, ctx(1, 1), 1},
+		{1, ctx(11, 1), 1},
+		{1, ctx(1, 11), 1},
+		{1, ctx(1, 1), 11},
+		{111, nil, 1},
+		{11, ctx(1, 0), 1},
+	}
+	s := facts.NewStore()
+	for i, c := range coords {
+		s.Record(c.instr, c.ctx, c.seq, true, num(float64(i)))
+	}
+	if s.Len() != len(coords) {
+		t.Fatalf("store holds %d facts for %d distinct coordinates — key collision", s.Len(), len(coords))
+	}
+	for i, c := range coords {
+		f, ok := s.Lookup(c.instr, c.ctx, c.seq)
+		if !ok {
+			t.Fatalf("coordinate %d not found", i)
+		}
+		if f.Val.Num != float64(i) {
+			t.Errorf("coordinate %d returns fact %v — keys collide", i, f.Val.Num)
+		}
 	}
 }

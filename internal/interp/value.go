@@ -358,7 +358,14 @@ func ToNumber(v Value) float64 {
 		}
 		return math.NaN()
 	case Object:
-		return ToNumber(toPrimitive(v))
+		p := toPrimitive(v)
+		if p.Kind == Object {
+			// Plain objects stay objects under toPrimitive; ToNumber of
+			// "[object Object]" is NaN. Recursing instead overflowed the
+			// stack. (Found by detfuzz.)
+			return math.NaN()
+		}
+		return ToNumber(p)
 	}
 	return math.NaN()
 }

@@ -72,11 +72,30 @@ func ParseExpr(src string) (ast.Expr, error) {
 	return e, err
 }
 
+// MaxDepth bounds syntactic nesting (blocks inside blocks, parenthesized
+// expressions, unary chains). The recursive-descent parser spends several Go
+// stack frames per level, so without a limit adversarial inputs like
+// strings.Repeat("(", 1e6) crash the process with a stack overflow instead
+// of returning a syntax error. 512 levels is far beyond any program the
+// generator or the paper's case studies produce.
+const MaxDepth = 512
+
 type parser struct {
-	toks []lexer.Token
-	pos  int
-	err  error
+	toks  []lexer.Token
+	pos   int
+	depth int
+	err   error
 }
+
+// enter counts one level of statement/expression nesting; paired with leave.
+func (p *parser) enter() {
+	p.depth++
+	if p.depth > MaxDepth {
+		p.fail(p.cur().Pos, "nesting exceeds %d levels", MaxDepth)
+	}
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) catching(f func()) (err error) {
 	defer func() {
@@ -162,6 +181,8 @@ func (p *parser) semicolon() {
 // Statements
 
 func (p *parser) statement() ast.Stmt {
+	p.enter()
+	defer p.leave()
 	t := p.cur()
 	switch {
 	case p.atKeyword("var"):
@@ -495,6 +516,8 @@ func (p *parser) binaryExpr(minPrec int) ast.Expr {
 }
 
 func (p *parser) unaryExpr() ast.Expr {
+	p.enter()
+	defer p.leave()
 	t := p.cur()
 	switch {
 	case p.atPunct("!") || p.atPunct("-") || p.atPunct("+") || p.atPunct("~"):
@@ -577,6 +600,10 @@ func (p *parser) arguments() []ast.Expr {
 }
 
 func (p *parser) primaryExpr() ast.Expr {
+	// new-expressions recurse here directly (new new f), bypassing
+	// unaryExpr, so primary expressions count nesting as well.
+	p.enter()
+	defer p.leave()
 	t := p.cur()
 	switch {
 	case t.Kind == lexer.Number:

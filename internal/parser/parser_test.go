@@ -180,3 +180,30 @@ func TestNestedFunctions(t *testing.T) {
 		t.Errorf("found %d function literals, want 3", count)
 	}
 }
+
+// TestDeepNestingRejected: pathologically nested inputs must come back as
+// syntax errors, not Go stack overflows. Each shape targets a different
+// recursion path through the parser (statements, parenthesized expressions,
+// unary chains, new-chains, array literals).
+func TestDeepNestingRejected(t *testing.T) {
+	const n = 100000
+	shapes := map[string]string{
+		"blocks": strings.Repeat("{", n),
+		"parens": "x = " + strings.Repeat("(", n) + "1",
+		"unary":  "x = " + strings.Repeat("!", n) + "1;",
+		"news":   "x = " + strings.Repeat("new ", n) + "f();",
+		"arrays": "x = " + strings.Repeat("[", n) + "1",
+	}
+	for name, src := range shapes {
+		if _, err := parser.Parse("deep.js", src); err == nil {
+			t.Errorf("%s: expected a nesting error", name)
+		} else if !strings.Contains(err.Error(), "nesting") {
+			t.Errorf("%s: error does not mention nesting: %v", name, err)
+		}
+	}
+	// Reasonable nesting stays well inside the limit.
+	ok := "x = " + strings.Repeat("(", 100) + "1" + strings.Repeat(")", 100) + ";"
+	if _, err := parser.Parse("ok.js", ok); err != nil {
+		t.Errorf("100 levels must parse: %v", err)
+	}
+}

@@ -16,6 +16,7 @@ package specialize
 
 import (
 	"fmt"
+	"sort"
 
 	"determinacy/internal/ast"
 	"determinacy/internal/facts"
@@ -183,12 +184,19 @@ func Specialize(prog *ast.Program, mod *ir.Module, store *facts.Store, opts Opti
 			}
 			return true
 		})
-		for site, st := range sp.evalStatus {
+		sites := make([]ir.ID, 0, len(sp.evalStatus))
+		for site := range sp.evalStatus {
+			sites = append(sites, site)
+		}
+		// Report in site order: map iteration would make the slice order
+		// depend on the hash seed, breaking run-to-run reproducibility.
+		sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+		for _, site := range sites {
 			line := 0
 			if in := mod.InstrAt(site); in != nil {
 				line = in.IPos().Line
 			}
-			res.EvalSites = append(res.EvalSites, EvalSite{Site: site, Line: line, Status: st})
+			res.EvalSites = append(res.EvalSites, EvalSite{Site: site, Line: line, Status: sp.evalStatus[site]})
 		}
 	}
 	return res, nil

@@ -20,10 +20,20 @@ type GenConfig struct {
 	// MaxDepth bounds statement nesting (default 3).
 	MaxDepth int
 	// IndetPercent is the percentage of leaf expressions drawn from
-	// indeterminate sources (Math.random, __input) — default 25.
+	// indeterminate sources (Math.random, __input) — default 25. A negative
+	// value means zero: the generated program is fully determinate.
 	IndetPercent int
 	// WithForIn enables for-in loops.
 	WithForIn bool
+	// WithEval enables direct eval of generated snippets: determinate
+	// arithmetic strings, snippets reading and assigning visible variables,
+	// and eval of a string selected by a (possibly indeterminate) condition.
+	WithEval bool
+	// WithProto enables constructor functions, new-expressions, and
+	// post-hoc prototype method/field mutation.
+	WithProto bool
+	// WithConsole enables console.log statements (observable output).
+	WithConsole bool
 	// NamePrefix prefixes every generated identifier, letting callers embed
 	// several generated fragments in one program without collisions.
 	NamePrefix string
@@ -47,6 +57,7 @@ type genScope struct {
 	objs    []objInfo
 	arrs    []string
 	funcs   []fnInfo
+	ctors   []*ctorInfo
 	isFunc  bool
 	loopVar string
 }
@@ -54,6 +65,20 @@ type genScope struct {
 type objInfo struct {
 	name  string
 	props []string
+	// ctor is non-nil for instances created with new; it carries the
+	// prototype-provided fields and methods visible through the instance.
+	ctor *ctorInfo
+}
+
+// ctorInfo tracks a generated constructor function. Prototype mutations
+// append to protoProps/methods so later expressions (and the final
+// observation block) can read the mutated prototype through instances.
+type ctorInfo struct {
+	name       string
+	params     int
+	ownProps   []string
+	protoProps []string
+	methods    []string
 }
 
 type fnInfo struct {
@@ -76,6 +101,9 @@ func RandomProgram(cfg GenConfig) string {
 	if cfg.IndetPercent == 0 {
 		cfg.IndetPercent = 25
 	}
+	if cfg.IndetPercent < 0 {
+		cfg.IndetPercent = 0
+	}
 	g := &gen{cfg: cfg, rng: cfg.Seed*6364136223846793005 + 1442695040888963407}
 	g.scopes = []*genScope{{isFunc: true}}
 	n := 5 + g.intn(cfg.MaxStmts)
@@ -97,6 +125,14 @@ func RandomProgram(cfg GenConfig) string {
 	for _, o := range sc.objs {
 		for _, p := range o.props {
 			g.line("__observe(%q, %s.%s);", o.name+"."+p, o.name, p)
+		}
+		if o.ctor != nil {
+			for _, p := range o.ctor.protoProps {
+				g.line("__observe(%q, %s.%s);", o.name+"."+p, o.name, p)
+			}
+			for _, m := range o.ctor.methods {
+				g.line("__observe(%q, %s.%s());", o.name+"."+m+"()", o.name, m)
+			}
 		}
 	}
 	return g.b.String()
@@ -178,6 +214,14 @@ func (g *gen) allFuncs() []fnInfo {
 	return out
 }
 
+func (g *gen) allCtors() []*ctorInfo {
+	var out []*ctorInfo
+	for _, sc := range g.scopes {
+		out = append(out, sc.ctors...)
+	}
+	return out
+}
+
 // ---------------------------------------------------------------------------
 // Expressions
 
@@ -186,7 +230,7 @@ func (g *gen) numExpr(depth int) string {
 	if depth <= 0 || g.pct(30) {
 		return g.numLeaf()
 	}
-	switch g.intn(6) {
+	switch g.intn(7) {
 	case 0:
 		return fmt.Sprintf("(%s %s %s)", g.numExpr(depth-1), g.pick("+", "-", "*"), g.numExpr(depth-1))
 	case 1:
@@ -196,8 +240,20 @@ func (g *gen) numExpr(depth int) string {
 	case 3:
 		if objs := g.allObjs(); len(objs) > 0 {
 			o := objs[g.intn(len(objs))]
-			if len(o.props) > 0 {
-				return fmt.Sprintf("%s.%s", o.name, o.props[g.intn(len(o.props))])
+			props := o.props
+			if o.ctor != nil && len(o.ctor.protoProps) > 0 {
+				props = append(append([]string{}, props...), o.ctor.protoProps...)
+			}
+			if len(props) > 0 {
+				return fmt.Sprintf("%s.%s", o.name, props[g.intn(len(props))])
+			}
+		}
+		return g.numLeaf()
+	case 6:
+		if objs := g.allObjs(); len(objs) > 0 {
+			o := objs[g.intn(len(objs))]
+			if o.ctor != nil && len(o.ctor.methods) > 0 {
+				return fmt.Sprintf("%s.%s()", o.name, o.ctor.methods[g.intn(len(o.ctor.methods))])
 			}
 		}
 		return g.numLeaf()
@@ -273,7 +329,29 @@ func (g *gen) pick(opts ...string) string { return opts[g.intn(len(opts))] }
 
 func (g *gen) stmt(depth int) {
 	sc := g.cur()
-	choice := g.intn(12)
+	nchoices := 12
+	if g.cfg.WithEval {
+		nchoices++ // 12
+	}
+	if g.cfg.WithProto {
+		nchoices += 2 // 13, 14
+	}
+	if g.cfg.WithConsole {
+		nchoices++ // 15
+	}
+	choice := g.intn(nchoices)
+	// Remap the optional slots so each enabled feature gets a stable share
+	// regardless of which other features are on.
+	if choice >= 12 {
+		slot := choice - 12
+		if !g.cfg.WithEval {
+			slot++ // skip the eval slot
+		}
+		if !g.cfg.WithProto && slot >= 1 {
+			slot += 2 // skip the proto slots
+		}
+		choice = 12 + slot
+	}
 	switch {
 	case choice <= 2: // numeric var
 		name := g.fresh("n")
@@ -366,8 +444,132 @@ func (g *gen) stmt(depth int) {
 		}
 	case choice == 11 && depth > 0:
 		g.tryCatch(depth)
+	case choice == 12:
+		g.evalStmt()
+	case choice == 13:
+		g.ctorDecl()
+	case choice == 14:
+		if g.pct(60) {
+			g.newInstance()
+		} else {
+			g.protoMutate()
+		}
+	case choice == 15:
+		if g.pct(50) {
+			g.line("console.log(%s);", g.numExpr(1))
+		} else {
+			g.line("console.log(%s);", g.strExpr(1))
+		}
 	default:
 		g.whileLoop(depth)
+	}
+}
+
+// evalStmt emits a direct eval call. The eval'd strings are always valid
+// single expressions, so generated programs stay throw-free even when the
+// string is selected by an indeterminate condition.
+func (g *gen) evalStmt() {
+	sc := g.cur()
+	name := g.fresh("n")
+	ns := g.assignableNums()
+	switch c := g.intn(3); {
+	case c == 1 && len(ns) > 0:
+		// Eval reading — or assigning — a variable visible at the call site.
+		v := ns[g.intn(len(ns))]
+		if g.pct(50) {
+			g.line("var %s = eval(%q);", name, fmt.Sprintf("%s + %d", v, g.intn(10)))
+		} else {
+			g.line("var %s = eval(%q);", name, fmt.Sprintf("%s = %s + %d", v, v, 1+g.intn(5)))
+		}
+	case c == 2:
+		// The string itself is chosen by a possibly-indeterminate condition;
+		// both candidates are determinate arithmetic.
+		a := fmt.Sprintf("%d + %d", g.intn(20), g.intn(20))
+		b := fmt.Sprintf("%d * %d", 1+g.intn(9), 1+g.intn(9))
+		g.line("var %s = eval(%s ? %q : %q);", name, g.boolExpr(1), a, b)
+	default:
+		// Determinate literal arithmetic.
+		expr := fmt.Sprintf("%d %s (%d + %d)", g.intn(50), g.pick("+", "-", "*"), g.intn(9), 1+g.intn(9))
+		g.line("var %s = eval(%q);", name, expr)
+	}
+	sc.nums = append(sc.nums, name)
+}
+
+// ctorDecl emits a constructor function storing its parameters as own
+// properties, a prototype method reading that state, and optionally an
+// initial prototype data field.
+func (g *gen) ctorDecl() {
+	sc := g.cur()
+	name := g.fresh("C")
+	ci := &ctorInfo{name: name, params: 1 + g.intn(2)}
+	ps := make([]string, ci.params)
+	for i := range ps {
+		ps[i] = fmt.Sprintf("a%d", i)
+	}
+	g.line("function %s(%s) {", name, strings.Join(ps, ", "))
+	g.indent++
+	for i, p := range ps {
+		prop := fmt.Sprintf("p%d", i)
+		g.line("this.%s = %s;", prop, p)
+		ci.ownProps = append(ci.ownProps, prop)
+	}
+	if g.pct(50) {
+		prop := fmt.Sprintf("p%d", len(ps))
+		g.line("this.%s = %s;", prop, g.numExpr(1))
+		ci.ownProps = append(ci.ownProps, prop)
+	}
+	g.indent--
+	g.line("}")
+	m := "m0"
+	g.line("%s.prototype.%s = function () { return this.%s %s %s; };",
+		name, m, ci.ownProps[g.intn(len(ci.ownProps))], g.pick("+", "-", "*"), g.numLeaf())
+	ci.methods = append(ci.methods, m)
+	if g.pct(60) {
+		fld := "q0"
+		g.line("%s.prototype.%s = %s;", name, fld, g.numExpr(1))
+		ci.protoProps = append(ci.protoProps, fld)
+	}
+	sc.ctors = append(sc.ctors, ci)
+}
+
+// newInstance constructs an instance of a visible constructor and tracks it
+// as an object whose own and prototype-provided properties are readable.
+func (g *gen) newInstance() {
+	ctors := g.allCtors()
+	if len(ctors) == 0 {
+		g.stmtFallback()
+		return
+	}
+	ci := ctors[g.intn(len(ctors))]
+	name := g.fresh("o")
+	args := make([]string, ci.params)
+	for i := range args {
+		args[i] = g.numExpr(1)
+	}
+	g.line("var %s = new %s(%s);", name, ci.name, strings.Join(args, ", "))
+	g.cur().objs = append(g.cur().objs, objInfo{name: name, props: ci.ownProps, ctor: ci})
+}
+
+// protoMutate either adds a fresh data field to a constructor's prototype —
+// becoming visible through instances created both before and after — or
+// replaces an existing prototype method.
+func (g *gen) protoMutate() {
+	ctors := g.allCtors()
+	if len(ctors) == 0 {
+		g.stmtFallback()
+		return
+	}
+	ci := ctors[g.intn(len(ctors))]
+	if g.pct(50) || len(ci.methods) == 0 {
+		fld := fmt.Sprintf("q%d", len(ci.protoProps))
+		g.line("%s.prototype.%s = %s;", ci.name, fld, g.numExpr(1))
+		ci.protoProps = append(ci.protoProps, fld)
+	} else {
+		// The replacement body sticks to leaf expressions: a generated call in
+		// here could reach the method being replaced and recurse forever.
+		m := ci.methods[g.intn(len(ci.methods))]
+		g.line("%s.prototype.%s = function () { return %s %s %s; };",
+			ci.name, m, g.numLeaf(), g.pick("+", "-", "*"), g.numLeaf())
 	}
 }
 
