@@ -12,9 +12,11 @@
 package determinacy_test
 
 import (
+	"context"
 	"errors"
 	"io"
 	"testing"
+	"time"
 
 	"determinacy"
 	"determinacy/internal/batch/progcache"
@@ -422,4 +424,29 @@ func BenchmarkPointsToBaselineJQ10(b *testing.B) {
 		work = res.Propagations
 	}
 	b.ReportMetric(float64(work), "propagations")
+}
+
+// ---------------------------------------------------------------------------
+// Guard overhead. The interrupt checkpoints and panic boundary are always
+// on; BenchmarkTable1JQuery10 above is therefore already the "idle guard"
+// configuration (nil context, zero deadline: a checkpoint is two nil
+// checks every 2048 steps). This bench runs the same Table 1 row with a
+// live context and armed deadline, so every checkpoint takes the full poll
+// path — the worst case a -timeout user pays. EXPERIMENTS.md records the
+// measured delta against BenchmarkTable1JQuery10 (target: < 3%).
+
+func BenchmarkTable1JQuery10GuardLive(b *testing.B) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var row experiment.Table1Row
+	for i := 0; i < b.N; i++ {
+		row = experiment.RunTable1Version(workload.JQ10, experiment.Config{
+			Ctx:      ctx,
+			Deadline: time.Now().Add(time.Hour),
+		})
+	}
+	if row.Err != nil {
+		b.Fatal(row.Err)
+	}
+	b.ReportMetric(boolMetric(row.Baseline.Completed && row.Spec.Completed && row.DetDOM.Completed), "all-ok")
 }

@@ -12,13 +12,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"determinacy/internal/experiment"
 	"determinacy/internal/obs"
 )
+
+// exitPartial reports that the run hit -timeout: results printed reflect
+// the completed cells only (matches detrun's partial-run exit code).
+const exitPartial = 7
 
 func main() {
 	var (
@@ -29,6 +35,7 @@ func main() {
 		seed        = flag.Uint64("seed", 0, "PRNG seed for the dynamic runs")
 		workers     = flag.Int("workers", 0, "concurrent analysis jobs (0 = GOMAXPROCS, 1 = serial); output is byte-identical for every setting")
 		metricsJSON = flag.String("metrics-json", "", `also write experiment metrics as JSON to this file ("-" = stdout); EXPERIMENTS.md numbers regenerate from this dump`)
+		timeout     = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); on expiry remaining cells are skipped and the exit code is 7")
 	)
 	flag.Parse()
 	if !*table1 && !*evalst && !*all {
@@ -45,11 +52,22 @@ func main() {
 	if *workers < 0 {
 		badFlag("-workers must be non-negative, got %d", *workers)
 	}
+	if *timeout < 0 {
+		badFlag("-timeout must be non-negative, got %v", *timeout)
+	}
 	var m *obs.Metrics
 	if *metricsJSON != "" {
 		m = obs.NewMetrics()
 	}
 	cfg := experiment.Config{Budget: *budget, Seed: *seed, Workers: *workers, Metrics: m}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+		cfg.Ctx = ctx
+		cfg.Deadline = time.Now().Add(*timeout)
+	}
 
 	if *table1 || *all {
 		fmt.Println("== Table 1: pointer analysis scalability (paper §5.1) ==")
@@ -94,5 +112,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "detbench:", err)
 			os.Exit(1)
 		}
+	}
+
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "detbench: timeout expired; results above cover only the cells that completed")
+		os.Exit(exitPartial)
 	}
 }

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,6 +34,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "concurrent programs (0 = GOMAXPROCS)")
 		jsonOut     = flag.Bool("json", false, "write the report as JSON to stdout")
 		noReduce    = flag.Bool("no-reduce", false, "skip delta-debugging failing programs")
+		timeout     = flag.Duration("timeout", 0, "hard wall-clock cap for the campaign (0 = none); unchecked seeds are reported as skipped")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -44,6 +46,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "detfuzz: -seeds and -resolutions must be positive and -workers non-negative")
 		os.Exit(2)
 	}
+	if *timeout < 0 {
+		fmt.Fprintln(os.Stderr, "detfuzz: -timeout must be non-negative")
+		os.Exit(2)
+	}
 
 	cfg := diffcheck.Config{
 		Seeds:       *seeds,
@@ -51,6 +57,11 @@ func main() {
 		BaseSeed:    *base,
 		Workers:     *workers,
 		Reduce:      !*noReduce,
+	}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		cfg.Ctx = ctx
 	}
 	var rep diffcheck.Report
 	if *duration > 0 {
@@ -70,6 +81,9 @@ func main() {
 		fmt.Printf("detfuzz: %d programs x %d resolutions, %d determinate fact checks, %d failures (%.1fs)\n",
 			rep.Programs, rep.Resolutions, rep.FactsChecked, len(rep.Failures),
 			time.Duration(rep.ElapsedMS*int64(time.Millisecond)).Seconds())
+		if rep.Skipped > 0 {
+			fmt.Printf("detfuzz: %d seeds skipped (timeout)\n", rep.Skipped)
+		}
 		for i := range rep.Failures {
 			f := &rep.Failures[i]
 			fmt.Printf("\n--- failure %d: %s\n", i+1, f.String())

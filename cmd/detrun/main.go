@@ -10,12 +10,14 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"determinacy"
 	"determinacy/internal/ir"
@@ -31,6 +33,7 @@ const (
 	exitBudget    = 4 // instrumented execution exhausted its step budget
 	exitStack     = 5 // instrumented call-stack overflow
 	exitException = 6 // analyzed program threw an uncaught exception
+	exitPartial   = 7 // run stopped by -timeout or cancellation; facts printed are sound
 )
 
 func main() {
@@ -48,6 +51,7 @@ func main() {
 		traceOut = flag.String("trace", "", `write a pipeline trace to this file ("-" = stdout)`)
 		traceFmt = flag.String("trace-format", "jsonl", "trace format: jsonl or chrome (trace_event JSON for Perfetto)")
 		metrics  = flag.String("metrics", "", `write Prometheus-style metrics to this file ("-" = stdout)`)
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the analysis (0 = none); a timed-out run still prints its sound partial facts")
 	)
 	flag.Usage = func() {
 		o := flag.CommandLine.Output()
@@ -61,7 +65,8 @@ exit codes:
   3  analysis stopped at the heap-flush cap (-max-flushes); facts printed are sound
   4  instrumented execution exhausted its step budget
   5  instrumented call-stack overflow
-  6  analyzed program threw an uncaught exception`)
+  6  analyzed program threw an uncaught exception
+  7  run stopped by -timeout or cancellation; facts printed are sound`)
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -81,6 +86,9 @@ exit codes:
 	}
 	if *handlers < 0 {
 		badFlag("-handlers must be non-negative, got %d", *handlers)
+	}
+	if *timeout < 0 {
+		badFlag("-timeout must be non-negative, got %v", *timeout)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -156,23 +164,31 @@ exit codes:
 		}
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+		opts.Deadline = time.Now().Add(*timeout)
+	}
+
 	var res *determinacy.Result
 	if *runs > 1 {
 		seeds := make([]uint64, *runs)
 		for i := range seeds {
 			seeds[i] = *seed + uint64(i)
 		}
-		res, err = determinacy.AnalyzeRuns(string(src), opts, seeds...)
+		res, err = determinacy.AnalyzeRunsContext(ctx, string(src), opts, seeds...)
 	} else {
-		res, err = determinacy.AnalyzeFile(flag.Arg(0), string(src), opts)
+		res, err = determinacy.AnalyzeFileContext(ctx, flag.Arg(0), string(src), opts)
 	}
 	if err != nil {
 		finishTrace()
 		fatal(err)
 	}
 	finishTrace()
-	if res.Stopped != nil {
-		fmt.Fprintf(os.Stderr, "note: analysis stopped early: %v\n", res.Stopped)
+	if res.Partial {
+		fmt.Fprintf(os.Stderr, "note: partial result (%s): analysis stopped early: %v\n", res.Degraded, res.Stopped)
 	}
 
 	if *jsonOut {
@@ -217,8 +233,22 @@ exit codes:
 		cl()
 	}
 
-	if res.Stopped != nil {
-		os.Exit(exitFlush)
+	if res.Partial {
+		os.Exit(partialExit(res.Degraded))
+	}
+}
+
+// partialExit maps a degradation reason to its documented exit code; the
+// legacy flush-cap and budget codes are preserved, everything else (deadline,
+// cancellation) reports the partial-run code.
+func partialExit(r determinacy.DegradeReason) int {
+	switch r {
+	case determinacy.DegradeFlushCap:
+		return exitFlush
+	case determinacy.DegradeBudget:
+		return exitBudget
+	default:
+		return exitPartial
 	}
 }
 

@@ -11,13 +11,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"determinacy"
 )
+
+// exitPartial reports that the dynamic analysis hit -timeout; the emitted
+// specialization uses the sound partial facts (matches detrun's code 7).
+const exitPartial = 7
 
 func main() {
 	var (
@@ -33,6 +39,7 @@ func main() {
 		metrics    = flag.String("metrics", "", `write Prometheus-style metrics to this file ("-" = stdout)`)
 		runs       = flag.Int("runs", 1, "merge facts from this many dynamic runs with consecutive seeds (§7) before specializing")
 		workers    = flag.Int("workers", 0, "concurrent dynamic runs when -runs > 1 (0 = GOMAXPROCS, 1 = serial); the merged facts are identical for every setting")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the dynamic analysis (0 = none); a timed-out run still specializes with its sound partial facts and exits 7")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -55,6 +62,9 @@ func main() {
 	}
 	if *depth < 0 {
 		badFlag("-clone-depth must be non-negative, got %d", *depth)
+	}
+	if *timeout < 0 {
+		badFlag("-timeout must be non-negative, got %v", *timeout)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -89,6 +99,13 @@ func main() {
 			Out:              io.Discard,
 			Workers:          *workers,
 		}
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+			opts.Deadline = time.Now().Add(*timeout)
+		}
 		if *runs > 1 {
 			// §7: facts from runs on different seeds are all sound and merge
 			// by union; the runs fan out across the worker pool.
@@ -96,12 +113,17 @@ func main() {
 			for i := range seeds {
 				seeds[i] = *seed + uint64(i)
 			}
-			res, err = determinacy.AnalyzeRuns(string(src), opts, seeds...)
+			res, err = determinacy.AnalyzeRunsContext(ctx, string(src), opts, seeds...)
 		} else {
-			res, err = determinacy.AnalyzeFile(flag.Arg(0), string(src), opts)
+			res, err = determinacy.AnalyzeFileContext(ctx, flag.Arg(0), string(src), opts)
 		}
 		if err != nil {
 			fatal(err)
+		}
+		if res.Partial {
+			// Partial facts are sound, so specializing with them is safe —
+			// just potentially less aggressive than a complete run's.
+			fmt.Fprintf(os.Stderr, "detspec: warning: dynamic analysis stopped early (%s); specializing with partial facts\n", res.Degraded)
 		}
 		spec, err = res.Specialize(specOpts)
 		if err != nil {
@@ -151,6 +173,12 @@ func main() {
 		if err := m.WriteProm(w); err != nil {
 			fatal(err)
 		}
+	}
+
+	// Flush-cap stops keep exiting 0 (long-standing behavior: the cap is a
+	// routine analysis bound); only wall-clock/cancellation stops signal 7.
+	if res != nil && (res.Degraded == determinacy.DegradeDeadline || res.Degraded == determinacy.DegradeCancel) {
+		os.Exit(exitPartial)
 	}
 }
 

@@ -24,9 +24,11 @@
 package determinacy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"determinacy/internal/ast"
 	"determinacy/internal/batch"
@@ -34,6 +36,7 @@ import (
 	"determinacy/internal/core"
 	"determinacy/internal/dom"
 	"determinacy/internal/facts"
+	"determinacy/internal/guard"
 	"determinacy/internal/interp"
 	"determinacy/internal/ir"
 	"determinacy/internal/obs"
@@ -58,7 +61,8 @@ type (
 func NewMetrics() *Metrics { return obs.NewMetrics() }
 
 // Analysis outcome errors, re-exported so CLI frontends can map them to
-// distinct exit codes.
+// distinct exit codes. All of them support errors.Is/errors.As through
+// every public entry point, including batch (AnalyzeRuns) result slots.
 var (
 	// ErrFlushLimit reports that the analysis stopped at the heap-flush
 	// cap; facts collected before the stop remain sound.
@@ -68,9 +72,31 @@ var (
 	ErrBudget = core.ErrBudget
 	// ErrStack reports instrumented call-stack overflow.
 	ErrStack = core.ErrStack
+	// ErrDeadline reports that a wall-clock deadline expired mid-run; it
+	// wraps context.DeadlineExceeded.
+	ErrDeadline = guard.ErrDeadline
+	// ErrParseDepth reports that the parser hit its nesting-depth cap.
+	ErrParseDepth = parser.ErrDepth
 	// ErrUncaughtException reports that the analyzed program threw an
 	// exception that nothing caught.
 	ErrUncaughtException = errors.New("determinacy: uncaught exception in analyzed program")
+)
+
+// RunError is the structured record of a panic recovered at a run
+// boundary: phase, program point, and the recovered value with its stack.
+// Extract one from any analysis error with errors.As.
+type RunError = guard.RunError
+
+// DegradeReason classifies why a run returned a partial result.
+type DegradeReason = guard.DegradeReason
+
+// Degradation reasons reported in Result.Degraded.
+const (
+	DegradeNone     = guard.DegradeNone
+	DegradeBudget   = guard.DegradeBudget
+	DegradeFlushCap = guard.DegradeFlushCap
+	DegradeDeadline = guard.DegradeDeadline
+	DegradeCancel   = guard.DegradeCancel
 )
 
 // Options configures a dynamic determinacy analysis run.
@@ -101,6 +127,12 @@ type Options struct {
 	MaxFlushes int
 	// MaxSteps bounds the executed instruction count (0 = default).
 	MaxSteps int
+	// Deadline stops the run when the wall clock passes it (zero = none).
+	// The interpreter checks it every few thousand steps; a run stopped by
+	// the deadline returns a partial Result (Degraded = DegradeDeadline)
+	// whose facts are sound. Combine with the Context entry points
+	// (AnalyzeContext etc.) for cancellation.
+	Deadline time.Time
 
 	// Ablations (see DESIGN.md): disable counterfactual execution,
 	// information-flow-style immediate tainting, µJS-faithful locals.
@@ -174,9 +206,17 @@ type Result struct {
 	// Stats summarizes the run: heap flushes by reason, counterfactual
 	// executions and aborts, executed steps.
 	Stats core.Stats
-	// Stopped is non-nil when the analysis stopped early at the flush
-	// limit; the collected facts are still sound.
+	// Stopped is non-nil when the analysis stopped early (flush cap, step
+	// budget, deadline, or cancellation); the collected facts are still
+	// sound. Partial and Degraded say why in structured form.
 	Stopped error
+	// Partial reports that the run stopped before completing: the facts
+	// reflect only the executed prefix but every one of them is sound (the
+	// analysis flushes conservatively at the stop point, §4.3).
+	Partial bool
+	// Degraded classifies a partial run: DegradeBudget, DegradeFlushCap,
+	// DegradeDeadline, or DegradeCancel (DegradeNone for complete runs).
+	Degraded DegradeReason
 	// HandlersRan counts DOM event handlers driven after the main script.
 	HandlersRan int
 }
@@ -187,8 +227,20 @@ func Analyze(src string, opts Options) (*Result, error) {
 	return AnalyzeFile("program.js", src, opts)
 }
 
+// AnalyzeContext is Analyze with cooperative cancellation: when ctx is
+// cancelled mid-run the analysis stops at the next checkpoint and returns
+// a partial Result (Degraded = DegradeCancel) whose facts are sound.
+func AnalyzeContext(ctx context.Context, src string, opts Options) (*Result, error) {
+	return AnalyzeFileContext(ctx, "program.js", src, opts)
+}
+
 // AnalyzeFile is Analyze with an explicit display name for diagnostics.
 func AnalyzeFile(name, src string, opts Options) (*Result, error) {
+	return AnalyzeFileContext(context.Background(), name, src, opts)
+}
+
+// AnalyzeFileContext is AnalyzeFile with cooperative cancellation.
+func AnalyzeFileContext(ctx context.Context, name, src string, opts Options) (*Result, error) {
 	tr := opts.Tracer
 	endParse := obs.PhaseScope(tr, "parse")
 	prog, err := parser.Parse(name, src)
@@ -202,13 +254,43 @@ func AnalyzeFile(name, src string, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return analyzeLowered(prog, mod, opts)
+	return analyzeLowered(ctx, prog, mod, opts)
+}
+
+// degradeReason classifies an execution stop as a graceful degradation.
+// DegradeNone means the error is a genuine failure, not a resource stop.
+func degradeReason(err error) DegradeReason {
+	switch {
+	case err == nil:
+		return DegradeNone
+	case errors.Is(err, core.ErrFlushLimit):
+		return DegradeFlushCap
+	case errors.Is(err, core.ErrBudget):
+		return DegradeBudget
+	default:
+		return guard.ContextReason(err)
+	}
+}
+
+// degrade finalizes a partial run: conservatively seals the fact store
+// (final flush, §4.3), records why, and emits a guard trace event. The
+// returned Result is usable — its facts are sound for the executed prefix.
+func degrade(res *Result, a *core.Analysis, runErr error, reason DegradeReason) (*Result, error) {
+	a.SealPartial()
+	res.Partial = true
+	res.Degraded = reason
+	res.Stopped = runErr
+	res.Stats = a.Stats()
+	if res.tracer != nil {
+		res.tracer.Event(obs.Event{Kind: obs.EvGuard, Phase: "degrade", Detail: string(reason)})
+	}
+	return res, nil
 }
 
 // analyzeLowered runs the instrumented semantics over an already-compiled
 // program. The module is mutated during the run (eval'd code lowers into
 // it), so callers sharing a cached compile must pass a fresh Clone.
-func analyzeLowered(prog *ast.Program, mod *ir.Module, opts Options) (*Result, error) {
+func analyzeLowered(ctx context.Context, prog *ast.Program, mod *ir.Module, opts Options) (*Result, error) {
 	tr := opts.Tracer
 	store := facts.NewStore()
 	a := core.New(mod, store, core.Options{
@@ -223,6 +305,8 @@ func analyzeLowered(prog *ast.Program, mod *ir.Module, opts Options) (*Result, e
 		ImmediateTaint:         opts.ImmediateTaint,
 		MuJSLocals:             opts.MuJSLocals,
 		Tracer:                 tr,
+		Ctx:                    ctx,
+		Deadline:               opts.Deadline,
 	})
 	res := &Result{prog: prog, mod: mod, store: store, staticInstrs: mod.NumInstrs, tracer: tr}
 
@@ -233,7 +317,10 @@ func analyzeLowered(prog *ast.Program, mod *ir.Module, opts Options) (*Result, e
 	endExec := obs.PhaseScope(tr, "exec")
 	_, runErr := a.Run()
 	endExec()
-	if runErr != nil && !errors.Is(runErr, core.ErrFlushLimit) {
+	if runErr != nil {
+		if reason := degradeReason(runErr); reason != DegradeNone {
+			return degrade(res, a, runErr, reason)
+		}
 		res.Stats = a.Stats()
 		var thrown *core.Thrown
 		if errors.As(runErr, &thrown) {
@@ -241,20 +328,28 @@ func analyzeLowered(prog *ast.Program, mod *ir.Module, opts Options) (*Result, e
 		}
 		return nil, runErr
 	}
-	if binding != nil && runErr == nil && opts.RunHandlers > 0 {
-		endHandlers := obs.PhaseScope(tr, "handlers")
-		n, herr := binding.RunHandlers(opts.RunHandlers)
-		endHandlers()
+	if binding != nil && opts.RunHandlers > 0 {
+		n, herr := runHandlersGuarded(binding, opts.RunHandlers, tr, a.CurrentPoint)
 		res.HandlersRan = n
 		if herr != nil {
+			if reason := degradeReason(herr); reason != DegradeNone {
+				return degrade(res, a, herr, reason)
+			}
+			res.Stats = a.Stats()
 			return nil, herr
 		}
 	}
-	if errors.Is(runErr, core.ErrFlushLimit) {
-		res.Stopped = runErr
-	}
 	res.Stats = a.Stats()
 	return res, nil
+}
+
+// runHandlersGuarded drives DOM event handlers inside a panic boundary so
+// a handler crash surfaces as a structured *RunError instead of unwinding
+// through the caller.
+func runHandlersGuarded(binding *dom.CoreBinding, max int, tr obs.Tracer, point func() (int, string)) (n int, err error) {
+	defer obs.PhaseScope(tr, "handlers")()
+	defer guard.Boundary(&err, "handlers", point)
+	return binding.RunHandlers(max)
 }
 
 // AnalyzeRuns performs several instrumented runs with different seeds and
@@ -269,6 +364,15 @@ func analyzeLowered(prog *ast.Program, mod *ir.Module, opts Options) (*Result, e
 // count; merging per-seed results in seed submission order keeps the merged
 // store and statistics identical to a serial sweep.
 func AnalyzeRuns(src string, opts Options, seeds ...uint64) (*Result, error) {
+	return AnalyzeRunsContext(context.Background(), src, opts, seeds...)
+}
+
+// AnalyzeRunsContext is AnalyzeRuns with cooperative cancellation. A
+// cancelled ctx stops both the batch (unstarted seeds are skipped) and
+// each in-flight run at its next checkpoint; a run that panics is
+// quarantined by the pool and surfaced here as that seed's error without
+// aborting the other seeds' work.
+func AnalyzeRunsContext(ctx context.Context, src string, opts Options, seeds ...uint64) (*Result, error) {
 	if len(seeds) == 0 {
 		seeds = []uint64{0}
 	}
@@ -277,14 +381,14 @@ func AnalyzeRuns(src string, opts Options, seeds ...uint64) (*Result, error) {
 		err error
 	}
 	pool := batch.New(opts.Workers)
-	outs := batch.Map(pool, len(seeds), func(i int) runOut {
+	outs, qs := batch.MapCtx(ctx, pool, len(seeds), func(i int) runOut {
 		o := opts
 		o.Seed = seeds[i]
 		prog, mod, err := runsCache.Compile("program.js", src)
 		if err != nil {
 			return runOut{err: fmt.Errorf("determinacy: run with seed %d: %w", seeds[i], err)}
 		}
-		res, err := analyzeLowered(prog, mod, o)
+		res, err := analyzeLowered(ctx, prog, mod, o)
 		if err != nil {
 			return runOut{err: fmt.Errorf("determinacy: run with seed %d: %w", seeds[i], err)}
 		}
@@ -293,6 +397,9 @@ func AnalyzeRuns(src string, opts Options, seeds ...uint64) (*Result, error) {
 		res.store = res.store.Restrict(ir.ID(res.staticInstrs))
 		return runOut{res: res}
 	})
+	for _, q := range qs {
+		outs[q.Index].err = fmt.Errorf("determinacy: run with seed %d: %w", seeds[q.Index], q.Err)
+	}
 	var merged *Result
 	for _, out := range outs {
 		if out.err != nil {
@@ -304,6 +411,13 @@ func AnalyzeRuns(src string, opts Options, seeds ...uint64) (*Result, error) {
 		}
 		merged.store.Merge(out.res.store)
 		merged.Stats.Merge(out.res.Stats)
+		// A degraded seed degrades the merge: the merged facts are sound
+		// but reflect incomplete executions.
+		if out.res.Partial && !merged.Partial {
+			merged.Partial = true
+			merged.Degraded = out.res.Degraded
+			merged.Stopped = out.res.Stopped
+		}
 	}
 	if len(merged.store.Conflicts) > 0 {
 		return nil, fmt.Errorf("determinacy: %d conflicting determinate facts across runs (analysis bug)",
@@ -320,6 +434,14 @@ var runsCache = progcache.New(0)
 // Run executes src under the plain concrete interpreter (no
 // instrumentation), returning everything printed to console.
 func Run(src string, opts Options) (string, error) {
+	return RunContext(context.Background(), src, opts)
+}
+
+// RunContext is Run with cooperative cancellation and Options.Deadline
+// support: the interpreter stops at its next checkpoint when ctx is
+// cancelled or the deadline passes, returning the output so far together
+// with the wrapped context error.
+func RunContext(ctx context.Context, src string, opts Options) (string, error) {
 	mod, err := ir.Compile("program.js", src)
 	if err != nil {
 		return "", err
@@ -331,7 +453,7 @@ func Run(src string, opts Options) (string, error) {
 	}
 	it := interp.New(mod, interp.Options{
 		Seed: opts.Seed, Now: opts.Now, Inputs: opts.Inputs, Out: out,
-		MaxSteps: opts.MaxSteps,
+		MaxSteps: opts.MaxSteps, Ctx: ctx, Deadline: opts.Deadline,
 	})
 	var binding *dom.Binding
 	if opts.WithDOM {
@@ -459,6 +581,9 @@ func (r *Result) ExportMetrics(m *Metrics) {
 	m.Counter("facts_total").Add(int64(r.store.Len()))
 	m.Counter("facts_determinate_total").Add(int64(r.store.NumDeterminate()))
 	m.Gauge("analysis_handlers_ran").Set(float64(r.HandlersRan))
+	if r.Partial {
+		guard.CountDegraded(m, r.Degraded)
+	}
 }
 
 // Specialize rewrites the analyzed program using the collected facts.
@@ -528,7 +653,13 @@ type PointsToOptions struct {
 // PointsToReport summarizes a points-to run.
 type PointsToReport struct {
 	BudgetExceeded bool
-	Propagations   int
+	// Interrupted reports that the solver stopped early on deadline or
+	// cancellation. Unlike determinacy facts, an interrupted points-to
+	// result is an UNDER-approximation — clients must treat it exactly
+	// like BudgetExceeded (unusable for sound claims).
+	Interrupted  bool
+	Propagations int
+
 	ReachableFuncs int
 	// MaxCallees is the largest callee set of any call site, a precision
 	// indicator (1 = monomorphic resolution everywhere it matters).
@@ -539,13 +670,27 @@ type PointsToReport struct {
 
 // PointsTo runs the Andersen-style points-to analysis over source text.
 func PointsTo(src string, opts PointsToOptions) (*PointsToReport, error) {
+	return PointsToContext(context.Background(), src, time.Time{}, opts)
+}
+
+// PointsToContext is PointsTo with cooperative cancellation and an
+// optional wall-clock deadline (zero = none). Solver panics are recovered
+// into a *RunError; an interrupted solve reports Interrupted rather than
+// failing.
+func PointsToContext(ctx context.Context, src string, deadline time.Time, opts PointsToOptions) (*PointsToReport, error) {
 	mod, err := ir.Compile("program.js", src)
 	if err != nil {
 		return nil, err
 	}
-	res := pointsto.Analyze(mod, pointsto.Options{Budget: opts.Budget, Tracer: opts.Tracer})
+	res, err := pointsto.AnalyzeGuarded(mod, pointsto.Options{
+		Budget: opts.Budget, Tracer: opts.Tracer, Ctx: ctx, Deadline: deadline,
+	})
+	if err != nil {
+		return nil, err
+	}
 	rep := &PointsToReport{
 		BudgetExceeded: res.BudgetExceeded,
+		Interrupted:    res.Interrupted != nil,
 		Propagations:   res.Propagations,
 		ReachableFuncs: res.ReachableFuncs,
 		EvalSites:      len(res.EvalSites),

@@ -13,12 +13,16 @@
 package batch
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"determinacy/internal/guard"
+	"determinacy/internal/guard/faultinject"
 	"determinacy/internal/obs"
 )
 
@@ -34,11 +38,13 @@ type Pool struct {
 	// their counters accumulate instead of clobbering.
 	published Snapshot
 
-	jobs    atomic.Int64
-	batches atomic.Int64
-	busyNS  atomic.Int64
-	wallNS  atomic.Int64
-	longNS  atomic.Int64 // longest single job observed
+	jobs        atomic.Int64
+	batches     atomic.Int64
+	quarantined atomic.Int64 // jobs that panicked and were quarantined
+	cancelled   atomic.Int64 // jobs skipped because the batch ctx was cancelled
+	busyNS      atomic.Int64
+	wallNS      atomic.Int64
+	longNS      atomic.Int64 // longest single job observed
 }
 
 // New creates a pool with the given worker bound; non-positive means
@@ -67,6 +73,9 @@ func (p *Pool) Workers() int { return p.workers }
 // Snapshot is a point-in-time view of cumulative pool activity.
 type Snapshot struct {
 	Jobs, Batches int64
+	// Quarantined counts jobs that panicked (recovered into their result
+	// slot); Cancelled counts jobs skipped after batch-ctx cancellation.
+	Quarantined, Cancelled int64
 	// Busy is the summed duration of all jobs; Wall is the summed
 	// wall-clock duration of all Map calls.
 	Busy, Wall time.Duration
@@ -87,28 +96,62 @@ func (s Snapshot) utilization(workers int) float64 {
 // Snapshot reports cumulative pool activity.
 func (p *Pool) Snapshot() Snapshot {
 	return Snapshot{
-		Jobs:       p.jobs.Load(),
-		Batches:    p.batches.Load(),
-		Busy:       time.Duration(p.busyNS.Load()),
-		Wall:       time.Duration(p.wallNS.Load()),
-		LongestJob: time.Duration(p.longNS.Load()),
+		Jobs:        p.jobs.Load(),
+		Batches:     p.batches.Load(),
+		Quarantined: p.quarantined.Load(),
+		Cancelled:   p.cancelled.Load(),
+		Busy:        time.Duration(p.busyNS.Load()),
+		Wall:        time.Duration(p.wallNS.Load()),
+		LongestJob:  time.Duration(p.longNS.Load()),
 	}
 }
 
 // Utilization reports cumulative busy time over available worker time.
 func (p *Pool) Utilization() float64 { return p.Snapshot().utilization(p.workers) }
 
+// Quarantine records a job that produced no result: a panic (converted to
+// a *guard.RunError and wrapped with the job index) or the batch
+// context's cancellation error. The result slot at Index holds T's zero
+// value.
+type Quarantine struct {
+	Index int
+	Err   error
+}
+
 // Map runs job(0..n-1) on the pool's workers and returns the n results in
 // submission order. Jobs are claimed from a shared counter, so workers stay
 // busy under uneven job costs, but the result slice layout — and therefore
 // everything a caller derives from it by in-order folding — is identical to
-// a serial loop. A panicking job stops the batch after in-flight jobs
-// finish and re-panics on the calling goroutine.
+// a serial loop. A panicking job no longer poisons the batch: the pool
+// quarantines it, finishes every other job, and only after the batch has
+// fully drained re-panics the lowest-index quarantined error on the
+// calling goroutine. Callers that want quarantines as values use MapCtx.
 func Map[T any](p *Pool, n int, job func(i int) T) []T {
+	out, qs := MapCtx(context.Background(), p, n, job)
+	if len(qs) > 0 {
+		panic(qs[0].Err)
+	}
+	return out
+}
+
+// MapCtx is Map with cooperative cancellation and panic quarantine. A
+// panicking job is recovered into a *guard.RunError recorded in the
+// returned quarantine list (sorted by job index) while every other job
+// still runs; its result slot keeps T's zero value. When ctx is cancelled
+// mid-batch, in-flight jobs finish, workers stop starting new ones, and
+// every unstarted job gets a ctx-wrapped quarantine entry — the pool
+// drains cleanly without leaking queued jobs or goroutines. Completed
+// jobs' results land at their submission index, preserving the
+// determinism contract for the jobs that did run.
+func MapCtx[T any](ctx context.Context, p *Pool, n int, job func(i int) T) ([]T, []Quarantine) {
 	if n <= 0 {
-		return nil
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	out := make([]T, n)
+	qerr := make([]error, n)
 	workers := p.workers
 	if workers > n {
 		workers = n
@@ -117,7 +160,19 @@ func Map[T any](p *Pool, n int, job func(i int) T) []T {
 	start := time.Now()
 	var busy atomic.Int64
 
-	timedJob := func(i int) {
+	runOne := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				re, ok := r.(*guard.RunError)
+				if !ok {
+					re = guard.New("batch", r)
+				}
+				qerr[i] = fmt.Errorf("batch: job %d panicked: %w", i, re)
+			}
+		}()
+		if faultinject.Armed() {
+			faultinject.Hit(faultinject.SiteBatchJob)
+		}
 		t0 := time.Now()
 		out[i] = job(i)
 		d := int64(time.Since(t0))
@@ -125,52 +180,61 @@ func Map[T any](p *Pool, n int, job func(i int) T) []T {
 		atomicMax(&p.longNS, d)
 	}
 
+	oneJob := func(i int) {
+		if err := ctx.Err(); err != nil {
+			qerr[i] = fmt.Errorf("batch: job %d not run: %w", i, err)
+			return
+		}
+		runOne(i)
+	}
+
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			timedJob(i)
+			oneJob(i)
 		}
 	} else {
 		var next atomic.Int64
 		var wg sync.WaitGroup
-		var panicOnce sync.Once
-		var panicked atomic.Bool
-		var panicVal any
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for {
 					i := int(next.Add(1)) - 1
-					if i >= n || panicked.Load() {
+					if i >= n {
 						return
 					}
-					func() {
-						defer func() {
-							if r := recover(); r != nil {
-								panicOnce.Do(func() {
-									panicVal = fmt.Errorf("batch: job %d panicked: %v", i, r)
-									panicked.Store(true)
-								})
-							}
-						}()
-						timedJob(i)
-					}()
+					oneJob(i)
 				}
 			}()
 		}
 		wg.Wait()
-		if panicked.Load() {
-			panic(panicVal)
+	}
+
+	var qs []Quarantine
+	var quarantined, cancelled int64
+	for i, err := range qerr {
+		if err == nil {
+			continue
+		}
+		qs = append(qs, Quarantine{Index: i, Err: err})
+		var re *guard.RunError
+		if errors.As(err, &re) {
+			quarantined++
+		} else {
+			cancelled++
 		}
 	}
 
 	wall := time.Since(start)
 	p.jobs.Add(int64(n))
 	p.batches.Add(1)
+	p.quarantined.Add(quarantined)
+	p.cancelled.Add(cancelled)
 	p.busyNS.Add(busy.Load())
 	p.wallNS.Add(int64(wall))
 	p.publish()
-	return out
+	return out, qs
 }
 
 // publish mirrors cumulative activity into the attached registry. The
@@ -186,6 +250,8 @@ func (p *Pool) publish() {
 	s := p.Snapshot()
 	m.Counter("batch_pool_jobs_total").Add(s.Jobs - p.published.Jobs)
 	m.Counter("batch_pool_batches_total").Add(s.Batches - p.published.Batches)
+	m.Counter("batch_pool_quarantined_total").Add(s.Quarantined - p.published.Quarantined)
+	m.Counter("batch_pool_cancelled_jobs_total").Add(s.Cancelled - p.published.Cancelled)
 	m.Counter("batch_pool_busy_nanoseconds_total").Add(int64(s.Busy - p.published.Busy))
 	m.Counter("batch_pool_wall_nanoseconds_total").Add(int64(s.Wall - p.published.Wall))
 	m.Gauge("batch_pool_workers").Set(float64(p.workers))

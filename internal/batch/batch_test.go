@@ -1,12 +1,16 @@
 package batch
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"determinacy/internal/guard"
 	"determinacy/internal/obs"
 )
 
@@ -66,20 +70,36 @@ func TestMapRunsEveryJobExactlyOnce(t *testing.T) {
 
 func TestMapPanicPropagates(t *testing.T) {
 	p := New(4)
+	var ran [8]bool
 	defer func() {
 		r := recover()
 		if r == nil {
 			t.Fatal("Map did not re-panic on the caller")
 		}
 		msg, ok := r.(error)
-		if !ok || !strings.Contains(msg.Error(), "job 3 panicked: boom") {
+		if !ok || !strings.Contains(msg.Error(), "job 3 panicked") || !strings.Contains(msg.Error(), "boom") {
 			t.Fatalf("panic value = %v, want wrapped job-3 boom", r)
+		}
+		var re *guard.RunError
+		if !errors.As(msg, &re) {
+			t.Fatalf("panic value %v does not unwrap to *guard.RunError", r)
+		}
+		if re.Phase != "batch" {
+			t.Fatalf("RunError.Phase = %q, want batch", re.Phase)
+		}
+		// The quarantine contract: the panicking job must not have killed
+		// the rest of the batch.
+		for i, ok := range ran {
+			if i != 3 && !ok {
+				t.Fatalf("job %d never ran: panic in job 3 leaked into the batch", i)
+			}
 		}
 	}()
 	Map(p, 8, func(i int) int {
 		if i == 3 {
 			panic("boom")
 		}
+		ran[i] = true
 		return i
 	})
 }
@@ -148,5 +168,134 @@ func TestConcurrentBatches(t *testing.T) {
 	}
 	if got := m.Counter("batch_pool_jobs_total").Value(); got != batches*jobs {
 		t.Fatalf("jobs_total = %d, want %d", got, batches*jobs)
+	}
+}
+
+func TestMapCtxQuarantinesPanics(t *testing.T) {
+	p := New(4)
+	out, qs := MapCtx(context.Background(), p, 10, func(i int) int {
+		if i == 2 || i == 7 {
+			panic(i)
+		}
+		return i * 10
+	})
+	if len(qs) != 2 || qs[0].Index != 2 || qs[1].Index != 7 {
+		t.Fatalf("quarantines = %+v, want indices [2 7]", qs)
+	}
+	for _, q := range qs {
+		var re *guard.RunError
+		if !errors.As(q.Err, &re) {
+			t.Fatalf("quarantine %d error %v does not unwrap to *guard.RunError", q.Index, q.Err)
+		}
+		if out[q.Index] != 0 {
+			t.Fatalf("out[%d] = %d, want zero value for quarantined slot", q.Index, out[q.Index])
+		}
+	}
+	for _, i := range []int{0, 1, 3, 4, 5, 6, 8, 9} {
+		if out[i] != i*10 {
+			t.Fatalf("out[%d] = %d, want %d: healthy jobs must complete", i, out[i], i*10)
+		}
+	}
+	if s := p.Snapshot(); s.Quarantined != 2 || s.Cancelled != 0 {
+		t.Fatalf("snapshot quarantined=%d cancelled=%d, want 2/0", s.Quarantined, s.Cancelled)
+	}
+}
+
+func TestMapCtxCancelDrainsCleanly(t *testing.T) {
+	p := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 64
+	var started atomic.Int64
+	out, qs := MapCtx(ctx, p, n, func(i int) int {
+		if started.Add(1) == 3 {
+			cancel()
+		}
+		return i + 1
+	})
+	if len(qs) == 0 {
+		t.Fatal("expected some jobs to be skipped after cancellation")
+	}
+	skipped := map[int]bool{}
+	for _, q := range qs {
+		if !errors.Is(q.Err, context.Canceled) {
+			t.Fatalf("skip error %v does not wrap context.Canceled", q.Err)
+		}
+		var re *guard.RunError
+		if errors.As(q.Err, &re) {
+			t.Fatalf("skip error %v misclassified as a panic quarantine", q.Err)
+		}
+		skipped[q.Index] = true
+	}
+	// Every slot either completed with its real value or was skipped with a
+	// ctx-wrapped error — no slot silently lost.
+	for i := 0; i < n; i++ {
+		if skipped[i] {
+			if out[i] != 0 {
+				t.Fatalf("out[%d] = %d, want zero for skipped job", i, out[i])
+			}
+		} else if out[i] != i+1 {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], i+1)
+		}
+	}
+	if s := p.Snapshot(); s.Cancelled != int64(len(qs)) || s.Quarantined != 0 {
+		t.Fatalf("snapshot quarantined=%d cancelled=%d, want 0/%d", s.Quarantined, s.Cancelled, len(qs))
+	}
+}
+
+func TestMapCtxNilCtxAndSerialPath(t *testing.T) {
+	p := New(1) // serial path
+	out, qs := MapCtx(nil, p, 4, func(i int) int {
+		if i == 1 {
+			panic("serial boom")
+		}
+		return i
+	})
+	if len(qs) != 1 || qs[0].Index != 1 {
+		t.Fatalf("quarantines = %+v, want exactly job 1", qs)
+	}
+	if out[3] != 3 {
+		t.Fatalf("job after the panicking one did not run on the serial path")
+	}
+}
+
+// TestMapCtxCancelStress hammers a workers=8 pool with batches whose jobs
+// race panics against mid-batch cancellation; under -race this proves the
+// drain logic leaks neither goroutines nor result slots. Every batch must
+// account for all n slots as completed, quarantined, or cancelled.
+func TestMapCtxCancelStress(t *testing.T) {
+	p := New(8)
+	const rounds, n = 40, 64
+	for r := 0; r < rounds; r++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancelAt := int64(1 + r%17)
+		var started atomic.Int64
+		out, qs := MapCtx(ctx, p, n, func(i int) int {
+			if started.Add(1) == cancelAt {
+				cancel()
+			}
+			if i%13 == 5 {
+				panic("stress boom")
+			}
+			return i + 1
+		})
+		cancel()
+		seen := map[int]bool{}
+		for _, q := range qs {
+			if seen[q.Index] {
+				t.Fatalf("round %d: index %d quarantined twice", r, q.Index)
+			}
+			seen[q.Index] = true
+		}
+		for i := 0; i < n; i++ {
+			if !seen[i] && i%13 != 5 && out[i] != i+1 && out[i] != 0 {
+				t.Fatalf("round %d: out[%d] = %d is neither a result, zero, nor quarantined", r, i, out[i])
+			}
+			if i%13 == 5 && !seen[i] && out[i] != 0 {
+				t.Fatalf("round %d: panicking job %d has a result %d", r, i, out[i])
+			}
+		}
+	}
+	if s := p.Snapshot(); s.Jobs != rounds*n {
+		t.Fatalf("snapshot jobs=%d, want %d: batches must fully drain", s.Jobs, rounds*n)
 	}
 }

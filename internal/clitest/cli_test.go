@@ -49,6 +49,10 @@ func TestRejectNonsensicalFlags(t *testing.T) {
 		{"detfuzz", []string{"-seeds", "0"}},
 		{"detfuzz", []string{"-resolutions", "0"}},
 		{"detfuzz", []string{"-workers", "-1"}},
+		{"detrun", []string{"-timeout", "-1s", js}},
+		{"detspec", []string{"-timeout", "-1s", js}},
+		{"detbench", []string{"-table1", "-timeout", "-1s"}},
+		{"detfuzz", []string{"-timeout", "-1s"}},
 	}
 
 	bins := map[string]string{}
@@ -80,5 +84,30 @@ func TestRejectNonsensicalFlags(t *testing.T) {
 	good := exec.Command(bins["detrun"], "-runs", "2", js)
 	if out, err := good.CombinedOutput(); err != nil {
 		t.Errorf("detrun with valid flags failed: %v\n%s", err, out)
+	}
+
+	// A timeout expiring mid-analysis degrades gracefully: exit code 7,
+	// a partial-result note on stderr, and no panic output.
+	long := filepath.Join(dir, "long.js")
+	src := "var acc = 0;\nvar i = 0;\nwhile (i < 200000) { acc = acc + i; i = i + 1; }\n"
+	if err := os.WriteFile(long, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	slow := exec.Command(bins["detrun"], "-timeout", "30ms", long)
+	var stderr bytes.Buffer
+	slow.Stderr = &stderr
+	err := slow.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("detrun -timeout on a long program: expected exit 7, got %v\nstderr: %s", err, stderr.String())
+	}
+	if code := ee.ExitCode(); code != 7 {
+		t.Errorf("detrun -timeout exit code = %d, want 7\nstderr: %s", code, stderr.String())
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("partial")) {
+		t.Errorf("no partial-result note on stderr: %s", stderr.String())
+	}
+	if bytes.Contains(stderr.Bytes(), []byte("goroutine")) {
+		t.Errorf("stderr looks like a panic dump: %s", stderr.String())
 	}
 }

@@ -1,0 +1,193 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"determinacy/internal/core"
+	"determinacy/internal/facts"
+	"determinacy/internal/guard"
+	"determinacy/internal/guard/faultinject"
+	"determinacy/internal/interp"
+	"determinacy/internal/ir"
+)
+
+// abortPrefix builds heap state whose exact restoration the tests check:
+// scalar globals plus an object whose key order has been churned by a
+// delete-then-readd, so a sloppy undo that merely restores values (but not
+// insertion order) is caught.
+const abortPrefix = `
+var total = 41;
+var label = "pre";
+var obj = {x: 1, y: 2, z: 3};
+delete obj.y;
+obj.y = 5;
+obj.w = 6;
+delete obj.z;
+`
+
+// abortBody loops long enough (~hundreds of thousands of steps) that the
+// cooperative checkpoint inside the counterfactual fires well before the
+// branch finishes, while mutating every location the prefix set up: scalar
+// overwrites, property writes, deletes, re-adds, and fresh keys.
+const abortBody = `
+var i = 0;
+while (i < 50000) {
+  total = total + 1;
+  label = "cf" + i;
+  obj.x = i;
+  delete obj.w;
+  obj.q = i;
+  obj.w = i;
+  i = i + 1;
+}
+`
+
+// TestInterruptMidCounterfactualUndoneExactly: a deadline or cancellation
+// that fires while a counterfactual branch is executing must unwind the
+// branch through the ordinary journal undo, leaving heap values AND
+// property enumeration order exactly as they were at branch entry — and
+// without the conservative cf-abort flush, since nothing escaped. The
+// reference state is the concrete interpreter running the same program
+// (which skips the branch outright, and here the branch is the last
+// statement, so its final state is the branch-entry state).
+func TestInterruptMidCounterfactualUndoneExactly(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		action faultinject.Action
+		reason guard.DegradeReason
+	}{
+		{"cancel-flat", abortPrefix + "if (Math.random() > 2) {" + abortBody + "}\n",
+			faultinject.Cancel, guard.DegradeCancel},
+		{"deadline-flat", abortPrefix + "if (Math.random() > 2) {" + abortBody + "}\n",
+			faultinject.Expire, guard.DegradeDeadline},
+		// Nested indeterminate branches: the interrupt unwinds several
+		// branch frames in one cascade, each popping its own journal span.
+		{"cancel-nested", abortPrefix +
+			"if (Math.random() > 2) { obj.n1 = 1; if (Math.random() > 2) { obj.n2 = 2;" + abortBody + "} }\n",
+			faultinject.Cancel, guard.DegradeCancel},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Reference: concrete run of the same source; Math.random() > 2
+			// is always false, so the branch body never executes.
+			cmod := ir.MustCompile("abort.js", tc.src)
+			it := interp.New(cmod, interp.Options{Seed: 9})
+			if _, err := it.Run(); err != nil {
+				t.Fatalf("concrete reference run: %v", err)
+			}
+
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			// The prefix is a few dozen steps, so the second checkpoint
+			// (step 4096) lands inside the counterfactual loop.
+			faultinject.Arm(&faultinject.Plan{
+				Site: faultinject.SiteCoreStep, After: 2,
+				Action: tc.action, OnCancel: cancel,
+			})
+			defer faultinject.Disarm()
+
+			imod := ir.MustCompile("abort.js", tc.src)
+			store := facts.NewStore()
+			a := core.New(imod, store, core.Options{Seed: 9, Ctx: ctx})
+			_, err := a.Run()
+			if err == nil {
+				t.Fatal("injected interrupt never aborted the run")
+			}
+			if got := guard.ContextReason(err); got != tc.reason {
+				t.Fatalf("run error %v classified as %q, want %q", err, got, tc.reason)
+			}
+			if tc.action == faultinject.Expire && !errors.Is(err, guard.ErrDeadline) {
+				t.Fatalf("expire abort error %v does not wrap ErrDeadline", err)
+			}
+
+			// The abort unwound via undoOnly: no cf-abort flush may have run.
+			if n := a.Stats().FlushReasons["cf-abort"]; n != 0 {
+				t.Errorf("interrupted counterfactual took the cf-abort flush path %d times; want pure undo", n)
+			}
+			a.SealPartial()
+			if n := a.Stats().FlushReasons["partial-seal"]; n != 1 {
+				t.Errorf("partial-seal flushes = %d, want 1", n)
+			}
+
+			// Heap values restored exactly.
+			for _, k := range []string{"total", "label", "obj"} {
+				cv, _ := it.Global.Get(k)
+				iv, found, _ := a.LookupGlobal(k)
+				if !found {
+					t.Fatalf("global %s lost after aborted counterfactual", k)
+				}
+				if want, got := interp.ToString(cv), a.DisplayValue(iv); want != got {
+					t.Errorf("global %s: concrete %q vs aborted-instrumented %q", k, want, got)
+				}
+			}
+
+			// Enumeration order restored exactly: the branch body deleted and
+			// re-added keys, so a value-only undo would leave "w" (and any
+			// nested-test keys) in the wrong position or present.
+			cobj, _ := it.Global.Get("obj")
+			iobj, _, _ := a.LookupGlobal("obj")
+			if iobj.O == nil {
+				t.Fatal("obj is not an object after abort")
+			}
+			ckeys, ikeys := cobj.O.OwnKeys(), iobj.O.OwnKeys()
+			if len(ckeys) != len(ikeys) {
+				t.Fatalf("key sets diverge: concrete %v vs aborted %v", ckeys, ikeys)
+			}
+			for i := range ckeys {
+				if ckeys[i] != ikeys[i] {
+					t.Fatalf("enumeration order diverges at %d: concrete %v vs aborted %v", i, ckeys, ikeys)
+				}
+			}
+			for i := range ckeys {
+				cv, _ := cobj.O.Get(ckeys[i])
+				iv, ok := iobj.O.OwnProp(ikeys[i])
+				if !ok {
+					t.Fatalf("obj.%s lost after abort", ckeys[i])
+				}
+				if want, got := interp.ToString(cv), a.DisplayValue(iv); want != got {
+					t.Errorf("obj.%s: concrete %q vs aborted %q", ckeys[i], want, got)
+				}
+			}
+
+			// The store stays coherent for partial-result consumers.
+			if store.Len() == 0 {
+				t.Error("facts recorded before the abort must survive")
+			}
+		})
+	}
+}
+
+// TestInterruptOutsideCounterfactualStopsWithFactsIntact pins the plain
+// (non-branch) interrupt path: the run stops at the next checkpoint with
+// the sticky error and the facts recorded so far survive.
+func TestInterruptOutsideCounterfactualStopsWithFactsIntact(t *testing.T) {
+	src := `
+		var n = 0;
+		while (n < 50000) { n = n + 1; }
+	`
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	faultinject.Arm(&faultinject.Plan{
+		Site: faultinject.SiteCoreStep, After: 3,
+		Action: faultinject.Cancel, OnCancel: cancel,
+	})
+	defer faultinject.Disarm()
+	mod := ir.MustCompile("abort.js", src)
+	store := facts.NewStore()
+	a := core.New(mod, store, core.Options{Ctx: ctx})
+	_, err := a.Run()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("run error = %v, want wrapped context.Canceled", err)
+	}
+	if store.Len() == 0 {
+		t.Error("no facts survived the interrupt")
+	}
+	// The loop checkpointed at step 6144: the run must have stopped there,
+	// not burned through the remaining ~44k iterations.
+	if steps := a.Stats().Steps; steps > 4*2048+512 {
+		t.Errorf("run executed %d steps after a cancel at the third checkpoint", steps)
+	}
+}

@@ -1,11 +1,15 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"determinacy/internal/facts"
+	"determinacy/internal/guard"
+	"determinacy/internal/guard/faultinject"
 	"determinacy/internal/interp"
 	"determinacy/internal/ir"
 	"determinacy/internal/obs"
@@ -77,6 +81,14 @@ type Options struct {
 	// nil disables tracing; every emission site is guarded so the disabled
 	// path costs one branch and no allocations.
 	Tracer obs.Tracer
+	// Ctx, when non-nil, is polled every interruptEvery steps; once it is
+	// cancelled the run unwinds through the normal abort path (branch
+	// frames pop with their journal undo and indeterminacy marking) and
+	// Run returns the ctx-wrapped error. nil disables the poll's select.
+	Ctx context.Context
+	// Deadline, when nonzero, is the wall-clock instant past which the run
+	// aborts the same way with guard.ErrDeadline.
+	Deadline time.Time
 }
 
 // MaxTrackedCFDepth is the size of Stats.CFDepthHist; deeper nestings fold
@@ -175,6 +187,9 @@ type Analysis struct {
 	evalCache map[string]*ir.Function
 	rng       uint64
 	stopped   error
+	// curIn is the instruction currently executing, tracked so the panic
+	// boundary can report where a crash happened.
+	curIn ir.Instr
 }
 
 // DFrame is one instrumented activation record.
@@ -346,6 +361,9 @@ func (a *Analysis) Random() float64 {
 // FlushHeap performs a heap flush (§4): a single epoch increment marks every
 // property of every object indeterminate and every record open.
 func (a *Analysis) FlushHeap(reason string) {
+	if faultinject.Armed() {
+		faultinject.Hit(faultinject.SiteCoreFlush)
+	}
 	a.heapEpoch++
 	a.stats.HeapFlushes++
 	if a.stats.FlushReasons == nil {
@@ -381,6 +399,57 @@ func (a *Analysis) flushAll(reason string) {
 	if !a.opts.MuJSLocals {
 		a.flushEnv()
 	}
+}
+
+// SealPartial conservatively flushes heap and environments after an
+// interrupted run, per the §4.3 flush semantics: any state the aborted
+// epoch may have left half-written is joined to indeterminate, so the
+// facts collected before the stop stay sound for clients that keep using
+// this analysis' state (e.g. embedders inspecting globals). Per-occurrence
+// facts are untouched — stopping early only means fewer of them, exactly
+// like the paper's 1000-flush cut-off — but the occurrence-cap bucket
+// (facts.Store.MaxSeq) aggregates every occurrence past the cap, and a
+// truncated run saw only a prefix of those, so that bucket is joined to
+// indeterminate.
+func (a *Analysis) SealPartial() {
+	stopped := a.stopped
+	a.stopped = nil // the seal flush must run even past the flush cap
+	a.flushAll("partial-seal")
+	if a.Facts != nil {
+		a.Facts.InvalidateSaturated()
+	}
+	a.stopped = stopped
+}
+
+// interruptEvery is the step interval between cooperative interrupt polls
+// (context cancellation, wall-clock deadline, armed fault plans); a power
+// of two so the hot-loop check is a mask.
+const interruptEvery = 2048
+
+// checkpoint polls the cooperative stop conditions. Injected panics
+// unwind to the Run boundary; interrupts make the stop sticky via
+// a.stopped, so every in-flight branch frame unwinds through the normal
+// oFail path and journal undo / indeterminacy marking stay exact.
+func (a *Analysis) checkpoint() {
+	if faultinject.Armed() {
+		faultinject.Hit(faultinject.SiteCoreStep)
+	}
+	if a.stopped == nil {
+		if err := guard.CheckInterrupt(a.opts.Ctx, a.opts.Deadline); err != nil {
+			a.stopped = err
+		}
+	}
+}
+
+// CurrentPoint reports the instruction the interpreter is currently
+// executing, for panic diagnostics: its ID and "line:col" source
+// position, or (-1, "") outside execution.
+func (a *Analysis) CurrentPoint() (int, string) {
+	if a.curIn == nil {
+		return -1, ""
+	}
+	p := a.curIn.IPos()
+	return int(a.curIn.IID()), fmt.Sprintf("%d:%d", p.Line, p.Col)
 }
 
 // ---------------------------------------------------------------------------

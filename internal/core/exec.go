@@ -6,6 +6,8 @@ import (
 	"math"
 
 	"determinacy/internal/facts"
+	"determinacy/internal/guard"
+	"determinacy/internal/guard/faultinject"
 	"determinacy/internal/interp"
 	"determinacy/internal/ir"
 	"determinacy/internal/obs"
@@ -50,8 +52,12 @@ func (a *Analysis) throwError(name, msg string, det bool) outcome {
 func (a *Analysis) InCounterfactual() bool { return a.cfDepth > 0 }
 
 // Run executes the module top level under the instrumented semantics,
-// populating the fact store.
-func (a *Analysis) Run() (Value, error) {
+// populating the fact store. It is a guard boundary: a panic anywhere in
+// the instrumented execution returns as a structured *guard.RunError
+// carrying the phase, the active program point and the recovered stack,
+// instead of crashing the caller.
+func (a *Analysis) Run() (v Value, err error) {
+	defer guard.Boundary(&err, "exec", a.CurrentPoint)
 	top := a.Mod.Top()
 	f := &DFrame{
 		Fn:       top,
@@ -61,6 +67,14 @@ func (a *Analysis) Run() (Value, error) {
 	}
 	a.frames = append(a.frames, f)
 	defer func() { a.frames = a.frames[:len(a.frames)-1] }()
+	// Poll once before executing anything (without counting an injector
+	// hit): a context that is already dead must stop even a program too
+	// short to reach a step checkpoint.
+	if a.stopped == nil {
+		if ierr := guard.CheckInterrupt(a.opts.Ctx, a.opts.Deadline); ierr != nil {
+			a.stopped = ierr
+		}
+	}
 	out := a.execBlock(f, top.Body)
 	switch out.kind {
 	case oNormal, oReturn:
@@ -102,13 +116,24 @@ func (a *Analysis) execBlock(f *DFrame, b *ir.Block) outcome {
 		if a.stats.Steps > a.opts.MaxSteps {
 			return failed(ErrBudget)
 		}
+		if a.stats.Steps&(interruptEvery-1) == 0 {
+			a.checkpoint()
+		}
 		if a.stopped != nil {
 			return failed(a.stopped)
 		}
+		a.curIn = in
 		out := a.execInstr(f, in)
 		if out.kind != oNormal {
 			return out
 		}
+	}
+	// A statement may absorb an interrupt without failing — a counterfactual
+	// undoes and taints instead of propagating — so re-check at block exit;
+	// otherwise a stop inside a trailing branch would let the run report
+	// full (unsealed) completion.
+	if a.stopped != nil {
+		return failed(a.stopped)
 	}
 	return okOut
 }
@@ -915,6 +940,9 @@ func (a *Analysis) callValue(fnv Value, this Value, args []Value, site ir.ID) ou
 	}
 	if len(a.frames) >= a.opts.MaxDepth {
 		return failed(ErrStack)
+	}
+	if faultinject.Armed() {
+		faultinject.Hit(faultinject.SiteCoreCall)
 	}
 	d := fnv.Det
 	o := fnv.O

@@ -1,0 +1,7 @@
+//go:build !race
+
+package core_test
+
+// raceTimeMul relaxes wall-clock assertions under the race detector; 1
+// when it is off.
+const raceTimeMul = 1

@@ -1,0 +1,7 @@
+//go:build race
+
+package core_test
+
+// raceTimeMul relaxes wall-clock assertions under the race detector, which
+// slows the interpreter by an order of magnitude or more.
+const raceTimeMul = 4

@@ -1,9 +1,12 @@
 package diffcheck
 
 import (
+	"context"
+	"errors"
 	"time"
 
 	"determinacy/internal/batch"
+	"determinacy/internal/guard"
 )
 
 // Config parameterizes a fuzz campaign.
@@ -20,6 +23,10 @@ type Config struct {
 	// Reduce minimizes every failing program with the delta-debugging
 	// reducer before reporting it.
 	Reduce bool
+	// Ctx stops the campaign cooperatively: in-flight seeds finish, the
+	// rest are skipped (counted in Report.Skipped). nil means no
+	// cancellation.
+	Ctx context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -39,7 +46,10 @@ type Report struct {
 	Resolutions  int       `json:"resolutions"`
 	FactsChecked int       `json:"facts_checked"`
 	Failures     []Failure `json:"failures"`
-	ElapsedMS    int64     `json:"elapsed_ms"`
+	// Skipped counts seeds never checked because Config.Ctx was cancelled
+	// mid-campaign.
+	Skipped   int   `json:"skipped,omitempty"`
+	ElapsedMS int64 `json:"elapsed_ms"`
 }
 
 // Run fans the campaign's programs out across the batch worker pool and
@@ -63,8 +73,12 @@ func RunFor(cfg Config, d time.Duration) Report {
 		total.Programs += rep.Programs
 		total.FactsChecked += rep.FactsChecked
 		total.Failures = append(total.Failures, rep.Failures...)
+		total.Skipped += rep.Skipped
 		cfg.BaseSeed += uint64(cfg.Seeds)
 		if !time.Now().Before(deadline) {
+			break
+		}
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
 			break
 		}
 	}
@@ -78,11 +92,22 @@ func runOn(pool *batch.Pool, cfg Config) Report {
 		checked int
 		fail    *Failure
 	}
-	outs := batch.Map(pool, cfg.Seeds, func(i int) outcome {
+	outs, qs := batch.MapCtx(cfg.Ctx, pool, cfg.Seeds, func(i int) outcome {
 		checked, f := CheckSeed(cfg.BaseSeed+uint64(i), cfg.Resolutions)
 		return outcome{checked, f}
 	})
 	rep := Report{Programs: cfg.Seeds, Resolutions: cfg.Resolutions}
+	for _, q := range qs {
+		var re *guard.RunError
+		if errors.As(q.Err, &re) {
+			// A panicking seed is itself an oracle violation: the analysis
+			// must never crash on a generated program.
+			outs[q.Index].fail = &Failure{Kind: KindCrash, GenSeed: cfg.BaseSeed + uint64(q.Index),
+				Resolution: -1, Detail: "panic: " + q.Err.Error()}
+		} else {
+			rep.Skipped++
+		}
+	}
 	for _, o := range outs {
 		rep.FactsChecked += o.checked
 		if o.fail != nil {

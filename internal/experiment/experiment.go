@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -53,6 +54,14 @@ type Config struct {
 	// Metrics, when non-nil, additionally receives pool utilization
 	// (batch_pool_*) and compile-cache hit-rate (progcache_*) series.
 	Metrics *obs.Metrics
+	// Ctx cancels the whole study cooperatively: in-flight cells stop at
+	// their next interpreter/solver checkpoint and unstarted cells are
+	// skipped with a ctx-wrapped error in their row. nil means no
+	// cancellation.
+	Ctx context.Context
+	// Deadline bounds each cell's dynamic run and solve by wall clock
+	// (zero = none).
+	Deadline time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +130,8 @@ func RunDynamic(src string, detDOM bool, cfg Config) (*DynamicRun, error) {
 		MaxFlushes: cfg.MaxFlushes,
 		Out:        io.Discard,
 		Tracer:     cfg.Tracer,
+		Ctx:        cfg.Ctx,
+		Deadline:   cfg.Deadline,
 	})
 	doc := dom.NewDocument(dom.Options{})
 	binding := dom.InstallCore(a, doc, detDOM)
@@ -195,7 +206,7 @@ func RunTable1(cfg Config) []Table1Row {
 		err  error
 	}
 	const kinds = 3 // baseline, spec, spec+detdom
-	outs := batch.Map(cfg.pool(), len(versions)*kinds, func(i int) cellOut {
+	outs, qs := batch.MapCtx(cfg.Ctx, cfg.pool(), len(versions)*kinds, func(i int) cellOut {
 		src := workload.JQuery(versions[i/kinds])
 		var out cellOut
 		switch i % kinds {
@@ -208,6 +219,9 @@ func RunTable1(cfg Config) []Table1Row {
 		}
 		return out
 	})
+	for _, q := range qs {
+		outs[q.Index].err = q.Err
+	}
 	rows := make([]Table1Row, 0, len(versions))
 	for ri, v := range versions {
 		row := Table1Row{Version: v}
@@ -269,9 +283,16 @@ func baselineCell(src string, cfg Config) (Table1Cell, error) {
 		return Table1Cell{}, err
 	}
 	start := time.Now()
-	base := pointsto.Analyze(mod, pointsto.Options{Budget: cfg.Budget, Tracer: cfg.Tracer})
+	base, err := pointsto.AnalyzeGuarded(mod, pointsto.Options{
+		Budget: cfg.Budget, Tracer: cfg.Tracer, Ctx: cfg.Ctx, Deadline: cfg.Deadline,
+	})
+	if err != nil {
+		return Table1Cell{}, err
+	}
 	return Table1Cell{
-		Completed:    !base.BudgetExceeded,
+		// An interrupted solve is an under-approximation — same ✗ as a
+		// budget blowout.
+		Completed:    !base.BudgetExceeded && base.Interrupted == nil,
 		Propagations: base.Propagations,
 		Duration:     time.Since(start),
 	}, nil
@@ -297,8 +318,13 @@ func specCell(src string, detDOM bool, cfg Config) (Table1Cell, error) {
 		return cell, fmt.Errorf("specialized output does not compile: %w", err)
 	}
 	start := time.Now()
-	pt := pointsto.Analyze(mod, pointsto.Options{Budget: cfg.Budget, Tracer: cfg.Tracer})
-	cell.Completed = !pt.BudgetExceeded
+	pt, err := pointsto.AnalyzeGuarded(mod, pointsto.Options{
+		Budget: cfg.Budget, Tracer: cfg.Tracer, Ctx: cfg.Ctx, Deadline: cfg.Deadline,
+	})
+	if err != nil {
+		return cell, err
+	}
+	cell.Completed = !pt.BudgetExceeded && pt.Interrupted == nil
 	cell.Propagations = pt.Propagations
 	cell.Duration = time.Since(start)
 	return cell, nil
@@ -412,9 +438,12 @@ type EvalStudy struct {
 func RunEvalStudy(detDOM bool, cfg Config) *EvalStudy {
 	cfg = cfg.withDefaults()
 	corpus := workload.EvalCorpus()
-	outs := batch.Map(cfg.pool(), len(corpus), func(i int) EvalOutcome {
+	outs, qs := batch.MapCtx(cfg.Ctx, cfg.pool(), len(corpus), func(i int) EvalOutcome {
 		return evalOne(corpus[i], detDOM, cfg)
 	})
+	for _, q := range qs {
+		outs[q.Index] = EvalOutcome{Name: corpus[q.Index].Name, Err: q.Err}
+	}
 	study := &EvalStudy{DetDOM: detDOM, ByReason: map[string]int{}}
 	for _, out := range outs {
 		study.Total++
@@ -463,8 +492,14 @@ func evalOne(b workload.EvalBenchmark, detDOM bool, cfg Config) EvalOutcome {
 		out.Err = fmt.Errorf("specialized output does not compile: %w", err)
 		return out
 	}
-	pt := pointsto.Analyze(mod, pointsto.Options{Budget: cfg.Budget, Tracer: cfg.Tracer})
-	out.Handled = len(pt.EvalSites) == 0 && !pt.BudgetExceeded
+	pt, err := pointsto.AnalyzeGuarded(mod, pointsto.Options{
+		Budget: cfg.Budget, Tracer: cfg.Tracer, Ctx: cfg.Ctx, Deadline: cfg.Deadline,
+	})
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	out.Handled = len(pt.EvalSites) == 0 && !pt.BudgetExceeded && pt.Interrupted == nil
 	if !out.Handled {
 		out.Reason = worstReason(res.EvalSites)
 	}

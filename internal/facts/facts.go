@@ -270,6 +270,24 @@ func (s *Store) NumDeterminate() int {
 	return n
 }
 
+// InvalidateSaturated joins every fact in the occurrence-cap bucket
+// (Seq == MaxSeq) to indeterminate, reporting how many determinate facts it
+// demoted. The cap bucket aggregates ALL occurrences beyond MaxSeq, so its
+// facts are only trustworthy once the run that produced them ran to
+// completion: a truncated run has observed just a prefix of the bucket's
+// occurrences, and an unobserved later occurrence could disagree with the
+// recorded value. Partial seals call this before exposing the store.
+func (s *Store) InvalidateSaturated() int {
+	n := 0
+	for _, k := range s.order {
+		if f := s.m[k]; f.Seq == s.MaxSeq && f.Det {
+			f.Det = false
+			n++
+		}
+	}
+	return n
+}
+
 // Lookup finds the fact for an exact (instr, ctx, seq) triple. Occurrences
 // beyond the cap fold into the cap bucket, mirroring Record.
 func (s *Store) Lookup(instr ir.ID, ctx Context, seq int) (*Fact, bool) {

@@ -304,3 +304,35 @@ func TestFactKeyCollisionResistance(t *testing.T) {
 		}
 	}
 }
+
+func TestInvalidateSaturated(t *testing.T) {
+	s := facts.NewStore()
+	s.MaxSeq = 4
+	// Exact occurrences plus a cap bucket that happens to agree so far —
+	// the shape a truncated run leaves behind.
+	for i := 0; i < 6; i++ {
+		s.Record(1, nil, i, true, num(7))
+	}
+	s.Record(2, nil, 0, true, num(1))
+	if f, _ := s.Lookup(1, nil, 4); !f.Det {
+		t.Fatal("precondition: agreeing cap bucket should be determinate")
+	}
+	if got := s.InvalidateSaturated(); got != 1 {
+		t.Fatalf("InvalidateSaturated() = %d, want 1", got)
+	}
+	if f, _ := s.Lookup(1, nil, 4); f.Det {
+		t.Error("cap bucket must be indeterminate after a partial seal")
+	}
+	for i := 0; i < 4; i++ {
+		if f, _ := s.Lookup(1, nil, i); !f.Det {
+			t.Errorf("exact occurrence %d must survive the seal", i)
+		}
+	}
+	if f, _ := s.Lookup(2, nil, 0); !f.Det {
+		t.Error("below-cap fact at another point must survive")
+	}
+	// Idempotent, and a no-op on a store with nothing saturated.
+	if got := s.InvalidateSaturated(); got != 0 {
+		t.Errorf("second call = %d, want 0", got)
+	}
+}

@@ -1,0 +1,135 @@
+package faultinject
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestDisarmedFastPath(t *testing.T) {
+	Disarm()
+	if Armed() {
+		t.Fatal("Armed() = true with no plan installed")
+	}
+	Hit(SiteCoreStep) // must be a no-op, not a nil deref
+}
+
+func TestPanicFiresExactlyOnceAtTriggerCount(t *testing.T) {
+	p := &Plan{Site: SiteCoreStep, After: 3, Action: Panic}
+	Arm(p)
+	defer Disarm()
+	for i := 0; i < 2; i++ {
+		Hit(SiteCoreStep)
+	}
+	fired := func() (fired bool) {
+		defer func() { fired = recover() != nil }()
+		Hit(SiteCoreStep)
+		return false
+	}
+	if !fired() {
+		t.Fatal("third hit did not fire the panic")
+	}
+	if !p.Fired() {
+		t.Fatal("Fired() = false after the fault fired")
+	}
+	// The plan stays installed but inert: further hits must not re-fire.
+	Hit(SiteCoreStep)
+	if got := p.Hits(); got != 4 {
+		t.Fatalf("Hits() = %d, want 4", got)
+	}
+}
+
+func TestSiteFilter(t *testing.T) {
+	p := &Plan{Site: SiteSolverProp, After: 1, Action: Expire}
+	Arm(p)
+	defer Disarm()
+	Hit(SiteCoreStep)
+	Hit(SiteBatchJob)
+	if p.Fired() {
+		t.Fatal("plan fired on a non-matching site")
+	}
+	Hit(SiteSolverProp)
+	if !p.Fired() || !Expired() {
+		t.Fatal("plan did not fire on its own site")
+	}
+}
+
+func TestEmptySiteMatchesEverySite(t *testing.T) {
+	p := &Plan{After: 2, Action: Expire}
+	Arm(p)
+	defer Disarm()
+	Hit(SiteCoreFlush)
+	Hit(SiteInterpStep)
+	if !p.Fired() {
+		t.Fatal("wildcard plan did not fire after 2 hits across different sites")
+	}
+}
+
+func TestCancelActionInvokesCallback(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	Arm(&Plan{Site: SiteCoreCall, After: 1, Action: Cancel, OnCancel: cancel})
+	defer Disarm()
+	Hit(SiteCoreCall)
+	if ctx.Err() == nil {
+		t.Fatal("Cancel action did not cancel the context")
+	}
+}
+
+func TestArmClampsAfter(t *testing.T) {
+	p := &Plan{Action: Expire}
+	Arm(p)
+	defer Disarm()
+	Hit(SiteCoreStep)
+	if !p.Fired() {
+		t.Fatal("After=0 plan should clamp to 1 and fire on the first hit")
+	}
+}
+
+func TestExpiredRequiresExpireAction(t *testing.T) {
+	Arm(&Plan{After: 1, Action: Cancel})
+	defer Disarm()
+	Hit(SiteCoreStep)
+	if Expired() {
+		t.Fatal("Expired() = true for a fired Cancel plan")
+	}
+}
+
+// TestConcurrentHitsFireOnce hammers one plan from many goroutines; under
+// -race this proves the CAS-once firing and that exactly one goroutine
+// observes the panic.
+func TestConcurrentHitsFireOnce(t *testing.T) {
+	p := &Plan{Site: SiteBatchJob, After: 50, Action: Panic}
+	Arm(p)
+	defer Disarm()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	panics := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							panics++
+							mu.Unlock()
+							if inj, ok := r.(Injected); !ok || inj.Site != SiteBatchJob {
+								t.Errorf("panic value = %v, want Injected at batch.job", r)
+							}
+						}
+					}()
+					Hit(SiteBatchJob)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panics != 1 {
+		t.Fatalf("fault fired %d times, want exactly once", panics)
+	}
+	if got := p.Hits(); got != 800 {
+		t.Fatalf("Hits() = %d, want 800", got)
+	}
+}

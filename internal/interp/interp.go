@@ -1,12 +1,16 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"math"
 	"strings"
+	"time"
 
+	"determinacy/internal/guard"
+	"determinacy/internal/guard/faultinject"
 	"determinacy/internal/ir"
 )
 
@@ -31,6 +35,12 @@ type Options struct {
 	// Inputs backs the __input(name) native, the generic indeterminate
 	// program-input source used by tests and workloads.
 	Inputs map[string]Value
+	// Ctx, when non-nil, is polled every interruptEvery steps; once
+	// cancelled the run aborts with the ctx-wrapped error.
+	Ctx context.Context
+	// Deadline, when nonzero, aborts the run with guard.ErrDeadline once
+	// the wall clock passes it.
+	Deadline time.Time
 }
 
 // Interp executes an IR module under the concrete semantics.
@@ -64,6 +74,11 @@ type Interp struct {
 	frames    []*Frame
 	evalCache map[string]*ir.Function
 	rng       uint64
+	// stopped makes interrupts sticky so natives that re-enter execution
+	// (CallFunction from embedders) cannot outrun a cancellation.
+	stopped error
+	// curIn is the instruction currently executing, for panic diagnostics.
+	curIn ir.Instr
 }
 
 // Frame is one activation record.
@@ -97,6 +112,34 @@ func New(mod *ir.Module, opts Options) *Interp {
 
 // Steps reports how many instructions have been executed.
 func (it *Interp) Steps() int { return it.steps }
+
+// interruptEvery is the step interval between cooperative interrupt polls;
+// a power of two so the hot-loop check is a mask.
+const interruptEvery = 2048
+
+// checkpoint polls context cancellation, the wall-clock deadline, and any
+// armed fault-injection plan, making a hit sticky via it.stopped.
+func (it *Interp) checkpoint() {
+	if faultinject.Armed() {
+		faultinject.Hit(faultinject.SiteInterpStep)
+	}
+	if it.stopped == nil {
+		if err := guard.CheckInterrupt(it.opts.Ctx, it.opts.Deadline); err != nil {
+			it.stopped = err
+		}
+	}
+}
+
+// CurrentPoint reports the instruction currently executing, for panic
+// diagnostics: its ID and "line:col" position, or (-1, "") outside
+// execution.
+func (it *Interp) CurrentPoint() (int, string) {
+	if it.curIn == nil {
+		return -1, ""
+	}
+	p := it.curIn.IPos()
+	return int(it.curIn.IID()), fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
 
 // NewObject allocates a plain object with the given prototype (nil for a
 // prototype-less object).
@@ -211,8 +254,11 @@ func (it *Interp) throwError(name, msg string) outcome {
 // Run executes the module top level. It returns the value of the last
 // top-level expression... the top level has no value, so Run returns
 // undefined on success, the thrown value error on an uncaught exception, or
-// a budget/stack error.
-func (it *Interp) Run() (Value, error) {
+// a budget/stack error. It is a guard boundary: a panic anywhere in the
+// interpreter returns as a structured *guard.RunError instead of crashing
+// the caller.
+func (it *Interp) Run() (v Value, err error) {
+	defer guard.Boundary(&err, "interp", it.CurrentPoint)
 	top := it.Mod.Top()
 	f := &Frame{
 		Fn:       top,
@@ -222,6 +268,14 @@ func (it *Interp) Run() (Value, error) {
 	}
 	it.frames = append(it.frames, f)
 	defer func() { it.frames = it.frames[:len(it.frames)-1] }()
+	// Poll once before executing anything (without counting an injector
+	// hit): a context that is already dead must stop even a program too
+	// short to reach a step checkpoint.
+	if it.stopped == nil {
+		if ierr := guard.CheckInterrupt(it.opts.Ctx, it.opts.Deadline); ierr != nil {
+			it.stopped = ierr
+		}
+	}
 	out := it.execBlock(f, top.Body)
 	switch out.kind {
 	case oNormal, oReturn:
@@ -257,6 +311,13 @@ func (it *Interp) execBlock(f *Frame, b *ir.Block) outcome {
 		if it.steps > it.opts.MaxSteps {
 			return failed(ErrBudget)
 		}
+		if it.steps&(interruptEvery-1) == 0 {
+			it.checkpoint()
+		}
+		if it.stopped != nil {
+			return failed(it.stopped)
+		}
+		it.curIn = in
 		out := it.execInstr(f, in)
 		if out.kind != oNormal {
 			return out

@@ -63,6 +63,10 @@ const (
 	// far, N2 the current worklist length, N3 the node count, N4 the
 	// abstract-object count.
 	EvSolver
+	// EvGuard is a guard-layer outcome: Phase is "degrade" (graceful
+	// partial result; Detail the DegradeReason) or "recover" (panic
+	// converted to a structured error; Detail the panicking phase).
+	EvGuard
 	numEventKinds
 )
 
@@ -80,6 +84,7 @@ var kindNames = [numEventKinds]string{
 	EvFactInvalidate: "fact-invalidate",
 	EvEval:           "eval",
 	EvSolver:         "solver",
+	EvGuard:          "guard",
 }
 
 func (k EventKind) String() string {

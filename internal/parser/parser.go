@@ -9,19 +9,31 @@
 package parser
 
 import (
+	"errors"
 	"fmt"
 
 	"determinacy/internal/ast"
 	"determinacy/internal/lexer"
 )
 
+// ErrDepth is the sentinel category of nesting-depth syntax errors, so
+// callers can tell resource-limit rejections from plain syntax errors
+// with errors.Is through every API layer (the MaxDepth guard exists to
+// turn adversarial inputs into errors instead of stack overflows).
+var ErrDepth = errors.New("parser: nesting depth limit exceeded")
+
 // Error is a syntax error with a source position.
 type Error struct {
 	Pos lexer.Pos
 	Msg string
+	// Err, when non-nil, is the error's sentinel category (ErrDepth).
+	Err error
 }
 
 func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Unwrap exposes the sentinel category to errors.Is chains.
+func (e *Error) Unwrap() error { return e.Err }
 
 // Parse parses src and returns the program. file is a display name used in
 // diagnostics.
@@ -91,7 +103,11 @@ type parser struct {
 func (p *parser) enter() {
 	p.depth++
 	if p.depth > MaxDepth {
-		p.fail(p.cur().Pos, "nesting exceeds %d levels", MaxDepth)
+		e := &Error{Pos: p.cur().Pos, Msg: fmt.Sprintf("nesting exceeds %d levels", MaxDepth), Err: ErrDepth}
+		if p.err == nil {
+			p.err = e
+		}
+		panic(e)
 	}
 }
 

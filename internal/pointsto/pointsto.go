@@ -19,9 +19,12 @@
 package pointsto
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"determinacy/internal/guard"
+	"determinacy/internal/guard/faultinject"
 	"determinacy/internal/ir"
 	"determinacy/internal/obs"
 )
@@ -75,11 +78,21 @@ type Options struct {
 	// (EvSolver, every solverSnapshotEvery propagations). nil disables
 	// tracing at no cost.
 	Tracer obs.Tracer
+	// Ctx, when non-nil, is polled every interruptEvery propagations; once
+	// cancelled, solving stops and Result.Interrupted carries the error.
+	Ctx context.Context
+	// Deadline, when nonzero, stops solving the same way once the wall
+	// clock passes it.
+	Deadline time.Time
 }
 
 // solverSnapshotEvery is the propagation-count interval between EvSolver
 // snapshots; a power of two so the check is a mask.
 const solverSnapshotEvery = 8192
+
+// interruptEvery is the propagation interval between cooperative
+// interrupt polls; a power of two so the check is a mask.
+const interruptEvery = 2048
 
 // Result carries the analysis outputs.
 type Result struct {
@@ -88,6 +101,12 @@ type Result struct {
 	// BudgetExceeded reports that solving stopped early (the "✗" rows of
 	// Table 1).
 	BudgetExceeded bool
+	// Interrupted is non-nil when solving stopped on context cancellation
+	// or a wall-clock deadline. The points-to sets reflect only the work
+	// done so far — an under-approximation — so clients must treat an
+	// interrupted result like a budget-exceeded one, never as a sound
+	// whole-program answer.
+	Interrupted error
 	// Propagations counts points-to propagation events (the work metric).
 	Propagations int
 	// NumObjects and NumNodes describe problem size.
@@ -223,6 +242,7 @@ type analysis struct {
 	worklistHWM int
 	work        int
 	exceeded    bool
+	interrupted error
 	tracer      obs.Tracer
 }
 
@@ -249,6 +269,15 @@ type callInfo struct {
 	dst      ir.Reg
 	isNew    bool
 	resolved map[ObjID]bool
+}
+
+// AnalyzeGuarded is Analyze behind a guard panic boundary: a solver panic
+// returns as a structured *guard.RunError instead of crashing the caller.
+// The batch layers and the public API route through it so one poisoned
+// module cannot take down a whole experiment sweep.
+func AnalyzeGuarded(mod *ir.Module, opts Options) (res *Result, err error) {
+	defer guard.Boundary(&err, "solve", nil)
+	return Analyze(mod, opts), nil
 }
 
 // Analyze runs the points-to analysis on a module.
@@ -286,6 +315,7 @@ func Analyze(mod *ir.Module, opts Options) *Result {
 	res := &Result{
 		Callees:        map[ir.ID][]*Object{},
 		BudgetExceeded: a.exceeded,
+		Interrupted:    a.interrupted,
 		Propagations:   a.work,
 		NumObjects:     len(a.objs),
 		NumNodes:       len(a.nodes),
@@ -471,6 +501,13 @@ func (a *analysis) snapshot() {
 }
 
 func (a *analysis) solve() {
+	// Poll once up front: a context that is already dead (or a deadline
+	// already past) must stop even a solve too small to reach the
+	// every-interruptEvery poll inside the loop.
+	if err := guard.CheckInterrupt(a.opts.Ctx, a.opts.Deadline); err != nil {
+		a.interrupted = err
+		return
+	}
 	for len(a.worklist) > 0 {
 		n := a.worklist[len(a.worklist)-1]
 		a.worklist = a.worklist[:len(a.worklist)-1]
@@ -483,6 +520,15 @@ func (a *analysis) solve() {
 			if a.work > a.opts.Budget {
 				a.exceeded = true
 				return
+			}
+			if a.work&(interruptEvery-1) == 0 {
+				if faultinject.Armed() {
+					faultinject.Hit(faultinject.SiteSolverProp)
+				}
+				if err := guard.CheckInterrupt(a.opts.Ctx, a.opts.Deadline); err != nil {
+					a.interrupted = err
+					return
+				}
 			}
 			if a.tracer != nil && a.work%solverSnapshotEvery == 0 {
 				a.snapshot()
@@ -511,6 +557,11 @@ func (r *Result) Export(m *obs.Metrics) {
 		exceeded = 1
 	}
 	m.Gauge("pointsto_budget_exceeded").Set(exceeded)
+	interrupted := 0.0
+	if r.Interrupted != nil {
+		interrupted = 1
+	}
+	m.Gauge("pointsto_interrupted").Set(interrupted)
 	m.Gauge("pointsto_duration_seconds").Set(r.Duration.Seconds())
 }
 
