@@ -18,13 +18,11 @@ import (
 	"os"
 	"time"
 
+	"determinacy/internal/cliexit"
 	"determinacy/internal/experiment"
 	"determinacy/internal/obs"
+	"determinacy/internal/version"
 )
-
-// exitPartial reports that the run hit -timeout: results printed reflect
-// the completed cells only (matches detrun's partial-run exit code).
-const exitPartial = 7
 
 func main() {
 	var (
@@ -36,15 +34,27 @@ func main() {
 		workers     = flag.Int("workers", 0, "concurrent analysis jobs (0 = GOMAXPROCS, 1 = serial); output is byte-identical for every setting")
 		metricsJSON = flag.String("metrics-json", "", `also write experiment metrics as JSON to this file ("-" = stdout); EXPERIMENTS.md numbers regenerate from this dump`)
 		timeout     = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); on expiry remaining cells are skipped and the exit code is 7")
+		showVer     = flag.Bool("version", false, "print version and exit")
 	)
+	flag.Usage = func() {
+		o := flag.CommandLine.Output()
+		fmt.Fprintln(o, "usage: detbench [-table1 | -eval | -all] [flags]")
+		flag.PrintDefaults()
+		fmt.Fprintln(o)
+		fmt.Fprintln(o, cliexit.UsageText("detbench"))
+	}
 	flag.Parse()
+	if *showVer {
+		fmt.Println("detbench", version.String())
+		return
+	}
 	if !*table1 && !*evalst && !*all {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(cliexit.Usage)
 	}
 	badFlag := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "detbench: "+format+"\n", args...)
-		os.Exit(2)
+		os.Exit(cliexit.Usage)
 	}
 	if *budget < 0 {
 		badFlag("-budget must be non-negative, got %d", *budget)
@@ -103,19 +113,19 @@ func main() {
 			f, err := os.Create(*metricsJSON)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "detbench:", err)
-				os.Exit(1)
+				os.Exit(cliexit.Error)
 			}
 			defer f.Close()
 			w = f
 		}
 		if err := m.WriteJSON(w); err != nil {
 			fmt.Fprintln(os.Stderr, "detbench:", err)
-			os.Exit(1)
+			os.Exit(cliexit.Error)
 		}
 	}
 
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "detbench: timeout expired; results above cover only the cells that completed")
-		os.Exit(exitPartial)
+		os.Exit(cliexit.Partial)
 	}
 }

@@ -22,7 +22,9 @@ import (
 	"os"
 	"time"
 
+	"determinacy/internal/cliexit"
 	"determinacy/internal/diffcheck"
+	"determinacy/internal/version"
 )
 
 func main() {
@@ -35,20 +37,32 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "write the report as JSON to stdout")
 		noReduce    = flag.Bool("no-reduce", false, "skip delta-debugging failing programs")
 		timeout     = flag.Duration("timeout", 0, "hard wall-clock cap for the campaign (0 = none); unchecked seeds are reported as skipped")
+		showVer     = flag.Bool("version", false, "print version and exit")
 	)
+	flag.Usage = func() {
+		o := flag.CommandLine.Output()
+		fmt.Fprintln(o, "usage: detfuzz [flags]")
+		flag.PrintDefaults()
+		fmt.Fprintln(o)
+		fmt.Fprintln(o, cliexit.UsageText("detfuzz"))
+	}
 	flag.Parse()
+	if *showVer {
+		fmt.Println("detfuzz", version.String())
+		return
+	}
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: detfuzz [flags]")
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(cliexit.Usage)
 	}
 	if *seeds <= 0 || *resolutions <= 0 || *workers < 0 {
 		fmt.Fprintln(os.Stderr, "detfuzz: -seeds and -resolutions must be positive and -workers non-negative")
-		os.Exit(2)
+		os.Exit(cliexit.Usage)
 	}
 	if *timeout < 0 {
 		fmt.Fprintln(os.Stderr, "detfuzz: -timeout must be non-negative")
-		os.Exit(2)
+		os.Exit(cliexit.Usage)
 	}
 
 	cfg := diffcheck.Config{
@@ -75,7 +89,7 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
 			fmt.Fprintln(os.Stderr, "detfuzz:", err)
-			os.Exit(1)
+			os.Exit(cliexit.Error)
 		}
 	} else {
 		fmt.Printf("detfuzz: %d programs x %d resolutions, %d determinate fact checks, %d failures (%.1fs)\n",
@@ -95,6 +109,6 @@ func main() {
 		}
 	}
 	if len(rep.Failures) > 0 {
-		os.Exit(3)
+		os.Exit(cliexit.Violation)
 	}
 }

@@ -20,20 +20,10 @@ import (
 	"time"
 
 	"determinacy"
+	"determinacy/internal/cliexit"
 	"determinacy/internal/ir"
 	"determinacy/internal/obs"
-)
-
-// Exit codes. Keep in sync with the usage text below.
-const (
-	exitOK        = 0
-	exitError     = 1 // generic failure (I/O, parse, internal)
-	exitUsage     = 2
-	exitFlush     = 3 // analysis stopped at the heap-flush cap
-	exitBudget    = 4 // instrumented execution exhausted its step budget
-	exitStack     = 5 // instrumented call-stack overflow
-	exitException = 6 // analyzed program threw an uncaught exception
-	exitPartial   = 7 // run stopped by -timeout or cancellation; facts printed are sound
+	"determinacy/internal/version"
 )
 
 func main() {
@@ -52,31 +42,28 @@ func main() {
 		traceFmt = flag.String("trace-format", "jsonl", "trace format: jsonl or chrome (trace_event JSON for Perfetto)")
 		metrics  = flag.String("metrics", "", `write Prometheus-style metrics to this file ("-" = stdout)`)
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the analysis (0 = none); a timed-out run still prints its sound partial facts")
+		showVer  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Usage = func() {
 		o := flag.CommandLine.Output()
 		fmt.Fprintln(o, "usage: detrun [flags] file.js")
 		flag.PrintDefaults()
-		fmt.Fprintln(o, `
-exit codes:
-  0  analysis completed
-  1  generic error (I/O, parse, internal)
-  2  usage error
-  3  analysis stopped at the heap-flush cap (-max-flushes); facts printed are sound
-  4  instrumented execution exhausted its step budget
-  5  instrumented call-stack overflow
-  6  analyzed program threw an uncaught exception
-  7  run stopped by -timeout or cancellation; facts printed are sound`)
+		fmt.Fprintln(o)
+		fmt.Fprintln(o, cliexit.UsageText("detrun"))
 	}
 	flag.Parse()
+	if *showVer {
+		fmt.Println("detrun", version.String())
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: detrun [flags] file.js")
 		flag.Usage()
-		os.Exit(exitUsage)
+		os.Exit(cliexit.Usage)
 	}
 	badFlag := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "detrun: "+format+"\n", args...)
-		os.Exit(exitUsage)
+		os.Exit(cliexit.Usage)
 	}
 	if *runs < 1 {
 		badFlag("-runs must be at least 1, got %d", *runs)
@@ -138,7 +125,7 @@ exit codes:
 			opts.Tracer = chrome
 		default:
 			fmt.Fprintf(os.Stderr, "detrun: unknown -trace-format %q (want jsonl or chrome)\n", *traceFmt)
-			os.Exit(exitUsage)
+			os.Exit(cliexit.Usage)
 		}
 	}
 	finishTrace := func() {
@@ -244,11 +231,11 @@ exit codes:
 func partialExit(r determinacy.DegradeReason) int {
 	switch r {
 	case determinacy.DegradeFlushCap:
-		return exitFlush
+		return cliexit.FlushCap
 	case determinacy.DegradeBudget:
-		return exitBudget
+		return cliexit.Budget
 	default:
-		return exitPartial
+		return cliexit.Partial
 	}
 }
 
@@ -274,14 +261,14 @@ func fatal(err error) {
 func exitCode(err error) int {
 	switch {
 	case errors.Is(err, determinacy.ErrFlushLimit):
-		return exitFlush
+		return cliexit.FlushCap
 	case errors.Is(err, determinacy.ErrBudget):
-		return exitBudget
+		return cliexit.Budget
 	case errors.Is(err, determinacy.ErrStack):
-		return exitStack
+		return cliexit.Stack
 	case errors.Is(err, determinacy.ErrUncaughtException):
-		return exitException
+		return cliexit.Exception
 	default:
-		return exitError
+		return cliexit.Error
 	}
 }

@@ -1,0 +1,158 @@
+// Command detserve is the analysis service: an HTTP/JSON frontend over
+// the dynamic determinacy pipeline, hardened for sustained load.
+//
+// Endpoints:
+//
+//	POST /v1/analyze   source + seed + options → facts/stats JSON; a run
+//	                   stopped by its deadline answers 200 with sound
+//	                   partial facts and a degrade_reason
+//	POST /v1/batch     several programs, fanned over the worker pool
+//	GET  /metrics      Prometheus text: analysis, pool, cache, and server
+//	                   series (in-flight, queue depth, shed/quarantine
+//	                   counters, latency histograms)
+//	GET  /healthz      liveness + build version
+//	GET  /readyz       readiness; 503 while draining or circuit-broken
+//
+// Overload is shed with 429 + Retry-After (bounded admission queue, never
+// unbounded buffering). SIGTERM/SIGINT starts a graceful drain: readiness
+// flips, in-flight runs get -drain to finish before being force-cancelled
+// into sound partials, then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"determinacy/internal/cliexit"
+	"determinacy/internal/obs"
+	"determinacy/internal/server"
+	"determinacy/internal/version"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8420", "listen address")
+		inflight  = flag.Int("workers", 0, "max concurrently executing requests (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "admission queue depth beyond -workers (0 = 2x workers); excess requests are shed with 429")
+		maxBody   = flag.Int64("max-body", 4<<20, "request body size limit in bytes")
+		timeout   = flag.Duration("timeout", 10*time.Second, "default per-request analysis budget")
+		maxTO     = flag.Duration("max-timeout", 30*time.Second, "hard ceiling over client-requested budgets")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-drain budget on SIGTERM/SIGINT before in-flight runs are sealed partial")
+		breaker   = flag.Int("breaker", 5, "consecutive quarantined requests that trip /readyz")
+		cacheSize = flag.Int("cache", 0, "compile-cache capacity in programs (0 = default)")
+		finalDump = flag.String("final-metrics", "", `write a last Prometheus metrics snapshot here on shutdown ("-" = stderr)`)
+		showVer   = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Usage = func() {
+		o := flag.CommandLine.Output()
+		fmt.Fprintln(o, "usage: detserve [flags]")
+		flag.PrintDefaults()
+		fmt.Fprintln(o)
+		fmt.Fprintln(o, cliexit.UsageText("detserve"))
+	}
+	flag.Parse()
+	if *showVer {
+		fmt.Println("detserve", version.String())
+		return
+	}
+	badFlag := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "detserve: "+format+"\n", args...)
+		os.Exit(cliexit.Usage)
+	}
+	if flag.NArg() != 0 {
+		badFlag("unexpected arguments %v", flag.Args())
+	}
+	if *inflight < 0 || *queue < 0 || *breaker < 0 || *cacheSize < 0 {
+		badFlag("-workers, -queue, -breaker and -cache must be non-negative")
+	}
+	if *maxBody <= 0 {
+		badFlag("-max-body must be positive, got %d", *maxBody)
+	}
+	if *timeout <= 0 || *maxTO <= 0 || *drain <= 0 {
+		badFlag("-timeout, -max-timeout and -drain must be positive")
+	}
+	if *timeout > *maxTO {
+		badFlag("-timeout %v exceeds -max-timeout %v", *timeout, *maxTO)
+	}
+
+	m := obs.NewMetrics()
+	srv := server.New(server.Config{
+		MaxInFlight:      *inflight,
+		QueueDepth:       *queue,
+		MaxBodyBytes:     *maxBody,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTO,
+		BreakerThreshold: *breaker,
+		CacheEntries:     *cacheSize,
+		Metrics:          m,
+	})
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detserve:", err)
+		os.Exit(cliexit.Error)
+	}
+	log.Printf("detserve %s listening on http://%s", version.String(), ln.Addr())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "detserve:", err)
+		os.Exit(cliexit.Error)
+	case sig := <-sigCh:
+		log.Printf("detserve: %v: draining (budget %v)", sig, *drain)
+	}
+
+	// Graceful drain: flip readiness and refuse new work immediately, run
+	// the in-flight drain (finish or force-seal-partial at the budget)
+	// concurrently with the HTTP shutdown that waits on those responses.
+	srv.BeginDrain()
+	drained := make(chan bool, 1)
+	go func() { drained <- srv.Drain(*drain) }()
+	shCtx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		log.Printf("detserve: shutdown: %v; closing remaining connections", err)
+		httpSrv.Close()
+	}
+	if clean := <-drained; clean {
+		log.Printf("detserve: drained clean: all in-flight requests completed")
+	} else {
+		log.Printf("detserve: drain budget expired: in-flight runs sealed sound partial results")
+	}
+
+	// Flush the metric sink so the final state of the run survives.
+	if *finalDump != "" {
+		w := os.Stderr
+		if *finalDump != "-" {
+			f, err := os.Create(*finalDump)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "detserve:", err)
+				os.Exit(cliexit.Error)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := m.WriteProm(w); err != nil {
+			fmt.Fprintln(os.Stderr, "detserve:", err)
+			os.Exit(cliexit.Error)
+		}
+	}
+	os.Exit(cliexit.OK)
+}

@@ -19,11 +19,9 @@ import (
 	"time"
 
 	"determinacy"
+	"determinacy/internal/cliexit"
+	"determinacy/internal/version"
 )
-
-// exitPartial reports that the dynamic analysis hit -timeout; the emitted
-// specialization uses the sound partial facts (matches detrun's code 7).
-const exitPartial = 7
 
 func main() {
 	var (
@@ -40,16 +38,28 @@ func main() {
 		runs       = flag.Int("runs", 1, "merge facts from this many dynamic runs with consecutive seeds (§7) before specializing")
 		workers    = flag.Int("workers", 0, "concurrent dynamic runs when -runs > 1 (0 = GOMAXPROCS, 1 = serial); the merged facts are identical for every setting")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the dynamic analysis (0 = none); a timed-out run still specializes with its sound partial facts and exits 7")
+		showVer    = flag.Bool("version", false, "print version and exit")
 	)
+	flag.Usage = func() {
+		o := flag.CommandLine.Output()
+		fmt.Fprintln(o, "usage: detspec [flags] file.js")
+		flag.PrintDefaults()
+		fmt.Fprintln(o)
+		fmt.Fprintln(o, cliexit.UsageText("detspec"))
+	}
 	flag.Parse()
+	if *showVer {
+		fmt.Println("detspec", version.String())
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: detspec [flags] file.js")
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(cliexit.Usage)
 	}
 	badFlag := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "detspec: "+format+"\n", args...)
-		os.Exit(2)
+		os.Exit(cliexit.Usage)
 	}
 	if *runs < 1 {
 		badFlag("-runs must be at least 1, got %d", *runs)
@@ -178,11 +188,11 @@ func main() {
 	// Flush-cap stops keep exiting 0 (long-standing behavior: the cap is a
 	// routine analysis bound); only wall-clock/cancellation stops signal 7.
 	if res != nil && (res.Degraded == determinacy.DegradeDeadline || res.Degraded == determinacy.DegradeCancel) {
-		os.Exit(exitPartial)
+		os.Exit(cliexit.Partial)
 	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "detspec:", err)
-	os.Exit(1)
+	os.Exit(cliexit.Error)
 }

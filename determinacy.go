@@ -431,6 +431,59 @@ func AnalyzeRunsContext(ctx context.Context, src string, opts Options, seeds ...
 // seeds) skip the front end entirely.
 var runsCache = progcache.New(0)
 
+// Program is a compiled analysis input: the parsed AST plus a run-ready
+// clone of the lowered module. A Program is SINGLE-USE — running an
+// analysis mutates its module (runtime eval lowering), so obtain a fresh
+// one from Cache.Compile per run.
+type Program struct {
+	prog *ast.Program
+	mod  *ir.Module
+}
+
+// Cache is a bounded, content-addressed front-end compile cache shared
+// across analyses — the compile-once layer behind AnalyzeRuns, exposed so
+// long-lived embedders (cmd/detserve serves every request through one)
+// can skip lex→parse→lower for repeated sources. Safe for concurrent use;
+// see internal/batch/progcache for the exact sharing contract.
+type Cache struct{ c *progcache.Cache }
+
+// NewCache creates a compile cache bounded to maxEntries programs
+// (non-positive selects the default capacity).
+func NewCache(maxEntries int) *Cache {
+	return &Cache{c: progcache.New(maxEntries)}
+}
+
+// WithMetrics attaches a metrics registry; the cache then maintains
+// progcache_* hit/miss/eviction series live. Returns the cache for
+// chaining.
+func (c *Cache) WithMetrics(m *Metrics) *Cache {
+	c.c.WithMetrics(m)
+	return c
+}
+
+// Compile parses and lowers src, serving repeated requests for the same
+// (name, src) pair from the cache. Each call returns a fresh single-use
+// Program; front-end errors are cached too.
+func (c *Cache) Compile(name, src string) (*Program, error) {
+	prog, mod, err := c.c.Compile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: prog, mod: mod}, nil
+}
+
+// AnalyzeProgram runs the instrumented analysis over a compiled Program
+// (see Cache.Compile). The Program is consumed: its module is mutated by
+// the run and must not be reused.
+func AnalyzeProgram(p *Program, opts Options) (*Result, error) {
+	return AnalyzeProgramContext(context.Background(), p, opts)
+}
+
+// AnalyzeProgramContext is AnalyzeProgram with cooperative cancellation.
+func AnalyzeProgramContext(ctx context.Context, p *Program, opts Options) (*Result, error) {
+	return analyzeLowered(ctx, p.prog, p.mod, opts)
+}
+
 // Run executes src under the plain concrete interpreter (no
 // instrumentation), returning everything printed to console.
 func Run(src string, opts Options) (string, error) {

@@ -1,0 +1,19 @@
+// A small mixed-determinacy workload for the detserve CI smoke test: a
+// determinate accumulator loop, a function called in several contexts,
+// and one indeterminate branch that forces a heap flush mid-run.
+var total = { sum: 0, checks: 0 };
+function add(t, v) { t.sum = t.sum + v; return t.sum; }
+var noise = Math.random();
+var i = 0;
+while (i < 200) {
+  add(total, i);
+  if (i % 50 == 0) {
+    total.checks = total.checks + 1;
+    if (noise < 0.5) { total.bias = 1; } else { total.bias = -1; }
+  }
+  i = i + 1;
+}
+var probe_sum = total.sum;       // determinate: 19900
+var probe_checks = total.checks; // determinate: 4
+var probe_bias = total.bias;     // indeterminate: depends on the PRNG
+console.log(probe_sum);

@@ -1,0 +1,27 @@
+// The paper's Figure 2 program (PLDI 2013, "Dynamic Determinacy
+// Analysis"), with probe reads at the points whose facts the paper
+// discusses. Used by examples/quickstart and by the detserve CI smoke
+// test, which analyzes it over HTTP.
+(function() {
+function checkf(p) {
+	if (p.f < 32)
+		setg(p, 42);
+}
+function setg(r, v) {
+	r.g = v;
+}
+var x = { f : 23 },
+	y = { f : Math.random()*100 };
+var probe_xf = x.f;       // [[x.f]] = 23 (determinate)
+var probe_yf = y.f;       // [[y.f]] = ?  (random input)
+checkf(x);
+var probe_xg = x.g;       // [[x.g]] = 42
+checkf(y);
+var probe_yg = y.g;       // [[y.g]] = ?  (post-branch marking)
+(y.f > 50 ? checkf : setg)(x, 72);
+var probe_xg2 = x.g;      // [[x.g]] = ?  (heap flush at indeterminate call)
+var z = { f: x.g - 16, h: true };
+checkf(z);
+var probe_zg = z.g;       // [[z.g]] = ?  (counterfactual execution)
+var probe_zh = z.h;       // [[z.h]] = true (untouched by the counterfactual)
+})();

@@ -1,0 +1,107 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"determinacy/internal/guard"
+)
+
+// TestMapCtxNoGoroutineLeakUnderCancelAndQuarantine is the regression
+// test for the drain contract: batches whose jobs panic while the batch
+// context is being cancelled must still return every worker. An early
+// worker-teardown bug class leaks one goroutine per quarantined job; this
+// fails loudly on any of them. The TestMapCtx prefix keeps it inside the
+// CI fault-injection job's -run filter.
+func TestMapCtxNoGoroutineLeakUnderCancelAndQuarantine(t *testing.T) {
+	p := New(4)
+	base := runtime.NumGoroutine()
+
+	for round := 0; round < 50; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var once sync.Once
+		out, qs := MapCtx(ctx, p, 32, func(i int) int {
+			switch {
+			case i%5 == 1:
+				panic("poisoned job")
+			case i%5 == 2:
+				// Cancel mid-batch from inside a job, racing the workers'
+				// claim loop against the panic recovery path.
+				once.Do(cancel)
+			}
+			return i
+		})
+		cancel()
+
+		if len(out) != 32 {
+			t.Fatalf("round %d: %d results, want 32", round, len(out))
+		}
+		for _, q := range qs {
+			var re *guard.RunError
+			if !errors.As(q.Err, &re) && !errors.Is(q.Err, context.Canceled) {
+				t.Fatalf("round %d: quarantine %d is neither RunError nor ctx error: %v", round, q.Index, q.Err)
+			}
+		}
+		if len(qs) == 0 {
+			t.Fatalf("round %d: no quarantines despite panicking jobs", round)
+		}
+	}
+
+	// Workers are per-batch: after every MapCtx returns, the goroutine
+	// count must settle back to the baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d at baseline, %d after 50 cancel+quarantine batches", base, n)
+		}
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestMapCtxCancelRaceDeterministicSlots pins that a cancel arriving at an
+// arbitrary point still yields results at their submission indices for
+// the jobs that ran, and ctx-wrapped quarantines for the ones that did
+// not — never a zero-value slot without a matching quarantine entry.
+func TestMapCtxCancelRaceDeterministicSlots(t *testing.T) {
+	p := New(4)
+	for round := 0; round < 25; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(time.Duration(round%5) * 100 * time.Microsecond)
+			cancel()
+		}()
+		out, qs := MapCtx(ctx, p, 64, func(i int) int {
+			time.Sleep(50 * time.Microsecond)
+			return i + 1
+		})
+		cancel()
+
+		skipped := map[int]bool{}
+		for _, q := range qs {
+			skipped[q.Index] = true
+			if !errors.Is(q.Err, context.Canceled) {
+				t.Fatalf("round %d: quarantine %d: %v, want ctx.Canceled wrap", round, q.Index, q.Err)
+			}
+		}
+		for i, v := range out {
+			if skipped[i] {
+				if v != 0 {
+					t.Fatalf("round %d: skipped job %d has non-zero result %d", round, i, v)
+				}
+				continue
+			}
+			if v != i+1 {
+				t.Fatalf("round %d: job %d result %d, want %d", round, i, v, i+1)
+			}
+		}
+	}
+}

@@ -184,4 +184,3 @@ func (c *Cache) Stats() Stats {
 		Entries:   n,
 	}
 }
-

@@ -234,7 +234,7 @@ func checkSource(src string, resolutions int, base uint64, maxSteps, maxFlushes 
 	merged.Merge(rs2)
 	if len(merged.Conflicts) > 0 {
 		return 0, &Failure{Kind: KindConflict, Resolution: -1,
-			Detail: "determinate facts from two runs conflict:\n" + conflictDetail(merged.Conflicts, rs1, rs2, mod),
+			Detail:  "determinate facts from two runs conflict:\n" + conflictDetail(merged.Conflicts, rs1, rs2, mod),
 			Program: src}
 	}
 
@@ -266,7 +266,7 @@ func checkSource(src string, resolutions int, base uint64, maxSteps, maxFlushes 
 			// semantically transparent.
 			if got, want := out.String(), coreOut.String(); got != want {
 				return checked, &Failure{Kind: KindDiverge, Resolution: 0,
-					Detail: fmt.Sprintf("console output differs:\nconcrete:     %q\ninstrumented: %q", got, want),
+					Detail:  fmt.Sprintf("console output differs:\nconcrete:     %q\ninstrumented: %q", got, want),
 					Program: src}
 			}
 			if d := compareGlobals(it, a); d != "" {

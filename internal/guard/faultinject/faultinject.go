@@ -23,6 +23,11 @@ const (
 	SiteInterpStep = "interp.step"    // tree-interpreter step checkpoint
 	SiteSolverProp = "pointsto.solve" // points-to propagation checkpoint
 	SiteBatchJob   = "batch.job"      // worker-pool job start
+	// Server sites, on cmd/detserve's request path. Admit sits outside the
+	// per-request guard boundary (a panic there exercises the HTTP-layer
+	// recovery middleware); Request sits inside it, mid-analysis.
+	SiteServerAdmit   = "server.admit"
+	SiteServerRequest = "server.request"
 )
 
 // Action is the fault a plan injects when its trigger count is reached.

@@ -1,0 +1,522 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"determinacy"
+	"determinacy/internal/batch"
+	"determinacy/internal/guard"
+	"determinacy/internal/guard/faultinject"
+	"determinacy/internal/parser"
+)
+
+// AnalyzeRequest is the /v1/analyze body. Only Source is required.
+type AnalyzeRequest struct {
+	// Name labels the program in diagnostics ("program.js" by default).
+	Name   string `json:"name,omitempty"`
+	Source string `json:"source"`
+	Seed   uint64 `json:"seed,omitempty"`
+	// Runs > 1 merges facts from that many consecutive seeds (§7),
+	// bounded by the server's MaxRuns.
+	Runs int `json:"runs,omitempty"`
+	// TimeoutMS is the client's wall-clock budget; the server's
+	// MaxTimeout is a hard ceiling over it. A run stopped by the budget
+	// still answers 200 with Partial=true and sound facts.
+	TimeoutMS  int64 `json:"timeout_ms,omitempty"`
+	MaxFlushes int   `json:"max_flushes,omitempty"`
+	MaxSteps   int   `json:"max_steps,omitempty"`
+	DOM        bool  `json:"dom,omitempty"`
+	DetDOM     bool  `json:"detdom,omitempty"`
+	Handlers   int   `json:"handlers,omitempty"`
+	// DetOnly returns only determinate facts.
+	DetOnly bool `json:"det_only,omitempty"`
+}
+
+// StatsJSON summarizes a run for the wire.
+type StatsJSON struct {
+	Steps           int `json:"steps"`
+	HeapFlushes     int `json:"heap_flushes"`
+	EnvFlushes      int `json:"env_flushes"`
+	Counterfactuals int `json:"counterfactuals"`
+	CFAborts        int `json:"cf_aborts"`
+	HandlersRan     int `json:"handlers_ran"`
+}
+
+// AnalyzeResponse is the /v1/analyze result. Partial responses are sound:
+// the facts reflect the executed prefix and DegradeReason says why the
+// run stopped (budget, flush-cap, deadline, cancel).
+type AnalyzeResponse struct {
+	Name           string             `json:"name"`
+	Partial        bool               `json:"partial"`
+	DegradeReason  string             `json:"degrade_reason,omitempty"`
+	NumFacts       int                `json:"num_facts"`
+	NumDeterminate int                `json:"num_determinate"`
+	Facts          []determinacy.Fact `json:"facts"`
+	Stats          StatsJSON          `json:"stats"`
+	ElapsedMS      int64              `json:"elapsed_ms"`
+}
+
+// ErrorBody is the structured error payload; every non-2xx response
+// carries one.
+type ErrorBody struct {
+	// Kind is the machine-readable taxonomy: bad-request, body-too-large,
+	// parse, parse-depth, uncaught-exception, panic, shed, draining,
+	// interrupted, internal.
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+	// Phase/Instr/Pos locate a recovered panic (kind "panic").
+	Phase string `json:"phase,omitempty"`
+	Instr int    `json:"instr,omitempty"`
+	Pos   string `json:"pos,omitempty"`
+	// RetryAfterMS mirrors the Retry-After header on 429/503.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// ErrorResponse wraps ErrorBody for the wire.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// BatchProgram is one entry of a /v1/batch request.
+type BatchProgram struct {
+	Name   string `json:"name,omitempty"`
+	Source string `json:"source"`
+	Seed   uint64 `json:"seed,omitempty"`
+}
+
+// BatchRequest analyzes several programs under shared options, fanned
+// across the server's worker pool. Admission counts the batch as one
+// request; the per-request deadline covers the whole batch.
+type BatchRequest struct {
+	Programs   []BatchProgram `json:"programs"`
+	TimeoutMS  int64          `json:"timeout_ms,omitempty"`
+	MaxFlushes int            `json:"max_flushes,omitempty"`
+	MaxSteps   int            `json:"max_steps,omitempty"`
+	DOM        bool           `json:"dom,omitempty"`
+	DetDOM     bool           `json:"detdom,omitempty"`
+	Handlers   int            `json:"handlers,omitempty"`
+	DetOnly    bool           `json:"det_only,omitempty"`
+}
+
+// BatchResult is one program's outcome: exactly one of Result and Error
+// is set. A panicking program is quarantined into its Error slot; the
+// rest of the batch still completes.
+type BatchResult struct {
+	Name   string           `json:"name"`
+	Result *AnalyzeResponse `json:"result,omitempty"`
+	Error  *ErrorBody       `json:"error,omitempty"`
+}
+
+// BatchResponse is the /v1/batch reply; always 200 with per-entry status.
+type BatchResponse struct {
+	Results   []BatchResult `json:"results"`
+	Completed int           `json:"completed"`
+	Failed    int           `json:"failed"`
+	ElapsedMS int64         `json:"elapsed_ms"`
+}
+
+// routes builds the mux wrapped in the recovery/accounting middleware.
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return s.recoverWrap(mux)
+}
+
+// recoverWrap is the outermost panic boundary: anything escaping a
+// handler — including faults injected outside the per-request guard
+// boundary — becomes a structured 500, never a dead process or an empty
+// reply. Responses are buffered by the handlers, so no partial body has
+// been written when this fires.
+func (s *Server) recoverWrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.cRequests.Inc()
+		defer func() {
+			if rec := recover(); rec != nil {
+				re, ok := rec.(*guard.RunError)
+				if !ok {
+					re = guard.New("server", rec)
+				}
+				guard.CountRecovered(s.metrics, "server")
+				s.noteQuarantine()
+				s.writeError(w, http.StatusInternalServerError, ErrorBody{
+					Kind: "panic", Message: re.Error(), Phase: re.Phase, Instr: re.Instr, Pos: re.Pos,
+				})
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the client went away; nothing useful to do
+	s.metrics.Counter(fmt.Sprintf(`server_responses_total{code="%d"}`, status)).Inc()
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, body ErrorBody) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		ra := s.retryAfter()
+		body.RetryAfterMS = ra.Milliseconds()
+		w.Header().Set("Retry-After", strconv.Itoa(int(ra.Seconds()+0.5)))
+	}
+	s.writeJSON(w, status, ErrorResponse{Error: body})
+}
+
+// decodeBody reads a size-limited JSON body into v, answering 413/400
+// itself; ok=false means the response has been written.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, ErrorBody{
+				Kind:    "body-too-large",
+				Message: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+			})
+		} else {
+			s.writeError(w, http.StatusBadRequest, ErrorBody{Kind: "bad-request", Message: "malformed JSON body: " + err.Error()})
+		}
+		return false
+	}
+	return true
+}
+
+// writeAdmissionError maps an admission failure to its typed response.
+func (s *Server) writeAdmissionError(w http.ResponseWriter, err *admissionError) {
+	switch {
+	case err.shed:
+		s.writeError(w, http.StatusTooManyRequests, ErrorBody{
+			Kind:    "shed",
+			Message: fmt.Sprintf("admission queue full (%d executing, %d queued); retry later", s.cfg.MaxInFlight, s.cfg.QueueDepth),
+		})
+	case err.draining:
+		s.writeError(w, http.StatusServiceUnavailable, ErrorBody{Kind: "draining", Message: "server is draining; retry against another replica"})
+	default:
+		// The client abandoned the request while queued; the status is
+		// best-effort since nobody is reading it.
+		s.writeError(w, http.StatusServiceUnavailable, ErrorBody{Kind: "interrupted", Message: err.Error()})
+	}
+}
+
+// writeRunError classifies an analysis failure into a structured
+// response. Partial results never land here — they answer 200.
+func (s *Server) writeRunError(w http.ResponseWriter, err error) {
+	var re *determinacy.RunError
+	var perr *parser.Error
+	switch {
+	case errors.As(err, &re):
+		s.noteQuarantine()
+		guard.CountRecovered(s.metrics, re.Phase)
+		s.writeError(w, http.StatusInternalServerError, ErrorBody{
+			Kind: "panic", Message: re.Error(), Phase: re.Phase, Instr: re.Instr, Pos: re.Pos,
+		})
+	case errors.Is(err, determinacy.ErrParseDepth):
+		s.writeError(w, http.StatusBadRequest, ErrorBody{Kind: "parse-depth", Message: err.Error()})
+	case errors.As(err, &perr):
+		s.writeError(w, http.StatusBadRequest, ErrorBody{Kind: "parse", Message: err.Error()})
+	case errors.Is(err, determinacy.ErrUncaughtException):
+		s.writeError(w, http.StatusUnprocessableEntity, ErrorBody{Kind: "uncaught-exception", Message: err.Error()})
+	case guard.ContextReason(err) != guard.DegradeNone:
+		// Only multi-seed merges surface interrupts as errors (a skipped
+		// seed has no partial store to merge); single runs seal partial.
+		s.writeError(w, http.StatusServiceUnavailable, ErrorBody{Kind: "interrupted", Message: err.Error()})
+	default:
+		s.writeError(w, http.StatusInternalServerError, ErrorBody{Kind: "internal", Message: err.Error()})
+	}
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Source == "" {
+		s.writeError(w, http.StatusBadRequest, ErrorBody{Kind: "bad-request", Message: `missing "source"`})
+		return
+	}
+	if req.Runs < 0 || req.Runs > s.cfg.MaxRuns {
+		s.writeError(w, http.StatusBadRequest, ErrorBody{
+			Kind: "bad-request", Message: fmt.Sprintf("runs must be in [0,%d], got %d", s.cfg.MaxRuns, req.Runs),
+		})
+		return
+	}
+	if req.TimeoutMS < 0 || req.MaxFlushes < 0 || req.MaxSteps < 0 || req.Handlers < 0 {
+		s.writeError(w, http.StatusBadRequest, ErrorBody{Kind: "bad-request", Message: "numeric options must be non-negative"})
+		return
+	}
+	s.wg.Add(1)
+	defer s.wg.Done()
+	if faultinject.Armed() {
+		faultinject.Hit(faultinject.SiteServerAdmit)
+	}
+	if err := s.acquire(r.Context()); err != nil {
+		s.writeAdmissionError(w, err.(*admissionError))
+		return
+	}
+	defer s.release()
+
+	t0 := time.Now()
+	resp, err := s.runAnalyze(r.Context(), &req)
+	s.hLatency.Observe(time.Since(t0).Seconds())
+	if err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+	s.noteSuccess()
+	resp.ElapsedMS = time.Since(t0).Milliseconds()
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// analyzeOptions builds run options shared by both endpoints.
+func analyzeOptions(seed uint64, maxFlushes, maxSteps, handlers int, dom, detDOM bool, deadline time.Time) determinacy.Options {
+	if maxFlushes == 0 {
+		maxFlushes = 1000
+	}
+	return determinacy.Options{
+		Seed:             seed,
+		WithDOM:          dom || detDOM,
+		DeterministicDOM: detDOM,
+		RunHandlers:      handlers,
+		MaxFlushes:       maxFlushes,
+		MaxSteps:         maxSteps,
+		Deadline:         deadline,
+	}
+}
+
+// runAnalyze executes one request inside the guard boundary, under the
+// effective deadline and the drain force-cancel parent.
+func (s *Server) runAnalyze(reqCtx context.Context, req *AnalyzeRequest) (resp *AnalyzeResponse, err error) {
+	budget := s.effTimeout(req.TimeoutMS)
+	ctx, cancel := context.WithTimeout(reqCtx, budget)
+	defer cancel()
+	// Drain past its budget force-cancels every in-flight run.
+	stopAfter := context.AfterFunc(s.baseCtx, cancel)
+	defer stopAfter()
+	defer guard.Boundary(&err, "server", nil)
+	if faultinject.Armed() {
+		faultinject.Hit(faultinject.SiteServerRequest)
+	}
+
+	name := req.Name
+	if name == "" {
+		name = "program.js"
+	}
+	opts := analyzeOptions(req.Seed, req.MaxFlushes, req.MaxSteps, req.Handlers, req.DOM, req.DetDOM, time.Now().Add(budget))
+
+	var res *determinacy.Result
+	if req.Runs > 1 {
+		// Serial within the request: the server's concurrency comes from
+		// concurrent requests, so one merge sweep never hoards workers.
+		opts.Workers = 1
+		seeds := make([]uint64, req.Runs)
+		for i := range seeds {
+			seeds[i] = req.Seed + uint64(i)
+		}
+		res, err = determinacy.AnalyzeRunsContext(ctx, req.Source, opts, seeds...)
+	} else {
+		var p *determinacy.Program
+		p, err = s.cache.Compile(name, req.Source)
+		if err == nil {
+			res, err = determinacy.AnalyzeProgramContext(ctx, p, opts)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return buildResponse(name, req.DetOnly, res), nil
+}
+
+func buildResponse(name string, detOnly bool, res *determinacy.Result) *AnalyzeResponse {
+	facts := res.Facts()
+	if detOnly {
+		facts = res.DeterminateFacts()
+	}
+	if facts == nil {
+		facts = []determinacy.Fact{} // JSON [] beats null for clients
+	}
+	st := res.Stats
+	return &AnalyzeResponse{
+		Name:           name,
+		Partial:        res.Partial,
+		DegradeReason:  string(res.Degraded),
+		NumFacts:       res.NumFacts(),
+		NumDeterminate: res.NumDeterminate(),
+		Facts:          facts,
+		Stats: StatsJSON{
+			Steps:           st.Steps,
+			HeapFlushes:     st.HeapFlushes,
+			EnvFlushes:      st.EnvFlushes,
+			Counterfactuals: st.Counterfacts,
+			CFAborts:        st.CFAborts,
+			HandlersRan:     res.HandlersRan,
+		},
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Programs) == 0 {
+		s.writeError(w, http.StatusBadRequest, ErrorBody{Kind: "bad-request", Message: `missing "programs"`})
+		return
+	}
+	if len(req.Programs) > s.cfg.MaxBatchPrograms {
+		s.writeError(w, http.StatusBadRequest, ErrorBody{
+			Kind: "bad-request", Message: fmt.Sprintf("batch of %d exceeds the %d-program cap", len(req.Programs), s.cfg.MaxBatchPrograms),
+		})
+		return
+	}
+	for i, p := range req.Programs {
+		if p.Source == "" {
+			s.writeError(w, http.StatusBadRequest, ErrorBody{Kind: "bad-request", Message: fmt.Sprintf(`program %d: missing "source"`, i)})
+			return
+		}
+	}
+	if req.TimeoutMS < 0 || req.MaxFlushes < 0 || req.MaxSteps < 0 || req.Handlers < 0 {
+		s.writeError(w, http.StatusBadRequest, ErrorBody{Kind: "bad-request", Message: "numeric options must be non-negative"})
+		return
+	}
+	s.wg.Add(1)
+	defer s.wg.Done()
+	if err := s.acquire(r.Context()); err != nil {
+		s.writeAdmissionError(w, err.(*admissionError))
+		return
+	}
+	defer s.release()
+
+	t0 := time.Now()
+	budget := s.effTimeout(req.TimeoutMS)
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	defer cancel()
+	stopAfter := context.AfterFunc(s.baseCtx, cancel)
+	defer stopAfter()
+	deadline := time.Now().Add(budget)
+
+	type progOut struct {
+		resp *AnalyzeResponse
+		err  error
+	}
+	outs, qs := batch.MapCtx(ctx, s.pool, len(req.Programs), func(i int) progOut {
+		p := req.Programs[i]
+		name := p.Name
+		if name == "" {
+			name = fmt.Sprintf("program-%d.js", i)
+		}
+		if faultinject.Armed() {
+			faultinject.Hit(faultinject.SiteServerRequest)
+		}
+		opts := analyzeOptions(p.Seed, req.MaxFlushes, req.MaxSteps, req.Handlers, req.DOM, req.DetDOM, deadline)
+		prog, err := s.cache.Compile(name, p.Source)
+		if err != nil {
+			return progOut{err: err}
+		}
+		res, err := determinacy.AnalyzeProgramContext(ctx, prog, opts)
+		if err != nil {
+			return progOut{err: err}
+		}
+		return progOut{resp: buildResponse(name, req.DetOnly, res)}
+	})
+	// A quarantined (panicked) or cancel-skipped job reports through its
+	// error slot; the batch as a whole still answers 200.
+	for _, q := range qs {
+		outs[q.Index].err = q.Err
+	}
+
+	bresp := BatchResponse{Results: make([]BatchResult, len(outs)), ElapsedMS: time.Since(t0).Milliseconds()}
+	anyPanic := false
+	for i, out := range outs {
+		name := req.Programs[i].Name
+		if name == "" {
+			name = fmt.Sprintf("program-%d.js", i)
+		}
+		br := BatchResult{Name: name}
+		switch {
+		case out.err != nil:
+			body := classifyBatchError(out.err)
+			if body.Kind == "panic" {
+				anyPanic = true
+				guard.CountRecovered(s.metrics, "batch")
+			}
+			br.Error = &body
+			bresp.Failed++
+		default:
+			br.Result = out.resp
+			bresp.Completed++
+		}
+		bresp.Results[i] = br
+	}
+	if anyPanic {
+		s.noteQuarantine()
+	} else {
+		s.noteSuccess()
+	}
+	s.hLatency.Observe(time.Since(t0).Seconds())
+	s.writeJSON(w, http.StatusOK, bresp)
+}
+
+// classifyBatchError maps one batch entry's failure to its wire form.
+func classifyBatchError(err error) ErrorBody {
+	var re *determinacy.RunError
+	var perr *parser.Error
+	switch {
+	case errors.As(err, &re):
+		return ErrorBody{Kind: "panic", Message: re.Error(), Phase: re.Phase, Instr: re.Instr, Pos: re.Pos}
+	case errors.Is(err, determinacy.ErrParseDepth):
+		return ErrorBody{Kind: "parse-depth", Message: err.Error()}
+	case errors.As(err, &perr):
+		return ErrorBody{Kind: "parse", Message: err.Error()}
+	case errors.Is(err, determinacy.ErrUncaughtException):
+		return ErrorBody{Kind: "uncaught-exception", Message: err.Error()}
+	case guard.ContextReason(err) != guard.DegradeNone:
+		return ErrorBody{Kind: "interrupted", Message: err.Error()}
+	default:
+		return ErrorBody{Kind: "internal", Message: err.Error()}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Gauge("server_uptime_seconds").Set(time.Since(s.start).Seconds())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.WriteHeader(http.StatusOK)
+	_ = s.metrics.WriteProm(w)
+}
+
+// handleHealthz is liveness: 200 as long as the process serves, draining
+// or not. The payload carries the build identity (satellite: -version).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"version":   s.cfg.Version,
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+		"draining":  s.draining.Load(),
+	})
+}
+
+// handleReadyz is readiness: 503 while draining or while the quarantine
+// circuit breaker is open, so balancers route around this replica.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		s.writeError(w, http.StatusServiceUnavailable, ErrorBody{Kind: "draining", Message: "not ready: draining"})
+	case s.breakerOpen.Load():
+		s.writeError(w, http.StatusServiceUnavailable, ErrorBody{Kind: "circuit-open", Message: fmt.Sprintf(
+			"not ready: %d consecutive quarantined requests tripped the breaker", s.consecQuarantine.Load())})
+	default:
+		s.writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+	}
+}

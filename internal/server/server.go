@@ -1,0 +1,318 @@
+// Package server is the network-facing layer of the pipeline: an
+// HTTP/JSON analysis service composing the existing layers — the compile
+// cache, the batch pool, guard deadlines/cancellation, and obs metrics —
+// and hardening them for sustained load. The robustness contract, proved
+// by the seeded fault campaign in this package's tests:
+//
+//   - bounded admission: at most MaxInFlight requests execute and at most
+//     QueueDepth wait; everything beyond that is shed with 429 and a
+//     Retry-After hint, never buffered unboundedly;
+//   - per-request deadlines: the server's MaxTimeout is a hard ceiling
+//     over client-requested budgets, threaded into guard checkpoints so a
+//     deadline lands as a sound partial result, not a hang;
+//   - panic isolation: a poisoned program surfaces as a structured error
+//     response via the *RunError boundary and never takes down the
+//     process; consecutive quarantines trip a circuit breaker that flips
+//     /readyz so a balancer stops routing here;
+//   - graceful drain: BeginDrain/Drain stop admission, flip readiness,
+//     let in-flight runs finish within a budget, then force-cancel so
+//     they seal sound partial results.
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"determinacy"
+	"determinacy/internal/batch"
+	"determinacy/internal/obs"
+	"determinacy/internal/version"
+)
+
+// Config tunes the service. Zero values select the documented defaults.
+type Config struct {
+	// MaxInFlight bounds concurrently executing analysis requests
+	// (0 = GOMAXPROCS via batch.New's convention: the pool's width).
+	MaxInFlight int
+	// QueueDepth bounds requests waiting for an execution slot
+	// (0 = 2×MaxInFlight). Requests beyond the queue are shed with 429.
+	QueueDepth int
+	// MaxBodyBytes bounds the request body (0 = 4 MiB). Oversized bodies
+	// get 413 before any parsing happens; the parser's own MaxDepth guard
+	// bounds what a maximally nested body within the limit can cost.
+	MaxBodyBytes int64
+	// DefaultTimeout applies when a request names no budget (0 = 10s);
+	// MaxTimeout is the server-enforced ceiling over client-requested
+	// budgets (0 = 30s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxRuns caps a request's multi-seed merge width (0 = 16) and
+	// MaxBatchPrograms caps /v1/batch fan-out (0 = 128).
+	MaxRuns          int
+	MaxBatchPrograms int
+	// BreakerThreshold is the consecutive-quarantine count that trips
+	// readiness (0 = 5). A later successful analysis closes the breaker.
+	BreakerThreshold int
+	// CacheEntries bounds the shared compile cache (0 = progcache default).
+	CacheEntries int
+	// Workers bounds the /v1/batch worker pool (0 = GOMAXPROCS).
+	Workers int
+	// Metrics receives every server/pool/cache series (nil = fresh
+	// registry, readable via /metrics either way).
+	Metrics *obs.Metrics
+	// Version is echoed by /healthz (empty = internal/version.String()).
+	Version string
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = batch.New(0).Workers()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.MaxInFlight
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.MaxRuns <= 0 {
+		c.MaxRuns = 16
+	}
+	if c.MaxBatchPrograms <= 0 {
+		c.MaxBatchPrograms = 128
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewMetrics()
+	}
+	if c.Version == "" {
+		c.Version = version.String()
+	}
+	return c
+}
+
+// Server is the analysis service. Create with New, mount Handler on an
+// http.Server, and call Drain on shutdown.
+type Server struct {
+	cfg     Config
+	metrics *obs.Metrics
+	cache   *determinacy.Cache
+	pool    *batch.Pool
+	start   time.Time
+
+	// slots is the in-flight semaphore; queued counts admission waiters.
+	slots  chan struct{}
+	queued atomic.Int64
+
+	// wg tracks admitted requests so Drain can wait for them.
+	wg sync.WaitGroup
+
+	// draining flips once; drainCh wakes queued waiters; baseCtx is the
+	// force-cancel parent of every run context.
+	draining   atomic.Bool
+	drainCh    chan struct{}
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	// consecQuarantine and breakerOpen implement the readiness circuit
+	// breaker.
+	consecQuarantine atomic.Int64
+	breakerOpen      atomic.Bool
+
+	// Handles resolved once so hot paths skip registry lookups.
+	gInFlight, gQueued, gDraining, gBreaker *obs.Gauge
+	cRequests, cShed, cQuarantined          *obs.Counter
+	hLatency, hQueueWait                    *obs.Histogram
+
+	mux http.Handler
+}
+
+// latencyBuckets suit request wall times: 1ms up to 30s.
+var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := cfg.Metrics
+	s := &Server{
+		cfg:     cfg,
+		metrics: m,
+		cache:   determinacy.NewCache(cfg.CacheEntries).WithMetrics(m),
+		pool:    batch.New(cfg.Workers).WithMetrics(m),
+		start:   time.Now(),
+		slots:   make(chan struct{}, cfg.MaxInFlight),
+		drainCh: make(chan struct{}),
+
+		gInFlight:    m.Gauge("server_inflight"),
+		gQueued:      m.Gauge("server_queue_depth"),
+		gDraining:    m.Gauge("server_draining"),
+		gBreaker:     m.Gauge("server_breaker_open"),
+		cRequests:    m.Counter("server_requests_total"),
+		cShed:        m.Counter("server_shed_total"),
+		cQuarantined: m.Counter("server_quarantined_requests_total"),
+		hLatency:     m.Histogram("server_request_seconds", latencyBuckets...),
+		hQueueWait:   m.Histogram("server_queue_wait_seconds", latencyBuckets...),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	m.Gauge("server_max_inflight").Set(float64(cfg.MaxInFlight))
+	m.Gauge("server_max_queue_depth").Set(float64(cfg.QueueDepth))
+	s.mux = s.routes()
+	return s
+}
+
+// Handler is the service's HTTP entry point.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the registry (also served at /metrics).
+func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
+// Draining reports whether drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// admissionError classifies why a request was not admitted.
+type admissionError struct {
+	shed     bool // queue full: 429
+	draining bool // server draining: 503
+	ctxErr   error
+}
+
+func (e *admissionError) Error() string {
+	switch {
+	case e.shed:
+		return "server: admission queue full"
+	case e.draining:
+		return "server: draining, not accepting new work"
+	default:
+		return "server: admission aborted: " + e.ctxErr.Error()
+	}
+}
+
+// acquire admits a request: an execution slot immediately if one is free,
+// else a bounded queue wait, else a typed shed. Every admitted request
+// must release().
+func (s *Server) acquire(ctx context.Context) error {
+	if s.draining.Load() {
+		return &admissionError{draining: true}
+	}
+	select {
+	case s.slots <- struct{}{}:
+		s.gInFlight.Set(float64(len(s.slots)))
+		return nil
+	default:
+	}
+	q := s.queued.Add(1)
+	s.gQueued.Set(float64(q))
+	if int(q) > s.cfg.QueueDepth {
+		s.gQueued.Set(float64(s.queued.Add(-1)))
+		s.cShed.Inc()
+		return &admissionError{shed: true}
+	}
+	t0 := time.Now()
+	defer func() {
+		s.gQueued.Set(float64(s.queued.Add(-1)))
+		s.hQueueWait.Observe(time.Since(t0).Seconds())
+	}()
+	select {
+	case s.slots <- struct{}{}:
+		s.gInFlight.Set(float64(len(s.slots)))
+		return nil
+	case <-s.drainCh:
+		return &admissionError{draining: true}
+	case <-ctx.Done():
+		return &admissionError{ctxErr: ctx.Err()}
+	}
+}
+
+func (s *Server) release() {
+	<-s.slots
+	s.gInFlight.Set(float64(len(s.slots)))
+}
+
+// retryAfter estimates when a shed client should try again: the pool's
+// longest observed job, clamped to [1s, MaxTimeout].
+func (s *Server) retryAfter() time.Duration {
+	d := s.pool.Snapshot().LongestJob
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// effTimeout resolves a client-requested budget (milliseconds, 0 = server
+// default) under the server ceiling.
+func (s *Server) effTimeout(clientMS int64) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if clientMS > 0 {
+		d = time.Duration(clientMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// noteQuarantine records a request whose analysis panicked; enough in a
+// row trips the readiness breaker.
+func (s *Server) noteQuarantine() {
+	s.cQuarantined.Inc()
+	if s.consecQuarantine.Add(1) >= int64(s.cfg.BreakerThreshold) &&
+		s.breakerOpen.CompareAndSwap(false, true) {
+		s.gBreaker.Set(1)
+	}
+}
+
+// noteSuccess resets the quarantine streak and closes the breaker.
+func (s *Server) noteSuccess() {
+	s.consecQuarantine.Store(0)
+	if s.breakerOpen.CompareAndSwap(true, false) {
+		s.gBreaker.Set(0)
+	}
+}
+
+// BeginDrain flips the server into draining mode: /readyz goes 503, new
+// analysis requests are refused with 503, queued waiters are released
+// with the same refusal. Idempotent.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		close(s.drainCh)
+		s.gDraining.Set(1)
+	}
+}
+
+// Drain performs the graceful-shutdown sequence: BeginDrain, then wait up
+// to budget for admitted requests to finish on their own; past the budget
+// every in-flight run is force-cancelled — the guard checkpoints stop it
+// within microseconds and it responds with a sound partial — and Drain
+// waits for those responses. Returns true when everything finished within
+// the budget, false when the force-cancel was needed.
+func (s *Server) Drain(budget time.Duration) bool {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	t := time.NewTimer(budget)
+	defer t.Stop()
+	select {
+	case <-done:
+		return true
+	case <-t.C:
+		s.baseCancel()
+		<-done
+		return false
+	}
+}

@@ -1,0 +1,44 @@
+// Package version reports the build identity baked into a binary by the
+// Go toolchain: the module version, the VCS revision, and the Go runtime.
+// All five CLIs expose it via -version, and detserve echoes it in the
+// /healthz payload so a fleet operator can tell which build answered.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// String renders the build identity as "version+revision (goX.Y.Z)".
+// Binaries built outside a VCS checkout (go test, plain go build of a
+// copied tree) report "dev" with no revision.
+func String() string {
+	v, rev, dirty := "dev", "", false
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			v = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	// A VCS-stamped module version (pseudo-version or +dirty suffix)
+	// already encodes the revision; appending it again just repeats it.
+	if rev != "" && !strings.Contains(v, rev) {
+		v += "+" + rev
+		if dirty {
+			v += "-dirty"
+		}
+	}
+	return fmt.Sprintf("%s (%s)", v, runtime.Version())
+}

@@ -1,0 +1,20 @@
+package version
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestStringShape(t *testing.T) {
+	s := String()
+	if s == "" {
+		t.Fatal("version string is empty")
+	}
+	if !strings.Contains(s, runtime.Version()) {
+		t.Errorf("version %q does not name the Go runtime %q", s, runtime.Version())
+	}
+	if !strings.HasPrefix(s, "dev") && !strings.HasPrefix(s, "v") {
+		t.Errorf("version %q starts with neither a module version nor the dev fallback", s)
+	}
+}
