@@ -69,6 +69,24 @@ func BenchmarkTable1JQuery11(b *testing.B) { benchTable1(b, workload.JQ11) }
 func BenchmarkTable1JQuery12(b *testing.B) { benchTable1(b, workload.JQ12) }
 func BenchmarkTable1JQuery13(b *testing.B) { benchTable1(b, workload.JQ13) }
 
+// BenchmarkTable1JQuery10Traced runs the same row with a request-scoped
+// trace attached — the exact tracer the serving stack threads through
+// every traced request — so the delta against BenchmarkTable1JQuery10 is
+// the tracing overhead EXPERIMENTS.md reports (<10% acceptance target).
+func BenchmarkTable1JQuery10Traced(b *testing.B) {
+	var row experiment.Table1Row
+	var rt *obs.RequestTrace
+	for i := 0; i < b.N; i++ {
+		rt = obs.NewRequestTrace("bench", obs.DefaultTraceEventCap)
+		row = experiment.RunTable1Version(workload.JQ10, experiment.Config{Tracer: rt})
+	}
+	if row.Err != nil {
+		b.Fatal(row.Err)
+	}
+	b.ReportMetric(float64(rt.Total()), "trace-events")
+	b.ReportMetric(float64(row.Spec.Propagations), "spec-work")
+}
+
 // ---------------------------------------------------------------------------
 // §5.2: eval elimination study. Metrics report handled counts.
 

@@ -12,6 +12,15 @@
 //	                   counters, latency histograms)
 //	GET  /healthz      liveness + build version
 //	GET  /readyz       readiness; 503 while draining or circuit-broken
+//	GET  /debug/statusz  flight recorder: last N request summaries
+//	                     (JSON, or ?format=text)
+//	GET  /debug/tracez   one request's retained trace by ?id=
+//	                     (JSONL, or ?format=chrome)
+//
+// Streaming: POST /v1/analyze?stream=1 answers chunked NDJSON — trace
+// events as the run executes, then one terminal result line; ?stream=sse
+// uses text/event-stream framing. -debug-addr mounts the debug surface
+// plus net/http/pprof on a second (private) listener.
 //
 // Overload is shed with 429 + Retry-After (bounded admission queue, never
 // unbounded buffering). SIGTERM/SIGINT starts a graceful drain: readiness
@@ -26,6 +35,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,6 +59,10 @@ func main() {
 		breaker   = flag.Int("breaker", 5, "consecutive quarantined requests that trip /readyz")
 		cacheSize = flag.Int("cache", 0, "compile-cache capacity in programs (0 = default)")
 		finalDump = flag.String("final-metrics", "", `write a last Prometheus metrics snapshot here on shutdown ("-" = stderr)`)
+		debugAddr = flag.String("debug-addr", "", "if set, serve /debug/statusz, /debug/tracez, /metrics and net/http/pprof on this (private) address")
+		flightN   = flag.Int("flight", 0, "flight-recorder capacity in requests (0 = default 512)")
+		traceCap  = flag.Int("trace-events", 0, "retained trace events per request (0 = default 4096)")
+		noTrace   = flag.Bool("no-trace", false, "disable per-request tracing (requests run on the zero-alloc nil-tracer path)")
 		showVer   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Usage = func() {
@@ -70,8 +84,8 @@ func main() {
 	if flag.NArg() != 0 {
 		badFlag("unexpected arguments %v", flag.Args())
 	}
-	if *inflight < 0 || *queue < 0 || *breaker < 0 || *cacheSize < 0 {
-		badFlag("-workers, -queue, -breaker and -cache must be non-negative")
+	if *inflight < 0 || *queue < 0 || *breaker < 0 || *cacheSize < 0 || *flightN < 0 || *traceCap < 0 {
+		badFlag("-workers, -queue, -breaker, -cache, -flight and -trace-events must be non-negative")
 	}
 	if *maxBody <= 0 {
 		badFlag("-max-body must be positive, got %d", *maxBody)
@@ -93,6 +107,9 @@ func main() {
 		BreakerThreshold: *breaker,
 		CacheEntries:     *cacheSize,
 		Metrics:          m,
+		FlightEntries:    *flightN,
+		TraceEventCap:    *traceCap,
+		DisableTracing:   *noTrace,
 	})
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
@@ -105,6 +122,33 @@ func main() {
 		os.Exit(cliexit.Error)
 	}
 	log.Printf("detserve %s listening on http://%s", version.String(), ln.Addr())
+
+	// The debug surface — flight recorder, trace dumps, metrics, pprof —
+	// lives on its own listener so it never shares exposure with the
+	// public API.
+	var dbgSrv *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.Handle("/debug/", srv.DebugHandler())
+		dmux.Handle("/metrics", srv.DebugHandler())
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "detserve:", err)
+			os.Exit(cliexit.Error)
+		}
+		dbgSrv = &http.Server{Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		log.Printf("detserve: debug surface on http://%s (statusz, tracez, metrics, pprof)", dln.Addr())
+		go func() {
+			if err := dbgSrv.Serve(dln); err != nil && err != http.ErrServerClosed {
+				log.Printf("detserve: debug listener: %v", err)
+			}
+		}()
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -135,6 +179,9 @@ func main() {
 		log.Printf("detserve: drained clean: all in-flight requests completed")
 	} else {
 		log.Printf("detserve: drain budget expired: in-flight runs sealed sound partial results")
+	}
+	if dbgSrv != nil {
+		dbgSrv.Close()
 	}
 
 	// Flush the metric sink so the final state of the run survives.

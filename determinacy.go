@@ -465,11 +465,18 @@ func (c *Cache) WithMetrics(m *Metrics) *Cache {
 // (name, src) pair from the cache. Each call returns a fresh single-use
 // Program; front-end errors are cached too.
 func (c *Cache) Compile(name, src string) (*Program, error) {
-	prog, mod, err := c.c.Compile(name, src)
+	p, _, err := c.CompileHit(name, src)
+	return p, err
+}
+
+// CompileHit is Compile plus a hit report: hit is true when the front-end
+// work (including a cached front-end error) was served from the cache.
+func (c *Cache) CompileHit(name, src string) (*Program, bool, error) {
+	prog, mod, hit, err := c.c.CompileHit(name, src)
 	if err != nil {
-		return nil, err
+		return nil, hit, err
 	}
-	return &Program{prog: prog, mod: mod}, nil
+	return &Program{prog: prog, mod: mod}, hit, nil
 }
 
 // AnalyzeProgram runs the instrumented analysis over a compiled Program

@@ -96,6 +96,13 @@ func keyOf(file, src string) cacheKey {
 // caller may execute and mutate freely. Front-end errors are cached too —
 // they are deterministic per source text.
 func (c *Cache) Compile(file, src string) (*ast.Program, *ir.Module, error) {
+	prog, mod, _, err := c.CompileHit(file, src)
+	return prog, mod, err
+}
+
+// CompileHit is Compile plus a hit report: hit is true when the front-end
+// work was served from the cache (including cached front-end errors).
+func (c *Cache) CompileHit(file, src string) (prog *ast.Program, mod *ir.Module, hit bool, err error) {
 	k := keyOf(file, src)
 
 	c.mu.Lock()
@@ -145,9 +152,9 @@ func (c *Cache) Compile(file, src string) (*ast.Program, *ir.Module, error) {
 		e.prog, e.mod = prog, mod
 	})
 	if e.err != nil {
-		return nil, nil, e.err
+		return nil, nil, ok, e.err
 	}
-	return e.prog, e.mod.Clone(), nil
+	return e.prog, e.mod.Clone(), ok, nil
 }
 
 // count runs f against the attached registry, if any.

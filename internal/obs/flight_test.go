@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRequestTraceRetainsAndStamps(t *testing.T) {
+	rt := NewRequestTrace("req-1", 8)
+	if rt.ID() != "req-1" {
+		t.Fatalf("ID = %q", rt.ID())
+	}
+	for i := 0; i < 5; i++ {
+		rt.Event(Event{Kind: EvFactRecord, N1: int64(i)})
+	}
+	evs := rt.Events()
+	if len(evs) != 5 || rt.Total() != 5 || rt.Dropped() != 0 {
+		t.Fatalf("events=%d total=%d dropped=%d", len(evs), rt.Total(), rt.Dropped())
+	}
+	for i, te := range evs {
+		if te.Seq != uint64(i) || te.N1 != int64(i) {
+			t.Fatalf("event %d: seq=%d n1=%d", i, te.Seq, te.N1)
+		}
+		if te.TsUS < 0 {
+			t.Fatalf("event %d: negative timestamp", i)
+		}
+	}
+}
+
+func TestRequestTraceRingDropsOldest(t *testing.T) {
+	rt := NewRequestTrace("ring", 4)
+	for i := 0; i < 10; i++ {
+		rt.Event(Event{Kind: EvFactRecord, N1: int64(i)})
+	}
+	evs := rt.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	if rt.Total() != 10 || rt.Dropped() != 6 {
+		t.Fatalf("total=%d dropped=%d, want 10/6", rt.Total(), rt.Dropped())
+	}
+	// Newest 4 survive, oldest-first, with original sequence numbers.
+	for i, te := range evs {
+		want := int64(6 + i)
+		if te.N1 != want || te.Seq != uint64(want) {
+			t.Fatalf("slot %d: n1=%d seq=%d, want %d", i, te.N1, te.Seq, want)
+		}
+	}
+}
+
+func TestRequestTraceSpans(t *testing.T) {
+	rt := NewRequestTrace("spans", 0)
+	rt.Event(Event{Kind: EvPhaseBegin, Phase: "parse"})
+	rt.Event(Event{Kind: EvPhaseEnd, Phase: "parse"})
+	rt.Event(Event{Kind: EvPhaseBegin, Phase: "exec"})
+	rt.Event(Event{Kind: EvPhaseBegin, Phase: "solve"}) // nested
+	rt.Event(Event{Kind: EvPhaseEnd, Phase: "solve"})
+	rt.Event(Event{Kind: EvPhaseEnd, Phase: "exec"})
+	rt.Event(Event{Kind: EvPhaseEnd, Phase: "orphan"}) // no begin: ignored
+
+	spans := rt.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %+v, want 3", spans)
+	}
+	order := []string{"parse", "solve", "exec"} // completion order
+	for i, want := range order {
+		if spans[i].Phase != want {
+			t.Fatalf("span %d = %q, want %q", i, spans[i].Phase, want)
+		}
+		if spans[i].DurUS < 0 || spans[i].StartUS < 0 {
+			t.Fatalf("span %d has negative times: %+v", i, spans[i])
+		}
+	}
+}
+
+func TestRequestTraceWriteJSONL(t *testing.T) {
+	rt := NewRequestTrace("jsonl", 0)
+	rt.Event(Event{Kind: EvPhaseBegin, Phase: "exec"})
+	rt.Event(Event{Kind: EvHeapFlush, Phase: "budget", N1: 1, N2: 2})
+	rt.Event(Event{Kind: EvPhaseEnd, Phase: "exec"})
+
+	var buf bytes.Buffer
+	if err := rt.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatalf("line 2 not JSON: %v", err)
+	}
+	if rec["ev"] != "heap-flush" || rec["phase"] != "budget" || rec["seq"] != float64(1) {
+		t.Fatalf("line 2 = %v", rec)
+	}
+}
+
+func TestRequestTraceWriteChromeTrace(t *testing.T) {
+	rt := NewRequestTrace("chrome", 0)
+	rt.Event(Event{Kind: EvPhaseBegin, Phase: "exec"})
+	rt.Event(Event{Kind: EvCache, Phase: "progcache", Detail: "hit"})
+	rt.Event(Event{Kind: EvPhaseEnd, Phase: "exec"})
+
+	var buf bytes.Buffer
+	if _, err := rt.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   int64  `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome doc not JSON: %v", err)
+	}
+	// exec B, cache instant, exec E, plus the trailing facts counter.
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d records, want 4: %+v", len(doc.TraceEvents), doc.TraceEvents)
+	}
+	if doc.TraceEvents[1].Name != "cache:hit" {
+		t.Fatalf("record 1 = %+v", doc.TraceEvents[1])
+	}
+	// Replayed timestamps must be monotone: the closing counter may not
+	// precede the last replayed event.
+	last := doc.TraceEvents[len(doc.TraceEvents)-1]
+	if last.Ts < doc.TraceEvents[2].Ts {
+		t.Fatalf("final counter ts %d precedes last event ts %d", last.Ts, doc.TraceEvents[2].Ts)
+	}
+}
+
+func TestFlightRecorderRingAndLookup(t *testing.T) {
+	f := NewFlightRecorder(3)
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("req-%d", i)
+		f.Record(FlightEntry{TraceID: id, Status: 200, Outcome: "ok"}, NewRequestTrace(id, 4))
+	}
+	if f.Len() != 3 || f.Total() != 5 {
+		t.Fatalf("len=%d total=%d, want 3/5", f.Len(), f.Total())
+	}
+	entries := f.Entries()
+	want := []string{"req-4", "req-3", "req-2"} // newest first
+	for i, w := range want {
+		if entries[i].TraceID != w {
+			t.Fatalf("entry %d = %q, want %q", i, entries[i].TraceID, w)
+		}
+	}
+	// Evicted IDs are gone from the index; retained ones resolve.
+	if _, _, ok := f.Lookup("req-0"); ok {
+		t.Fatal("req-0 should have been evicted")
+	}
+	e, tr, ok := f.Lookup("req-3")
+	if !ok || e.TraceID != "req-3" || tr == nil || tr.ID() != "req-3" {
+		t.Fatalf("Lookup(req-3) = %+v, %v, %v", e, tr, ok)
+	}
+}
+
+func TestFlightRecorderDuplicateIDs(t *testing.T) {
+	f := NewFlightRecorder(2)
+	f.Record(FlightEntry{TraceID: "dup", Status: 200}, nil)
+	f.Record(FlightEntry{TraceID: "dup", Status: 500}, nil)
+	e, _, ok := f.Lookup("dup")
+	if !ok || e.Status != 500 {
+		t.Fatalf("Lookup(dup) = %+v, %v; want newest recording (500)", e, ok)
+	}
+	// Evicting the older duplicate must not orphan the newer one's index.
+	f.Record(FlightEntry{TraceID: "other-1", Status: 200}, nil)
+	if e, _, ok = f.Lookup("dup"); !ok || e.Status != 500 {
+		t.Fatalf("after one eviction, Lookup(dup) = %+v, %v", e, ok)
+	}
+	f.Record(FlightEntry{TraceID: "other-2", Status: 200}, nil)
+	if _, _, ok = f.Lookup("dup"); ok {
+		t.Fatal("dup should be fully evicted")
+	}
+}
+
+func TestFlightRecorderNilTrace(t *testing.T) {
+	f := NewFlightRecorder(0)
+	f.Record(FlightEntry{TraceID: "untraced", Status: 200, Outcome: "ok"}, nil)
+	e, tr, ok := f.Lookup("untraced")
+	if !ok || tr != nil || e.Outcome != "ok" {
+		t.Fatalf("Lookup = %+v, %v, %v", e, tr, ok)
+	}
+}
+
+func TestRequestTraceConcurrent(t *testing.T) {
+	rt := NewRequestTrace("conc", 64)
+	f := NewFlightRecorder(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				rt.Event(Event{Kind: EvFactRecord, N1: int64(g)})
+				if i%10 == 0 {
+					f.Record(FlightEntry{TraceID: fmt.Sprintf("g%d-%d", g, i)}, rt)
+					f.Entries()
+					rt.Spans()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if rt.Total() != 800 {
+		t.Fatalf("total = %d, want 800", rt.Total())
+	}
+	if len(rt.Events()) != 64 {
+		t.Fatalf("retained = %d, want 64", len(rt.Events()))
+	}
+}

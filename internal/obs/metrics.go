@@ -23,6 +23,7 @@ type Metrics struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	help     map[string]string
 }
 
 // NewMetrics creates an empty registry.
@@ -31,7 +32,17 @@ func NewMetrics() *Metrics {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		help:     map[string]string{},
 	}
+}
+
+// Help registers a HELP line for a metric family. name may be a full metric
+// name or its base (labels are stripped); the text is emitted once per
+// family in WriteProm.
+func (m *Metrics) Help(name, text string) {
+	m.mu.Lock()
+	m.help[baseName(name)] = text
+	m.mu.Unlock()
 }
 
 // Counter returns the named counter, creating it at zero.
@@ -183,42 +194,74 @@ func baseName(name string) string {
 	return name
 }
 
+// splitName separates a metric name into its base and the inner label
+// list ("" when unlabeled): `req{route="/x"}` → `req`, `route="/x"`.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
 // WriteProm writes a Prometheus-style text dump, sorted by metric name so
-// the output is byte-for-byte deterministic.
+// the output is byte-for-byte deterministic. HELP and TYPE comments are
+// emitted once per metric family; histogram label sets are spliced into
+// the derived _bucket/_sum/_count series so labeled histograms render as
+// valid exposition-format families.
 func (m *Metrics) WriteProm(w io.Writer) error {
 	m.mu.Lock()
 	cnames := sortedKeys(m.counters)
 	gnames := sortedKeys(m.gauges)
 	hnames := sortedKeys(m.hists)
 	counters, gauges, hists := m.counters, m.gauges, m.hists
+	help := make(map[string]string, len(m.help))
+	for k, v := range m.help {
+		help[k] = v
+	}
 	m.mu.Unlock()
 
 	var b strings.Builder
-	lastType := ""
-	for _, n := range cnames {
-		if bn := baseName(n); bn != lastType {
-			fmt.Fprintf(&b, "# TYPE %s counter\n", bn)
-			lastType = bn
+	header := func(base, typ string, last *string) {
+		if base == *last {
+			return
 		}
+		*last = base
+		if h, ok := help[base]; ok {
+			fmt.Fprintf(&b, "# HELP %s %s\n", base, h)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", base, typ)
+	}
+	lastFamily := ""
+	for _, n := range cnames {
+		header(baseName(n), "counter", &lastFamily)
 		fmt.Fprintf(&b, "%s %d\n", n, counters[n].Value())
 	}
-	lastType = ""
+	lastFamily = ""
 	for _, n := range gnames {
-		if bn := baseName(n); bn != lastType {
-			fmt.Fprintf(&b, "# TYPE %s gauge\n", bn)
-			lastType = bn
-		}
+		header(baseName(n), "gauge", &lastFamily)
 		fmt.Fprintf(&b, "%s %s\n", n, formatFloat(gauges[n].Value()))
 	}
+	lastFamily = ""
 	for _, n := range hnames {
-		bounds, cum, sum, count := hists[n].snapshot()
-		fmt.Fprintf(&b, "# TYPE %s histogram\n", baseName(n))
-		for i, ub := range bounds {
-			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", n, formatFloat(ub), cum[i])
+		base, labels := splitName(n)
+		sep := ""
+		if labels != "" {
+			sep = ","
 		}
-		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, cum[len(cum)-1])
-		fmt.Fprintf(&b, "%s_sum %s\n", n, formatFloat(sum))
-		fmt.Fprintf(&b, "%s_count %d\n", n, count)
+		bounds, cum, sum, count := hists[n].snapshot()
+		header(base, "histogram", &lastFamily)
+		for i, ub := range bounds {
+			fmt.Fprintf(&b, "%s_bucket{%s%sle=%q} %d\n", base, labels, sep, formatFloat(ub), cum[i])
+		}
+		fmt.Fprintf(&b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", base, labels, sep, cum[len(cum)-1])
+		if labels == "" {
+			fmt.Fprintf(&b, "%s_sum %s\n", base, formatFloat(sum))
+			fmt.Fprintf(&b, "%s_count %d\n", base, count)
+		} else {
+			fmt.Fprintf(&b, "%s_sum{%s} %s\n", base, labels, formatFloat(sum))
+			fmt.Fprintf(&b, "%s_count{%s} %d\n", base, labels, count)
+		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

@@ -67,6 +67,9 @@ const (
 	// partial result; Detail the DegradeReason) or "recover" (panic
 	// converted to a structured error; Detail the panicking phase).
 	EvGuard
+	// EvCache is a compile-cache lookup; Phase is the cache name and
+	// Detail "hit" or "miss".
+	EvCache
 	numEventKinds
 )
 
@@ -85,6 +88,7 @@ var kindNames = [numEventKinds]string{
 	EvEval:           "eval",
 	EvSolver:         "solver",
 	EvGuard:          "guard",
+	EvCache:          "cache",
 }
 
 func (k EventKind) String() string {

@@ -173,6 +173,7 @@ type ChromeTrace struct {
 	mu          sync.Mutex
 	start       time.Time
 	recs        []chromeRec
+	lastTS      int64
 	factRecords int64
 	factInvalid int64
 }
@@ -186,7 +187,16 @@ func NewChromeTrace() *ChromeTrace {
 func (c *ChromeTrace) Event(e Event) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ts := time.Since(c.start).Microseconds()
+	c.record(e, time.Since(c.start).Microseconds())
+}
+
+// record converts one event stamped at ts (microseconds since trace
+// start). Split from Event so a retained per-request trace can replay its
+// events with their original timestamps (RequestTrace.WriteChromeTrace).
+func (c *ChromeTrace) record(e Event, ts int64) {
+	if ts > c.lastTS {
+		c.lastTS = ts
+	}
 	switch e.Kind {
 	case EvPhaseBegin, EvPhaseEnd:
 		ph := "B"
@@ -227,6 +237,12 @@ func (c *ChromeTrace) Event(e Event) {
 	case EvSolver:
 		c.push(chromeRec{Name: "pointsto", Ph: "C", Ts: ts, Tid: chromeTidSolver,
 			Args: map[string]int64{"work": e.N1, "worklist": e.N2, "nodes": e.N3, "objects": e.N4}})
+	case EvGuard:
+		c.push(chromeRec{Name: "guard:" + e.Phase + ":" + e.Detail, Ph: "i", S: "t", Ts: ts,
+			Tid: chromeTidPhases})
+	case EvCache:
+		c.push(chromeRec{Name: "cache:" + e.Detail, Ph: "i", S: "t", Ts: ts,
+			Tid: chromeTidPhases})
 	case EvFactRecord:
 		c.factRecords++
 	case EvFactInvalidate:
@@ -245,6 +261,9 @@ func (c *ChromeTrace) WriteTo(w io.Writer) (int64, error) {
 	recs := make([]chromeRec, len(c.recs))
 	copy(recs, c.recs)
 	ts := time.Since(c.start).Microseconds()
+	if ts < c.lastTS {
+		ts = c.lastTS // replayed traces: stay after the last replayed event
+	}
 	recs = append(recs, chromeRec{
 		Name: "facts", Ph: "C", Ts: ts, Pid: 1, Tid: chromeTidSolver,
 		Args: map[string]int64{"recorded": c.factRecords, "invalidated": c.factInvalid},

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"determinacy/internal/guard/faultinject"
+	"determinacy/internal/obs"
 )
 
 // campaignSrc mirrors the guard campaign program, tuned for request
@@ -90,11 +91,19 @@ func settleGoroutines(base, slack int) (int, bool) {
 // server.admit, server.request, and the interpreter checkpoint sites.
 func TestServerFaultCampaign(t *testing.T) {
 	runs := campaignRuns(t, 500)
-	s := New(Config{MaxTimeout: 10 * time.Second, DefaultTimeout: 10 * time.Second})
+	// FlightEntries covers the whole campaign so the trace-accounting
+	// sweep below never races eviction.
+	s := New(Config{MaxTimeout: 10 * time.Second, DefaultTimeout: 10 * time.Second,
+		FlightEntries: runs + 16})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	client := &http.Client{Timeout: 30 * time.Second}
 	defer faultinject.Disarm()
+
+	// wantOutcome[traceID] is the set of flight-recorder outcomes the
+	// response's status/body admits; checked against /debug/statusz after
+	// the campaign.
+	wantOutcome := map[string][]string{}
 
 	// Warm up (compile cache, conn pool) before the leak baseline.
 	warm := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Source: campaignSrc})
@@ -165,6 +174,12 @@ func TestServerFaultCampaign(t *testing.T) {
 			}
 			defer resp.Body.Close()
 
+			traceID := resp.Header.Get("X-Request-ID")
+			if traceID == "" {
+				t.Fatalf("seed %d: response without X-Request-ID", seed)
+			}
+			expect := func(outs ...string) { wantOutcome[traceID] = outs }
+
 			switch {
 			case resp.StatusCode == http.StatusOK && mode == 2:
 				var out BatchResponse
@@ -187,8 +202,12 @@ func TestServerFaultCampaign(t *testing.T) {
 				}
 				if out.Failed > 0 {
 					count("batch-mixed")
+					// Failed entries may include interpreter panics, which
+					// quarantine the whole batch in the flight recorder.
+					expect(outcomeSoundPartial, outcomeQuarantined)
 				} else {
 					count("clean")
+					expect(outcomeOK)
 				}
 			case resp.StatusCode == http.StatusOK:
 				var out AnalyzeResponse
@@ -203,8 +222,10 @@ func TestServerFaultCampaign(t *testing.T) {
 						t.Fatalf("seed %d: partial response without a degrade reason", seed)
 					}
 					count("partial-" + out.DegradeReason)
+					expect(outcomeSoundPartial)
 				} else {
 					count("clean")
+					expect(outcomeOK)
 				}
 			default:
 				var out ErrorResponse
@@ -222,6 +243,7 @@ func TestServerFaultCampaign(t *testing.T) {
 					t.Fatalf("seed %d: unexpected status %d (kind %s)", seed, resp.StatusCode, out.Error.Kind)
 				}
 				count("error-" + out.Error.Kind)
+				expect(outcomeForKind(out.Error.Kind))
 			}
 		}()
 	}
@@ -235,6 +257,40 @@ func TestServerFaultCampaign(t *testing.T) {
 	if outcomes["partial-deadline"]+outcomes["partial-cancel"]+outcomes["client-cancel"] == 0 {
 		t.Errorf("campaign never exercised a cancellation/deadline path; distribution: %v", outcomes)
 	}
+
+	// Trace accounting: every request that produced a response must be in
+	// the flight recorder under its X-Request-ID, with the terminal outcome
+	// its status/body admitted (client-cancelled transports are the only
+	// requests we cannot account for, having never seen their response).
+	page := getStatusz(t, ts.URL)
+	byID := map[string]obs.FlightEntry{}
+	for _, e := range page.Entries {
+		byID[e.TraceID] = e
+	}
+	verified := 0
+	for id, admitted := range wantOutcome {
+		e, ok := byID[id]
+		if !ok {
+			t.Errorf("trace %s answered a request but is absent from /debug/statusz", id)
+			continue
+		}
+		match := false
+		for _, o := range admitted {
+			if e.Outcome == o {
+				match = true
+				break
+			}
+		}
+		if !match {
+			t.Errorf("trace %s: flight outcome %q, but the response admits only %v", id, e.Outcome, admitted)
+			continue
+		}
+		verified++
+	}
+	if verified == 0 {
+		t.Error("campaign verified no trace IDs against the flight recorder")
+	}
+	t.Logf("verified %d/%d trace IDs against /debug/statusz", verified, len(wantOutcome))
 
 	// The process must come back to its baseline goroutine count: no
 	// handler, pool worker, or context watcher may leak per request.

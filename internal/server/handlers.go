@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"determinacy"
 	"determinacy/internal/batch"
 	"determinacy/internal/guard"
 	"determinacy/internal/guard/faultinject"
+	"determinacy/internal/obs"
 	"determinacy/internal/parser"
 )
 
@@ -122,13 +124,17 @@ type BatchResponse struct {
 }
 
 // routes builds the mux wrapped in the recovery/accounting middleware.
+// The two analysis routes run inside the traced middleware, which mints
+// the request's trace ID and records its flight-recorder entry.
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
-	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST "+routeAnalyze, s.traced(routeAnalyze, s.handleAnalyze))
+	mux.HandleFunc("POST "+routeBatch, s.traced(routeBatch, s.handleBatch))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /debug/statusz", s.handleStatusz)
+	mux.HandleFunc("GET /debug/tracez", s.handleTracez)
 	return s.recoverWrap(mux)
 }
 
@@ -174,20 +180,35 @@ func (s *Server) writeError(w http.ResponseWriter, status int, body ErrorBody) {
 	s.writeJSON(w, status, ErrorResponse{Error: body})
 }
 
+// writeErr is writeError for traced handlers: it classifies the failure
+// into the flight-recorder entry (outcome, error kind, panic location)
+// before writing the response. rt may be nil.
+func (s *Server) writeErr(w http.ResponseWriter, rt *reqTrace, status int, body ErrorBody) {
+	if rt != nil {
+		rt.entry.Status = status
+		rt.entry.ErrorKind = body.Kind
+		rt.entry.Outcome = outcomeForKind(body.Kind)
+		if body.Kind == "panic" {
+			rt.entry.ErrPhase, rt.entry.ErrInstr, rt.entry.ErrPos = body.Phase, body.Instr, body.Pos
+		}
+	}
+	s.writeError(w, status, body)
+}
+
 // decodeBody reads a size-limited JSON body into v, answering 413/400
 // itself; ok=false means the response has been written.
-func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, rt *reqTrace, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			s.writeError(w, http.StatusRequestEntityTooLarge, ErrorBody{
+			s.writeErr(w, rt, http.StatusRequestEntityTooLarge, ErrorBody{
 				Kind:    "body-too-large",
 				Message: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
 			})
 		} else {
-			s.writeError(w, http.StatusBadRequest, ErrorBody{Kind: "bad-request", Message: "malformed JSON body: " + err.Error()})
+			s.writeErr(w, rt, http.StatusBadRequest, ErrorBody{Kind: "bad-request", Message: "malformed JSON body: " + err.Error()})
 		}
 		return false
 	}
@@ -195,89 +216,144 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 }
 
 // writeAdmissionError maps an admission failure to its typed response.
-func (s *Server) writeAdmissionError(w http.ResponseWriter, err *admissionError) {
+func (s *Server) writeAdmissionError(w http.ResponseWriter, rt *reqTrace, err *admissionError) {
 	switch {
 	case err.shed:
-		s.writeError(w, http.StatusTooManyRequests, ErrorBody{
+		s.writeErr(w, rt, http.StatusTooManyRequests, ErrorBody{
 			Kind:    "shed",
 			Message: fmt.Sprintf("admission queue full (%d executing, %d queued); retry later", s.cfg.MaxInFlight, s.cfg.QueueDepth),
 		})
 	case err.draining:
-		s.writeError(w, http.StatusServiceUnavailable, ErrorBody{Kind: "draining", Message: "server is draining; retry against another replica"})
+		s.writeErr(w, rt, http.StatusServiceUnavailable, ErrorBody{Kind: "draining", Message: "server is draining; retry against another replica"})
 	default:
 		// The client abandoned the request while queued; the status is
 		// best-effort since nobody is reading it.
-		s.writeError(w, http.StatusServiceUnavailable, ErrorBody{Kind: "interrupted", Message: err.Error()})
+		s.writeErr(w, rt, http.StatusServiceUnavailable, ErrorBody{Kind: "interrupted", Message: err.Error()})
 	}
 }
 
-// writeRunError classifies an analysis failure into a structured
-// response. Partial results never land here — they answer 200.
-func (s *Server) writeRunError(w http.ResponseWriter, err error) {
+// classifyRunError maps an analysis failure to its status and wire form.
+// Partial results never land here — they answer 200.
+func (s *Server) classifyRunError(err error) (int, ErrorBody) {
 	var re *determinacy.RunError
 	var perr *parser.Error
 	switch {
 	case errors.As(err, &re):
-		s.noteQuarantine()
-		guard.CountRecovered(s.metrics, re.Phase)
-		s.writeError(w, http.StatusInternalServerError, ErrorBody{
+		return http.StatusInternalServerError, ErrorBody{
 			Kind: "panic", Message: re.Error(), Phase: re.Phase, Instr: re.Instr, Pos: re.Pos,
-		})
+		}
 	case errors.Is(err, determinacy.ErrParseDepth):
-		s.writeError(w, http.StatusBadRequest, ErrorBody{Kind: "parse-depth", Message: err.Error()})
+		return http.StatusBadRequest, ErrorBody{Kind: "parse-depth", Message: err.Error()}
 	case errors.As(err, &perr):
-		s.writeError(w, http.StatusBadRequest, ErrorBody{Kind: "parse", Message: err.Error()})
+		return http.StatusBadRequest, ErrorBody{Kind: "parse", Message: err.Error()}
 	case errors.Is(err, determinacy.ErrUncaughtException):
-		s.writeError(w, http.StatusUnprocessableEntity, ErrorBody{Kind: "uncaught-exception", Message: err.Error()})
+		return http.StatusUnprocessableEntity, ErrorBody{Kind: "uncaught-exception", Message: err.Error()}
 	case guard.ContextReason(err) != guard.DegradeNone:
 		// Only multi-seed merges surface interrupts as errors (a skipped
 		// seed has no partial store to merge); single runs seal partial.
-		s.writeError(w, http.StatusServiceUnavailable, ErrorBody{Kind: "interrupted", Message: err.Error()})
+		return http.StatusServiceUnavailable, ErrorBody{Kind: "interrupted", Message: err.Error()}
 	default:
-		s.writeError(w, http.StatusInternalServerError, ErrorBody{Kind: "internal", Message: err.Error()})
+		return http.StatusInternalServerError, ErrorBody{Kind: "internal", Message: err.Error()}
 	}
 }
 
-func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+// noteRunError applies a classified failure's side effects: quarantine
+// accounting for panics, and the flight-recorder outcome. Shared by the
+// buffered and streaming response paths.
+func (s *Server) noteRunError(rt *reqTrace, body ErrorBody) {
+	if body.Kind == "panic" {
+		s.noteQuarantine()
+		guard.CountRecovered(s.metrics, body.Phase)
+	}
+	if rt != nil {
+		rt.entry.ErrorKind = body.Kind
+		rt.entry.Outcome = outcomeForKind(body.Kind)
+		if body.Kind == "panic" {
+			rt.entry.ErrPhase, rt.entry.ErrInstr, rt.entry.ErrPos = body.Phase, body.Instr, body.Pos
+		}
+	}
+}
+
+// writeRunError classifies an analysis failure into a structured
+// response.
+func (s *Server) writeRunError(w http.ResponseWriter, rt *reqTrace, err error) {
+	status, body := s.classifyRunError(err)
+	s.noteRunError(rt, body)
+	if rt != nil {
+		rt.entry.Status = status
+	}
+	s.writeError(w, status, body)
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request, rt *reqTrace) {
 	var req AnalyzeRequest
-	if !s.decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, rt, &req) {
 		return
 	}
 	if req.Source == "" {
-		s.writeError(w, http.StatusBadRequest, ErrorBody{Kind: "bad-request", Message: `missing "source"`})
+		s.writeErr(w, rt, http.StatusBadRequest, ErrorBody{Kind: "bad-request", Message: `missing "source"`})
 		return
 	}
 	if req.Runs < 0 || req.Runs > s.cfg.MaxRuns {
-		s.writeError(w, http.StatusBadRequest, ErrorBody{
+		s.writeErr(w, rt, http.StatusBadRequest, ErrorBody{
 			Kind: "bad-request", Message: fmt.Sprintf("runs must be in [0,%d], got %d", s.cfg.MaxRuns, req.Runs),
 		})
 		return
 	}
 	if req.TimeoutMS < 0 || req.MaxFlushes < 0 || req.MaxSteps < 0 || req.Handlers < 0 {
-		s.writeError(w, http.StatusBadRequest, ErrorBody{Kind: "bad-request", Message: "numeric options must be non-negative"})
+		s.writeErr(w, rt, http.StatusBadRequest, ErrorBody{Kind: "bad-request", Message: "numeric options must be non-negative"})
 		return
 	}
+	stream, sse := streamMode(r)
 	s.wg.Add(1)
 	defer s.wg.Done()
 	if faultinject.Armed() {
 		faultinject.Hit(faultinject.SiteServerAdmit)
 	}
-	if err := s.acquire(r.Context()); err != nil {
-		s.writeAdmissionError(w, err.(*admissionError))
+	if err := s.acquire(r.Context(), s.hQueueWait[rt.route]); err != nil {
+		s.writeAdmissionError(w, rt, err.(*admissionError))
 		return
 	}
 	defer s.release()
 
+	if stream {
+		s.streamAnalyze(w, r, rt, &req, sse)
+		return
+	}
+
 	t0 := time.Now()
-	resp, err := s.runAnalyze(r.Context(), &req)
-	s.hLatency.Observe(time.Since(t0).Seconds())
+	resp, err := s.runAnalyze(r.Context(), &req, rt, rt.obsTracer())
+	s.hLatency[rt.route].Observe(time.Since(t0).Seconds())
 	if err != nil {
-		s.writeRunError(w, err)
+		s.writeRunError(w, rt, err)
 		return
 	}
 	s.noteSuccess()
 	resp.ElapsedMS = time.Since(t0).Milliseconds()
+	s.noteAnalyzeSuccess(rt, resp)
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// noteAnalyzeSuccess copies a successful response's headline stats into
+// the request's flight-recorder entry and classifies its outcome: a
+// degraded-but-sound partial result is "sound-partial", everything else
+// "ok".
+func (s *Server) noteAnalyzeSuccess(rt *reqTrace, resp *AnalyzeResponse) {
+	if rt == nil {
+		return
+	}
+	rt.entry.Status = http.StatusOK
+	if resp.Partial {
+		rt.entry.Outcome = outcomeSoundPartial
+		rt.entry.DegradeReason = resp.DegradeReason
+	} else {
+		rt.entry.Outcome = outcomeOK
+	}
+	rt.entry.Steps = resp.Stats.Steps
+	rt.entry.HeapFlushes = resp.Stats.HeapFlushes
+	rt.entry.Counterfactuals = resp.Stats.Counterfactuals
+	rt.entry.Facts = resp.NumFacts
+	rt.entry.Determinate = resp.NumDeterminate
 }
 
 // analyzeOptions builds run options shared by both endpoints.
@@ -297,8 +373,10 @@ func analyzeOptions(seed uint64, maxFlushes, maxSteps, handlers int, dom, detDOM
 }
 
 // runAnalyze executes one request inside the guard boundary, under the
-// effective deadline and the drain force-cancel parent.
-func (s *Server) runAnalyze(reqCtx context.Context, req *AnalyzeRequest) (resp *AnalyzeResponse, err error) {
+// effective deadline and the drain force-cancel parent. tracer (nil to
+// disable) receives the run's event stream; rt (nil outside traced
+// handlers) collects cache-hit attribution.
+func (s *Server) runAnalyze(reqCtx context.Context, req *AnalyzeRequest, rt *reqTrace, tracer obs.Tracer) (resp *AnalyzeResponse, err error) {
 	budget := s.effTimeout(req.TimeoutMS)
 	ctx, cancel := context.WithTimeout(reqCtx, budget)
 	defer cancel()
@@ -315,11 +393,14 @@ func (s *Server) runAnalyze(reqCtx context.Context, req *AnalyzeRequest) (resp *
 		name = "program.js"
 	}
 	opts := analyzeOptions(req.Seed, req.MaxFlushes, req.MaxSteps, req.Handlers, req.DOM, req.DetDOM, time.Now().Add(budget))
+	opts.Tracer = tracer
 
 	var res *determinacy.Result
 	if req.Runs > 1 {
 		// Serial within the request: the server's concurrency comes from
 		// concurrent requests, so one merge sweep never hoards workers.
+		// Compiles go through the package-global runs cache, which reports
+		// no per-call hit information — CacheHit stays false here.
 		opts.Workers = 1
 		seeds := make([]uint64, req.Runs)
 		for i := range seeds {
@@ -328,7 +409,18 @@ func (s *Server) runAnalyze(reqCtx context.Context, req *AnalyzeRequest) (resp *
 		res, err = determinacy.AnalyzeRunsContext(ctx, req.Source, opts, seeds...)
 	} else {
 		var p *determinacy.Program
-		p, err = s.cache.Compile(name, req.Source)
+		var hit bool
+		p, hit, err = s.cache.CompileHit(name, req.Source)
+		if tracer != nil {
+			detail := "miss"
+			if hit {
+				detail = "hit"
+			}
+			tracer.Event(obs.Event{Kind: obs.EvCache, Phase: "progcache", Detail: detail})
+		}
+		if rt != nil {
+			rt.entry.CacheHit = hit
+		}
 		if err == nil {
 			res, err = determinacy.AnalyzeProgramContext(ctx, p, opts)
 		}
@@ -366,35 +458,35 @@ func buildResponse(name string, detOnly bool, res *determinacy.Result) *AnalyzeR
 	}
 }
 
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, rt *reqTrace) {
 	var req BatchRequest
-	if !s.decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, rt, &req) {
 		return
 	}
 	if len(req.Programs) == 0 {
-		s.writeError(w, http.StatusBadRequest, ErrorBody{Kind: "bad-request", Message: `missing "programs"`})
+		s.writeErr(w, rt, http.StatusBadRequest, ErrorBody{Kind: "bad-request", Message: `missing "programs"`})
 		return
 	}
 	if len(req.Programs) > s.cfg.MaxBatchPrograms {
-		s.writeError(w, http.StatusBadRequest, ErrorBody{
+		s.writeErr(w, rt, http.StatusBadRequest, ErrorBody{
 			Kind: "bad-request", Message: fmt.Sprintf("batch of %d exceeds the %d-program cap", len(req.Programs), s.cfg.MaxBatchPrograms),
 		})
 		return
 	}
 	for i, p := range req.Programs {
 		if p.Source == "" {
-			s.writeError(w, http.StatusBadRequest, ErrorBody{Kind: "bad-request", Message: fmt.Sprintf(`program %d: missing "source"`, i)})
+			s.writeErr(w, rt, http.StatusBadRequest, ErrorBody{Kind: "bad-request", Message: fmt.Sprintf(`program %d: missing "source"`, i)})
 			return
 		}
 	}
 	if req.TimeoutMS < 0 || req.MaxFlushes < 0 || req.MaxSteps < 0 || req.Handlers < 0 {
-		s.writeError(w, http.StatusBadRequest, ErrorBody{Kind: "bad-request", Message: "numeric options must be non-negative"})
+		s.writeErr(w, rt, http.StatusBadRequest, ErrorBody{Kind: "bad-request", Message: "numeric options must be non-negative"})
 		return
 	}
 	s.wg.Add(1)
 	defer s.wg.Done()
-	if err := s.acquire(r.Context()); err != nil {
-		s.writeAdmissionError(w, err.(*admissionError))
+	if err := s.acquire(r.Context(), s.hQueueWait[rt.route]); err != nil {
+		s.writeAdmissionError(w, rt, err.(*admissionError))
 		return
 	}
 	defer s.release()
@@ -406,6 +498,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	stopAfter := context.AfterFunc(s.baseCtx, cancel)
 	defer stopAfter()
 	deadline := time.Now().Add(budget)
+
+	// One request-scoped tracer across the whole fan-out: the sinks are
+	// mutex-guarded, so concurrent jobs interleave rather than race.
+	tracer := rt.obsTracer()
+	var cacheHits atomic.Int64
 
 	type progOut struct {
 		resp *AnalyzeResponse
@@ -421,7 +518,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			faultinject.Hit(faultinject.SiteServerRequest)
 		}
 		opts := analyzeOptions(p.Seed, req.MaxFlushes, req.MaxSteps, req.Handlers, req.DOM, req.DetDOM, deadline)
-		prog, err := s.cache.Compile(name, p.Source)
+		opts.Tracer = tracer
+		prog, hit, err := s.cache.CompileHit(name, p.Source)
+		if hit {
+			cacheHits.Add(1)
+		}
+		if tracer != nil {
+			detail := "miss"
+			if hit {
+				detail = "hit"
+			}
+			tracer.Event(obs.Event{Kind: obs.EvCache, Phase: "progcache", Detail: detail})
+		}
 		if err != nil {
 			return progOut{err: err}
 		}
@@ -439,6 +547,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	bresp := BatchResponse{Results: make([]BatchResult, len(outs)), ElapsedMS: time.Since(t0).Milliseconds()}
 	anyPanic := false
+	var firstPanic *ErrorBody
 	for i, out := range outs {
 		name := req.Programs[i].Name
 		if name == "" {
@@ -450,6 +559,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			body := classifyBatchError(out.err)
 			if body.Kind == "panic" {
 				anyPanic = true
+				if firstPanic == nil {
+					firstPanic = &body
+				}
 				guard.CountRecovered(s.metrics, "batch")
 			}
 			br.Error = &body
@@ -457,15 +569,34 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		default:
 			br.Result = out.resp
 			bresp.Completed++
+			if out.resp != nil {
+				rt.entry.Steps += out.resp.Stats.Steps
+				rt.entry.HeapFlushes += out.resp.Stats.HeapFlushes
+				rt.entry.Counterfactuals += out.resp.Stats.Counterfactuals
+				rt.entry.Facts += out.resp.NumFacts
+				rt.entry.Determinate += out.resp.NumDeterminate
+			}
 		}
 		bresp.Results[i] = br
 	}
-	if anyPanic {
+	// The batch's terminal outcome: quarantined when any entry panicked
+	// (with that entry's *RunError location), sound-partial when entries
+	// failed for other reasons, ok when everything completed.
+	rt.entry.CacheHit = int(cacheHits.Load()) == len(req.Programs)
+	switch {
+	case anyPanic:
 		s.noteQuarantine()
-	} else {
+		rt.entry.Outcome = outcomeQuarantined
+		rt.entry.ErrorKind = "panic"
+		rt.entry.ErrPhase, rt.entry.ErrInstr, rt.entry.ErrPos = firstPanic.Phase, firstPanic.Instr, firstPanic.Pos
+	case bresp.Failed > 0:
 		s.noteSuccess()
+		rt.entry.Outcome = outcomeSoundPartial
+	default:
+		s.noteSuccess()
+		rt.entry.Outcome = outcomeOK
 	}
-	s.hLatency.Observe(time.Since(t0).Seconds())
+	s.hLatency[rt.route].Observe(time.Since(t0).Seconds())
 	s.writeJSON(w, http.StatusOK, bresp)
 }
 

@@ -1,0 +1,304 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promSample is one parsed exposition-format sample.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   int
+}
+
+var (
+	promMetricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelName  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// parsePromLine splits `name{l="v",...} value`; it fails the test on any
+// syntax the text exposition format does not allow.
+func parsePromLine(t *testing.T, line string, n int) promSample {
+	t.Helper()
+	s := promSample{labels: map[string]string{}, line: n}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.name = rest[:i]
+		rest = rest[i+1:]
+		end := strings.LastIndexByte(rest, '}')
+		if end < 0 {
+			t.Fatalf("line %d: unterminated label set: %q", n, line)
+		}
+		labels, tail := rest[:end], rest[end+1:]
+		for labels != "" {
+			eq := strings.IndexByte(labels, '=')
+			if eq < 0 || len(labels) < eq+2 || labels[eq+1] != '"' {
+				t.Fatalf("line %d: malformed label in %q", n, line)
+			}
+			lname := labels[:eq]
+			if !promLabelName.MatchString(lname) {
+				t.Fatalf("line %d: bad label name %q", n, lname)
+			}
+			// Scan the quoted value, honoring \" \\ \n escapes.
+			val := labels[eq+2:]
+			out := strings.Builder{}
+			i := 0
+			closed := false
+			for i < len(val) {
+				c := val[i]
+				if c == '\\' {
+					if i+1 >= len(val) {
+						t.Fatalf("line %d: dangling escape in %q", n, line)
+					}
+					esc := val[i+1]
+					if esc != '"' && esc != '\\' && esc != 'n' {
+						t.Fatalf("line %d: invalid escape \\%c in %q", n, esc, line)
+					}
+					out.WriteByte(esc)
+					i += 2
+					continue
+				}
+				if c == '"' {
+					closed = true
+					i++
+					break
+				}
+				if c == '\n' {
+					t.Fatalf("line %d: raw newline in label value", n)
+				}
+				out.WriteByte(c)
+				i++
+			}
+			if !closed {
+				t.Fatalf("line %d: unterminated label value in %q", n, line)
+			}
+			if _, dup := s.labels[lname]; dup {
+				t.Fatalf("line %d: duplicate label %q", n, lname)
+			}
+			s.labels[lname] = out.String()
+			labels = val[i:]
+			labels = strings.TrimPrefix(labels, ",")
+		}
+		rest = tail
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value: %q", n, line)
+		}
+		s.name = rest[:sp]
+		rest = rest[sp:]
+	}
+	if !promMetricName.MatchString(s.name) {
+		t.Fatalf("line %d: bad metric name %q", n, s.name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 1 {
+		t.Fatalf("line %d: want exactly one value, got %q", n, rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		t.Fatalf("line %d: bad value %q: %v", n, fields[0], err)
+	}
+	s.value = v
+	return s
+}
+
+// histFamily strips the _bucket/_sum/_count suffix, returning the base
+// histogram name and which series the sample belongs to.
+func histSeries(name string) (base, kind string) {
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		return strings.TrimSuffix(name, "_bucket"), "bucket"
+	case strings.HasSuffix(name, "_sum"):
+		return strings.TrimSuffix(name, "_sum"), "sum"
+	case strings.HasSuffix(name, "_count"):
+		return strings.TrimSuffix(name, "_count"), "count"
+	}
+	return name, ""
+}
+
+// labelKey canonicalizes a label set minus `le` for grouping bucket series.
+func labelKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%q,", k, labels[k])
+	}
+	return b.String()
+}
+
+// TestMetricsPromConformance drives traffic over both routes (so the
+// route-labeled histograms and phase histograms are populated) and then
+// strictly validates the full /metrics page: comment ordering, name and
+// label syntax, TYPE uniqueness, and histogram invariants (cumulative
+// monotone buckets, sorted le, +Inf == _count, matching _sum/_count label
+// sets).
+func TestMetricsPromConformance(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	decodeAnalyze(t, postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Source: quickSrc}))
+	postJSON(t, ts.URL+"/v1/batch", BatchRequest{Programs: []BatchProgram{{Source: quickSrc}, {Source: "var nope = ;"}}}).Body.Close()
+	postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Source: "syntax error ("}).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	page := string(raw)
+
+	typeOf := map[string]string{} // family -> declared type
+	helpSeen := map[string]bool{} // family -> HELP seen
+	samplesAfterType := map[string]int{}
+	var samples []promSample
+	curFamily := ""
+	for i, line := range strings.Split(page, "\n") {
+		n := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 || (fields[1] != "TYPE" && fields[1] != "HELP") {
+				t.Fatalf("line %d: malformed comment %q", n, line)
+			}
+			fam := fields[2]
+			if !promMetricName.MatchString(fam) {
+				t.Fatalf("line %d: bad family name %q", n, fam)
+			}
+			if fields[1] == "HELP" {
+				if helpSeen[fam] {
+					t.Fatalf("line %d: duplicate HELP for %s", n, fam)
+				}
+				if _, ok := typeOf[fam]; ok {
+					t.Fatalf("line %d: HELP for %s after its TYPE", n, fam)
+				}
+				helpSeen[fam] = true
+				continue
+			}
+			if _, dup := typeOf[fam]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", n, fam)
+			}
+			if samplesAfterType[fam] > 0 {
+				t.Fatalf("line %d: TYPE for %s after its samples", n, fam)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown type %q", n, fields[3])
+			}
+			typeOf[fam] = fields[3]
+			curFamily = fam
+			continue
+		}
+		s := parsePromLine(t, line, n)
+		fam, _ := histSeries(s.name)
+		if typeOf[fam] == "" && typeOf[s.name] == "" {
+			t.Fatalf("line %d: sample %s has no TYPE declaration", n, s.name)
+		}
+		if typeOf[fam] != "histogram" {
+			fam = s.name
+		}
+		if fam != curFamily {
+			t.Fatalf("line %d: sample %s interleaves into family %s", n, s.name, curFamily)
+		}
+		samplesAfterType[fam]++
+		samples = append(samples, s)
+	}
+
+	// Histogram invariants per (family, label set minus le).
+	type histKey struct{ fam, labels string }
+	buckets := map[histKey][]promSample{}
+	sums := map[histKey]float64{}
+	counts := map[histKey]float64{}
+	for _, s := range samples {
+		fam, kind := histSeries(s.name)
+		if typeOf[fam] != "histogram" {
+			continue
+		}
+		k := histKey{fam, labelKey(s.labels)}
+		switch kind {
+		case "bucket":
+			if _, ok := s.labels["le"]; !ok {
+				t.Fatalf("line %d: %s_bucket without le", s.line, fam)
+			}
+			buckets[k] = append(buckets[k], s)
+		case "sum":
+			sums[k] = s.value
+		case "count":
+			counts[k] = s.value
+		default:
+			t.Fatalf("line %d: bare sample %s in histogram family %s", s.line, s.name, fam)
+		}
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no histogram series found on /metrics")
+	}
+	// The route-labeled request histograms must both be present.
+	for _, route := range []string{routeAnalyze, routeBatch} {
+		k := histKey{"server_request_seconds", labelKey(map[string]string{"route": route})}
+		if len(buckets[k]) == 0 {
+			t.Errorf("no server_request_seconds buckets for route %s", route)
+		}
+	}
+	for k, bs := range buckets {
+		if _, ok := sums[k]; !ok {
+			t.Fatalf("%s{%s}: buckets without _sum", k.fam, k.labels)
+		}
+		cnt, ok := counts[k]
+		if !ok {
+			t.Fatalf("%s{%s}: buckets without _count", k.fam, k.labels)
+		}
+		les := make([]float64, len(bs))
+		for i, b := range bs {
+			if b.labels["le"] == "+Inf" {
+				les[i] = float64(1 << 62)
+			} else {
+				v, err := strconv.ParseFloat(b.labels["le"], 64)
+				if err != nil {
+					t.Fatalf("line %d: bad le %q", b.line, b.labels["le"])
+				}
+				les[i] = v
+			}
+		}
+		if !sort.Float64sAreSorted(les) {
+			t.Fatalf("%s{%s}: le bounds not sorted", k.fam, k.labels)
+		}
+		if bs[len(bs)-1].labels["le"] != "+Inf" {
+			t.Fatalf("%s{%s}: missing +Inf bucket", k.fam, k.labels)
+		}
+		prev := -1.0
+		for _, b := range bs {
+			if b.value < prev {
+				t.Fatalf("line %d: %s bucket counts not cumulative (%v < %v)", b.line, k.fam, b.value, prev)
+			}
+			prev = b.value
+		}
+		if inf := bs[len(bs)-1].value; inf != cnt {
+			t.Fatalf("%s{%s}: +Inf bucket %v != _count %v", k.fam, k.labels, inf, cnt)
+		}
+	}
+
+	// The labeled histograms must never render the pre-fix invalid shape
+	// name{label}_bucket{le=...}.
+	if strings.Contains(page, `}_bucket`) || strings.Contains(page, `}_sum`) || strings.Contains(page, `}_count`) {
+		t.Fatal("labeled histogram rendered with label set before the series suffix")
+	}
+}

@@ -21,6 +21,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -65,6 +66,16 @@ type Config struct {
 	Metrics *obs.Metrics
 	// Version is echoed by /healthz (empty = internal/version.String()).
 	Version string
+	// FlightEntries bounds the flight recorder's request-summary ring
+	// served at /debug/statusz (0 = obs.DefaultFlightEntries).
+	FlightEntries int
+	// TraceEventCap bounds retained (and streamed) trace events per
+	// request (0 = obs.DefaultTraceEventCap).
+	TraceEventCap int
+	// DisableTracing turns off per-request event retention: requests run
+	// with a nil Tracer (the zero-alloc path) and /debug/tracez has
+	// nothing to serve. Flight-recorder summaries are still kept.
+	DisableTracing bool
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +109,12 @@ func (c Config) withDefaults() Config {
 	if c.Version == "" {
 		c.Version = version.String()
 	}
+	if c.FlightEntries <= 0 {
+		c.FlightEntries = obs.DefaultFlightEntries
+	}
+	if c.TraceEventCap <= 0 {
+		c.TraceEventCap = obs.DefaultTraceEventCap
+	}
 	return c
 }
 
@@ -129,16 +146,41 @@ type Server struct {
 	consecQuarantine atomic.Int64
 	breakerOpen      atomic.Bool
 
-	// Handles resolved once so hot paths skip registry lookups.
+	// Handles resolved once so hot paths skip registry lookups. Latency
+	// and queue-wait histograms are per route (satellite: {route=...}
+	// labels distinguish /v1/analyze from /v1/batch).
 	gInFlight, gQueued, gDraining, gBreaker *obs.Gauge
 	cRequests, cShed, cQuarantined          *obs.Counter
-	hLatency, hQueueWait                    *obs.Histogram
+	hLatency, hQueueWait                    map[string]*obs.Histogram
+
+	// flight retains the last FlightEntries request summaries for
+	// /debug/statusz and /debug/tracez.
+	flight *obs.FlightRecorder
 
 	mux http.Handler
 }
 
+// Served routes, also the {route=...} label values.
+const (
+	routeAnalyze = "/v1/analyze"
+	routeBatch   = "/v1/batch"
+)
+
 // latencyBuckets suit request wall times: 1ms up to 30s.
 var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// phaseBuckets suit pipeline phases, which bottom out in microseconds.
+var phaseBuckets = []float64{0.00001, 0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 30}
+
+// routedHistograms creates one histogram per route under the given base
+// name.
+func routedHistograms(m *obs.Metrics, base string, buckets []float64) map[string]*obs.Histogram {
+	out := make(map[string]*obs.Histogram, 2)
+	for _, route := range []string{routeAnalyze, routeBatch} {
+		out[route] = m.Histogram(fmt.Sprintf("%s{route=%q}", base, route), buckets...)
+	}
+	return out
+}
 
 // New builds a Server from cfg.
 func New(cfg Config) *Server {
@@ -152,6 +194,7 @@ func New(cfg Config) *Server {
 		start:   time.Now(),
 		slots:   make(chan struct{}, cfg.MaxInFlight),
 		drainCh: make(chan struct{}),
+		flight:  obs.NewFlightRecorder(cfg.FlightEntries),
 
 		gInFlight:    m.Gauge("server_inflight"),
 		gQueued:      m.Gauge("server_queue_depth"),
@@ -160,12 +203,18 @@ func New(cfg Config) *Server {
 		cRequests:    m.Counter("server_requests_total"),
 		cShed:        m.Counter("server_shed_total"),
 		cQuarantined: m.Counter("server_quarantined_requests_total"),
-		hLatency:     m.Histogram("server_request_seconds", latencyBuckets...),
-		hQueueWait:   m.Histogram("server_queue_wait_seconds", latencyBuckets...),
+		hLatency:     routedHistograms(m, "server_request_seconds", latencyBuckets),
+		hQueueWait:   routedHistograms(m, "server_queue_wait_seconds", latencyBuckets),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	m.Gauge("server_max_inflight").Set(float64(cfg.MaxInFlight))
 	m.Gauge("server_max_queue_depth").Set(float64(cfg.QueueDepth))
+	m.Help("server_request_seconds", "End-to-end request wall time by route.")
+	m.Help("server_queue_wait_seconds", "Admission-queue wait by route.")
+	m.Help("server_phase_seconds", "Per-request pipeline-phase latency, derived from trace spans.")
+	m.Help("server_requests_total", "Requests received, before admission.")
+	m.Help("server_shed_total", "Requests shed with 429 (admission queue full).")
+	m.Help("server_quarantined_requests_total", "Requests whose analysis panicked and was quarantined.")
 	s.mux = s.routes()
 	return s
 }
@@ -198,9 +247,9 @@ func (e *admissionError) Error() string {
 }
 
 // acquire admits a request: an execution slot immediately if one is free,
-// else a bounded queue wait, else a typed shed. Every admitted request
-// must release().
-func (s *Server) acquire(ctx context.Context) error {
+// else a bounded queue wait, else a typed shed. hWait is the route's
+// queue-wait histogram. Every admitted request must release().
+func (s *Server) acquire(ctx context.Context, hWait *obs.Histogram) error {
 	if s.draining.Load() {
 		return &admissionError{draining: true}
 	}
@@ -220,7 +269,7 @@ func (s *Server) acquire(ctx context.Context) error {
 	t0 := time.Now()
 	defer func() {
 		s.gQueued.Set(float64(s.queued.Add(-1)))
-		s.hQueueWait.Observe(time.Since(t0).Seconds())
+		hWait.Observe(time.Since(t0).Seconds())
 	}()
 	select {
 	case s.slots <- struct{}{}:
