@@ -22,6 +22,7 @@ import (
 	"determinacy/internal/experiment"
 	"determinacy/internal/obs"
 	"determinacy/internal/version"
+	"determinacy/internal/vm"
 )
 
 func main() {
@@ -33,6 +34,7 @@ func main() {
 		seed        = flag.Uint64("seed", 0, "PRNG seed for the dynamic runs")
 		workers     = flag.Int("workers", 0, "concurrent analysis jobs (0 = GOMAXPROCS, 1 = serial); output is byte-identical for every setting")
 		metricsJSON = flag.String("metrics-json", "", `also write experiment metrics as JSON to this file ("-" = stdout); EXPERIMENTS.md numbers regenerate from this dump`)
+		engine      = flag.String("engine", "bytecode", "execution engine for the dynamic runs: bytecode or tree (identical output, different speed)")
 		timeout     = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); on expiry remaining cells are skipped and the exit code is 7")
 		showVer     = flag.Bool("version", false, "print version and exit")
 	)
@@ -65,11 +67,15 @@ func main() {
 	if *timeout < 0 {
 		badFlag("-timeout must be non-negative, got %v", *timeout)
 	}
+	eng, engErr := vm.ParseEngine(*engine)
+	if engErr != nil {
+		badFlag("%v", engErr)
+	}
 	var m *obs.Metrics
 	if *metricsJSON != "" {
 		m = obs.NewMetrics()
 	}
-	cfg := experiment.Config{Budget: *budget, Seed: *seed, Workers: *workers, Metrics: m}
+	cfg := experiment.Config{Budget: *budget, Seed: *seed, Workers: *workers, Metrics: m, Engine: eng}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc

@@ -25,6 +25,7 @@ import (
 	"determinacy/internal/cliexit"
 	"determinacy/internal/diffcheck"
 	"determinacy/internal/version"
+	"determinacy/internal/vm"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "concurrent programs (0 = GOMAXPROCS)")
 		jsonOut     = flag.Bool("json", false, "write the report as JSON to stdout")
 		noReduce    = flag.Bool("no-reduce", false, "skip delta-debugging failing programs")
+		engine      = flag.String("engine", "bytecode", "primary execution engine: bytecode or tree (the oracle always cross-checks the other)")
 		timeout     = flag.Duration("timeout", 0, "hard wall-clock cap for the campaign (0 = none); unchecked seeds are reported as skipped")
 		showVer     = flag.Bool("version", false, "print version and exit")
 	)
@@ -64,6 +66,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "detfuzz: -timeout must be non-negative")
 		os.Exit(cliexit.Usage)
 	}
+	eng, engErr := vm.ParseEngine(*engine)
+	if engErr != nil {
+		fmt.Fprintln(os.Stderr, "detfuzz: "+engErr.Error())
+		os.Exit(cliexit.Usage)
+	}
 
 	cfg := diffcheck.Config{
 		Seeds:       *seeds,
@@ -71,6 +78,7 @@ func main() {
 		BaseSeed:    *base,
 		Workers:     *workers,
 		Reduce:      !*noReduce,
+		Engine:      eng,
 	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)

@@ -41,6 +41,7 @@ func main() {
 		traceOut = flag.String("trace", "", `write a pipeline trace to this file ("-" = stdout)`)
 		traceFmt = flag.String("trace-format", "jsonl", "trace format: jsonl or chrome (trace_event JSON for Perfetto)")
 		metrics  = flag.String("metrics", "", `write Prometheus-style metrics to this file ("-" = stdout)`)
+		engine   = flag.String("engine", "bytecode", "execution engine: bytecode or tree (identical output, different speed)")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the analysis (0 = none); a timed-out run still prints its sound partial facts")
 		showVer  = flag.Bool("version", false, "print version and exit")
 	)
@@ -77,9 +78,13 @@ func main() {
 	if *timeout < 0 {
 		badFlag("-timeout must be non-negative, got %v", *timeout)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	eng, err := determinacy.ParseEngine(*engine)
 	if err != nil {
-		fatal(err)
+		badFlag("%v", err)
+	}
+	src, rerr := os.ReadFile(flag.Arg(0))
+	if rerr != nil {
+		fatal(rerr)
 	}
 
 	if *dumpIR {
@@ -98,6 +103,7 @@ func main() {
 		RunHandlers:      *handlers,
 		MaxFlushes:       *flushes,
 		Out:              os.Stdout,
+		Engine:           eng,
 	}
 	if *jsonOut {
 		// Keep stdout clean for the fact dump.

@@ -41,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"determinacy"
 	"determinacy/internal/cliexit"
 	"determinacy/internal/obs"
 	"determinacy/internal/server"
@@ -62,6 +63,7 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "if set, serve /debug/statusz, /debug/tracez, /metrics and net/http/pprof on this (private) address")
 		flightN   = flag.Int("flight", 0, "flight-recorder capacity in requests (0 = default 512)")
 		traceCap  = flag.Int("trace-events", 0, "retained trace events per request (0 = default 4096)")
+		engine    = flag.String("engine", "bytecode", "execution engine for analysis requests: bytecode or tree (identical responses, different speed)")
 		noTrace   = flag.Bool("no-trace", false, "disable per-request tracing (requests run on the zero-alloc nil-tracer path)")
 		showVer   = flag.Bool("version", false, "print version and exit")
 	)
@@ -96,6 +98,10 @@ func main() {
 	if *timeout > *maxTO {
 		badFlag("-timeout %v exceeds -max-timeout %v", *timeout, *maxTO)
 	}
+	eng, engErr := determinacy.ParseEngine(*engine)
+	if engErr != nil {
+		badFlag("%v", engErr)
+	}
 
 	m := obs.NewMetrics()
 	srv := server.New(server.Config{
@@ -110,6 +116,7 @@ func main() {
 		FlightEntries:    *flightN,
 		TraceEventCap:    *traceCap,
 		DisableTracing:   *noTrace,
+		Engine:           eng,
 	})
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),

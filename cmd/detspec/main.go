@@ -37,6 +37,7 @@ func main() {
 		metrics    = flag.String("metrics", "", `write Prometheus-style metrics to this file ("-" = stdout)`)
 		runs       = flag.Int("runs", 1, "merge facts from this many dynamic runs with consecutive seeds (§7) before specializing")
 		workers    = flag.Int("workers", 0, "concurrent dynamic runs when -runs > 1 (0 = GOMAXPROCS, 1 = serial); the merged facts are identical for every setting")
+		engine     = flag.String("engine", "bytecode", "execution engine: bytecode or tree (identical output, different speed)")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the dynamic analysis (0 = none); a timed-out run still specializes with its sound partial facts and exits 7")
 		showVer    = flag.Bool("version", false, "print version and exit")
 	)
@@ -76,6 +77,10 @@ func main() {
 	if *timeout < 0 {
 		badFlag("-timeout must be non-negative, got %v", *timeout)
 	}
+	eng, engErr := determinacy.ParseEngine(*engine)
+	if engErr != nil {
+		badFlag("%v", engErr)
+	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
@@ -108,6 +113,7 @@ func main() {
 			MaxFlushes:       1000,
 			Out:              io.Discard,
 			Workers:          *workers,
+			Engine:           eng,
 		}
 		ctx := context.Background()
 		if *timeout > 0 {

@@ -43,7 +43,28 @@ import (
 	"determinacy/internal/parser"
 	"determinacy/internal/pointsto"
 	"determinacy/internal/specialize"
+	"determinacy/internal/vm"
 )
+
+// Engine selects the execution engine for both the instrumented analysis
+// and the concrete interpreter. The engines are semantically
+// indistinguishable — identical facts, statistics, output and step counts
+// — and differ only in dispatch cost.
+type Engine = vm.Engine
+
+const (
+	// EngineDefault resolves to the bytecode engine.
+	EngineDefault = vm.EngineDefault
+	// EngineTree selects the reference tree-walking engine.
+	EngineTree = vm.EngineTree
+	// EngineBytecode selects the compiled bytecode engine with inline
+	// caches (the default).
+	EngineBytecode = vm.EngineBytecode
+)
+
+// ParseEngine parses an engine name ("tree", "bytecode", or "" for the
+// default) as used by the CLI -engine flags.
+func ParseEngine(s string) (Engine, error) { return vm.ParseEngine(s) }
 
 // Observability aliases, so embedders configure tracing without importing
 // the internal package path directly.
@@ -133,6 +154,15 @@ type Options struct {
 	// whose facts are sound. Combine with the Context entry points
 	// (AnalyzeContext etc.) for cancellation.
 	Deadline time.Time
+
+	// Engine selects the execution engine (EngineBytecode when zero); both
+	// engines produce byte-identical results. See the README's Engines
+	// section.
+	Engine Engine
+
+	// Metrics, when non-nil, receives engine counters (vm_ic_hits,
+	// vm_ic_misses) in addition to whatever the embedder records in it.
+	Metrics *Metrics
 
 	// Ablations (see DESIGN.md): disable counterfactual execution,
 	// information-flow-style immediate tainting, µJS-faithful locals.
@@ -307,6 +337,8 @@ func analyzeLowered(ctx context.Context, prog *ast.Program, mod *ir.Module, opts
 		Tracer:                 tr,
 		Ctx:                    ctx,
 		Deadline:               opts.Deadline,
+		Engine:                 opts.Engine,
+		Metrics:                opts.Metrics,
 	})
 	res := &Result{prog: prog, mod: mod, store: store, staticInstrs: mod.NumInstrs, tracer: tr}
 
@@ -514,6 +546,7 @@ func RunContext(ctx context.Context, src string, opts Options) (string, error) {
 	it := interp.New(mod, interp.Options{
 		Seed: opts.Seed, Now: opts.Now, Inputs: opts.Inputs, Out: out,
 		MaxSteps: opts.MaxSteps, Ctx: ctx, Deadline: opts.Deadline,
+		Engine: opts.Engine,
 	})
 	var binding *dom.Binding
 	if opts.WithDOM {

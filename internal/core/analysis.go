@@ -13,6 +13,7 @@ import (
 	"determinacy/internal/interp"
 	"determinacy/internal/ir"
 	"determinacy/internal/obs"
+	"determinacy/internal/vm"
 )
 
 // Errors reported by the analysis.
@@ -89,6 +90,15 @@ type Options struct {
 	// Deadline, when nonzero, is the wall-clock instant past which the run
 	// aborts the same way with guard.ErrDeadline.
 	Deadline time.Time
+
+	// Engine selects the execution engine: vm.EngineBytecode (the default)
+	// dispatches through blocks' compiled bytecode with inline caches;
+	// vm.EngineTree walks the IR node-by-node. Both produce byte-identical
+	// facts, statistics, and output.
+	Engine vm.Engine
+	// Metrics, when non-nil, receives engine counters (vm_ic_hits,
+	// vm_ic_misses) when the run finishes or seals.
+	Metrics *obs.Metrics
 }
 
 // MaxTrackedCFDepth is the size of Stats.CFDepthHist; deeper nestings fold
@@ -190,6 +200,23 @@ type Analysis struct {
 	// curIn is the instruction currently executing, tracked so the panic
 	// boundary can report where a crash happened.
 	curIn ir.Instr
+
+	// Bytecode-engine state (zero when Options.Engine is tree). info is the
+	// module's shared compilation metadata; evalFns extends it with this
+	// run's runtime-lowered eval functions. rootShape anchors the run-private
+	// hidden-class transition tree, and ics holds the per-site inline caches
+	// (static sites first, eval sites appended per run). icHits/icMisses are
+	// kept out of Stats — both engines must report identical statistics — and
+	// publish through Options.Metrics instead. bfPool recycles dead branch
+	// frames and their journal backing until the run ends.
+	useVM     bool
+	info      *vm.Info
+	evalFns   map[*ir.Function]*vm.FnInfo
+	rootShape *vm.Shape
+	ics       []propIC
+	icHits    int64
+	icMisses  int64
+	bfPool    []*branchFrame
 }
 
 // DFrame is one instrumented activation record.
@@ -215,6 +242,76 @@ type DFrame struct {
 	// occurrence-unstable entry; all facts recorded under it are
 	// indeterminate.
 	ctxUnstable bool
+	// fnInfo, under the bytecode engine, densely indexes the function's
+	// instruction IDs so occurrence tracking uses the flat cells slice
+	// instead of the maps above; IDs foreign to the index (runtime-lowered
+	// eval code observed through this frame) fall back to the maps.
+	fnInfo *vm.FnInfo
+	cells  []seqCell
+}
+
+// seqCell is one instruction's per-activation occurrence state under the
+// bytecode engine.
+type seqCell struct {
+	instr   int32 // occurrence counter for fact recording
+	site    int32 // occurrence counter as a call site
+	tainted bool  // occurrence numbering no longer stable
+}
+
+// initSeq attaches the frame's dense occurrence index when the bytecode
+// engine knows its function.
+func (a *Analysis) initSeq(f *DFrame) {
+	if !a.useVM {
+		return
+	}
+	if fi, ok := a.info.Fns[f.Fn]; ok {
+		f.fnInfo = fi
+	} else if fi, ok := a.evalFns[f.Fn]; ok {
+		f.fnInfo = fi
+	}
+}
+
+func (f *DFrame) ensureCells() {
+	if f.cells == nil {
+		f.cells = make([]seqCell, f.fnInfo.NumSlots())
+	}
+}
+
+// nextInstrSeq returns and advances id's occurrence index in f.
+func (f *DFrame) nextInstrSeq(id ir.ID) int {
+	if s := f.fnInfo.Slot(id); s >= 0 {
+		f.ensureCells()
+		n := f.cells[s].instr
+		f.cells[s].instr = n + 1
+		return int(n)
+	}
+	if f.instrSeq == nil {
+		f.instrSeq = make(map[ir.ID]int)
+	}
+	seq := f.instrSeq[id]
+	f.instrSeq[id] = seq + 1
+	return seq
+}
+
+// seqTaintedAt reports whether id's occurrence numbering is tainted in f.
+func (f *DFrame) seqTaintedAt(id ir.ID) bool {
+	if s := f.fnInfo.Slot(id); s >= 0 {
+		return f.cells != nil && f.cells[s].tainted
+	}
+	return f.taintedSeq[id]
+}
+
+// taintSeq marks id occurrence-unstable in f.
+func (f *DFrame) taintSeq(id ir.ID) {
+	if s := f.fnInfo.Slot(id); s >= 0 {
+		f.ensureCells()
+		f.cells[s].tainted = true
+		return
+	}
+	if f.taintedSeq == nil {
+		f.taintedSeq = make(map[ir.ID]bool)
+	}
+	f.taintedSeq[id] = true
 }
 
 // New creates an analysis for mod. Pass a fact store to collect facts, or
@@ -241,6 +338,12 @@ func New(mod *ir.Module, store *facts.Store, opts Options) *Analysis {
 		evalCache: make(map[string]*ir.Function),
 		stats:     NewStats(),
 	}
+	if opts.Engine.Bytecode() {
+		a.useVM = true
+		a.info = vm.Ensure(mod)
+		a.rootShape = vm.NewRootShape()
+		a.ics = make([]propIC, a.info.NumICs)
+	}
 	a.setupRuntime()
 	return a
 }
@@ -255,9 +358,17 @@ func (a *Analysis) Options() Options { return a.opts }
 // Allocation
 
 // NewObj allocates an instrumented object closed under the current epoch.
+// Under the bytecode engine, non-array objects start at the run's root shape
+// so property sites can cache them; arrays stay in dictionary mode (index
+// keys would explode the transition tree for no cache benefit — array
+// element reads go through GetProp, which has no cache sites).
 func (a *Analysis) NewObj(class string, proto *DObj) *DObj {
 	a.nalloc++
-	return &DObj{Class: class, Proto: proto, ProtoDet: true, createdEpoch: a.heapEpoch, Alloc: a.nalloc}
+	o := &DObj{Class: class, Proto: proto, ProtoDet: true, createdEpoch: a.heapEpoch, Alloc: a.nalloc}
+	if a.useVM && class != "Array" {
+		o.shape = a.rootShape
+	}
+	return o
 }
 
 // NewPlainObj allocates an object inheriting from Object.prototype.
@@ -521,27 +632,29 @@ type writeRec struct {
 	kindProp      bool
 }
 
-// propLoc and openLoc identify heap locations for journal deduplication.
-type propLoc struct {
+// locKey identifies a journaled heap location for deduplication. It is a
+// plain comparable struct — not an interface — so map operations on it
+// never box: cell carries slot/register identity (their backing arrays are
+// allocated once and never reallocated, so element pointers are stable),
+// obj+name a property, and obj+open an open-transition.
+type locKey struct {
+	cell *Value
 	obj  *DObj
 	name string
+	open bool
 }
 
-type openLoc struct{ obj *DObj }
-
-// loc identifies the location a record writes. Slot and register backing
-// arrays are allocated once per environment/frame and never reallocated,
-// so their element pointers are stable identities.
-func (w *writeRec) loc() any {
+// loc identifies the location a record writes.
+func (w *writeRec) loc() locKey {
 	switch w.kind {
 	case wVar:
-		return &w.env.Slots[w.slot]
+		return locKey{cell: &w.env.Slots[w.slot]}
 	case wReg:
-		return &w.regs[w.reg]
+		return locKey{cell: &w.regs[w.reg]}
 	case wProp:
-		return propLoc{w.obj, w.name}
+		return locKey{obj: w.obj, name: w.name}
 	default:
-		return openLoc{w.obj}
+		return locKey{obj: w.obj, open: true}
 	}
 }
 
@@ -552,7 +665,7 @@ type branchFrame struct {
 	// seen indexes journaled locations once this frame has absorbed a
 	// child journal (see mergeUp); nil until then. addJournal keeps it
 	// fresh so later merges still deduplicate correctly.
-	seen           map[any]bool
+	seen           map[locKey]bool
 	counterfactual bool
 	// isLoop marks frames opened for a loop continuation under an
 	// indeterminate condition (rules ÎF1/CNTR applied to the while
@@ -595,7 +708,14 @@ func (a *Analysis) pushLoopBranch(counterfactual bool) *branchFrame {
 }
 
 func (a *Analysis) pushBranchKind(counterfactual, isLoop bool) *branchFrame {
-	bf := &branchFrame{counterfactual: counterfactual, isLoop: isLoop, indet: true}
+	var bf *branchFrame
+	if n := len(a.bfPool); n > 0 {
+		bf = a.bfPool[n-1]
+		a.bfPool = a.bfPool[:n-1]
+		bf.counterfactual, bf.isLoop, bf.indet = counterfactual, isLoop, true
+	} else {
+		bf = &branchFrame{counterfactual: counterfactual, isLoop: isLoop, indet: true}
+	}
 	a.branches = append(a.branches, bf)
 	if counterfactual {
 		a.cfDepth++
@@ -634,14 +754,23 @@ func (a *Analysis) noteRecorded(f *DFrame, id ir.ID) {
 // loop (e.g. via an enclosing loop) no longer align across executions.
 func (a *Analysis) applyLoopTaints(bf *branchFrame) {
 	for df, ids := range bf.recorded {
-		if df.taintedSeq == nil {
-			df.taintedSeq = make(map[ir.ID]bool, len(ids))
-		}
 		for id := range ids {
-			df.taintedSeq[id] = true
+			df.taintSeq(id)
 		}
 	}
 	bf.recorded = nil
+}
+
+// releaseBranch recycles a popped frame whose journal has been fully
+// consumed (marked, undone, or merged up — merges copy records by value, so
+// reusing the backing array is safe). Only the audited frame-death sites in
+// execIf and counterfactual call it; anywhere else a frame may still be
+// referenced.
+func (a *Analysis) releaseBranch(bf *branchFrame) {
+	bf.journal = bf.journal[:0]
+	clear(bf.seen)
+	bf.recorded = nil
+	a.bfPool = append(a.bfPool, bf)
 }
 
 // popBranch removes the frame; callers then invoke markIndeterminate or
@@ -900,6 +1029,9 @@ func (a *Analysis) undoJournal(bf *branchFrame) {
 		case wReg:
 			w.regs[w.reg] = w.oldVal
 		case wProp:
+			// Undo can resurrect phantoms and reshuffle key order, both of
+			// which break the shape invariant: dictionary mode from here on.
+			w.obj.shape = nil
 			if w.existed {
 				w.obj.props[w.name] = w.oldProp
 				w.obj.restoreKey(w.name, w.oldKeyIdx)
@@ -937,7 +1069,7 @@ func (a *Analysis) mergeUp(bf *branchFrame) {
 	}
 	parent := a.branches[len(a.branches)-1]
 	if parent.seen == nil {
-		parent.seen = make(map[any]bool, len(parent.journal)+len(bf.journal))
+		parent.seen = make(map[locKey]bool, len(parent.journal)+len(bf.journal))
 		for i := range parent.journal {
 			parent.seen[parent.journal[i].loc()] = true
 		}
@@ -977,7 +1109,11 @@ func (o *DObj) restoreKey(name string, idx int) {
 }
 
 // phantomProp installs an existence-uncertain property reading undefined?.
+// Phantom cells are incompatible with shapes (a cached own hit would return
+// undefined instead of walking the prototype chain), so the object drops to
+// dictionary mode.
 func (a *Analysis) phantomProp(o *DObj, name string) {
+	o.shape = nil
 	if o.props == nil {
 		o.props = make(map[string]dprop)
 	}
@@ -991,6 +1127,7 @@ func (a *Analysis) rawDelete(o *DObj, name string) {
 	if _, ok := o.props[name]; !ok {
 		return
 	}
+	o.shape = nil
 	delete(o.props, name)
 	for i, k := range o.keys {
 		if k == name {
@@ -1029,11 +1166,7 @@ func (a *Analysis) record(f *DFrame, in ir.Instr, v Value) {
 	if a.opts.ImmediateTaint && a.inIndetBranch() {
 		v.Det = false
 	}
-	if f.instrSeq == nil {
-		f.instrSeq = make(map[ir.ID]int)
-	}
-	seq := f.instrSeq[in.IID()]
-	f.instrSeq[in.IID()] = seq + 1
+	seq := f.nextInstrSeq(in.IID())
 	det := v.Det && a.seqStable(f, in.IID()) && !f.ctxUnstable
 	a.noteRecorded(f, in.IID())
 	invalidated := a.Facts.Record(in.IID(), f.Ctx, seq, det, Snapshot(v))
@@ -1054,21 +1187,24 @@ func (a *Analysis) record(f *DFrame, in ir.Instr, v Value) {
 // one happens under an indeterminate branch (other executions may skip it,
 // shifting every later index at a reentrant point).
 func (a *Analysis) seqStable(f *DFrame, id ir.ID) bool {
-	stable := !f.allSeqTainted && !f.taintedSeq[id]
+	stable := !f.allSeqTainted && !f.seqTaintedAt(id)
 	if a.hasNonLoopBranch() {
 		if a.Mod.IsReentrant(id) {
 			stable = false
 		}
-		if f.taintedSeq == nil {
-			f.taintedSeq = make(map[ir.ID]bool)
-		}
-		f.taintedSeq[id] = true
+		f.taintSeq(id)
 	}
 	return stable
 }
 
 // nextCallSeq returns the occurrence number for a call site within f.
 func (f *DFrame) nextCallSeq(site ir.ID) int {
+	if s := f.fnInfo.Slot(site); s >= 0 {
+		f.ensureCells()
+		n := f.cells[s].site
+		f.cells[s].site = n + 1
+		return int(n)
+	}
 	if f.siteSeq == nil {
 		f.siteSeq = make(map[ir.ID]int)
 	}

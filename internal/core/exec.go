@@ -11,6 +11,7 @@ import (
 	"determinacy/internal/interp"
 	"determinacy/internal/ir"
 	"determinacy/internal/obs"
+	"determinacy/internal/vm"
 )
 
 // outKind enumerates statement completions. oCFAbort is internal: it unwinds
@@ -58,6 +59,16 @@ func (a *Analysis) InCounterfactual() bool { return a.cfDepth > 0 }
 // instead of crashing the caller.
 func (a *Analysis) Run() (v Value, err error) {
 	defer guard.Boundary(&err, "exec", a.CurrentPoint)
+	defer func() {
+		// The run is over: drop the recycled branch frames and their journal
+		// arenas, and publish the engine counters (kept out of Stats so both
+		// engines report identical statistics).
+		a.bfPool = nil
+		if a.opts.Metrics != nil {
+			a.opts.Metrics.Counter("vm_ic_hits").Add(a.icHits)
+			a.opts.Metrics.Counter("vm_ic_misses").Add(a.icMisses)
+		}
+	}()
 	top := a.Mod.Top()
 	f := &DFrame{
 		Fn:       top,
@@ -65,6 +76,7 @@ func (a *Analysis) Run() (v Value, err error) {
 		Regs:     make([]Value, top.NumRegs),
 		CallSite: -1,
 	}
+	a.initSeq(f)
 	a.frames = append(a.frames, f)
 	defer func() { a.frames = a.frames[:len(a.frames)-1] }()
 	// Poll once before executing anything (without counting an injector
@@ -111,6 +123,11 @@ var errCFAbort = errors.New("core: counterfactual aborted")
 // ---------------------------------------------------------------------------
 
 func (a *Analysis) execBlock(f *DFrame, b *ir.Block) outcome {
+	if a.useVM && b.Code != nil {
+		if code, ok := b.Code.(*vm.Code); ok {
+			return a.execBlockVM(f, code)
+		}
+	}
 	for _, in := range b.Instrs {
 		a.stats.Steps++
 		if a.stats.Steps > a.opts.MaxSteps {
@@ -557,6 +574,7 @@ func (a *Analysis) execIf(f *DFrame, in *ir.If) outcome {
 		out := a.execBlock(f, taken)
 		a.popBranch(bf)
 		a.markIndeterminate(bf)
+		a.releaseBranch(bf)
 		if out.kind != oNormal {
 			return a.escapeIndet(out)
 		}
@@ -626,6 +644,7 @@ func (a *Analysis) counterfactual(f *DFrame, b *ir.Block) {
 		a.stats.CFAborts++
 		f.allSeqTainted = true
 	}
+	a.releaseBranch(bf)
 }
 
 // ---------------------------------------------------------------------------
@@ -643,6 +662,7 @@ func (a *Analysis) execWhile(f *DFrame, in *ir.While) outcome {
 			a.popBranch(pushed[i])
 			a.markIndeterminate(pushed[i])
 			a.applyLoopTaints(pushed[i])
+			a.releaseBranch(pushed[i])
 		}
 		if len(pushed) > 0 {
 			if out.kind == oBreak {
@@ -766,6 +786,7 @@ func (a *Analysis) cfLoopTail(f *DFrame, in *ir.While) {
 		f.allSeqTainted = true
 	}
 	a.applyLoopTaints(bf)
+	a.releaseBranch(bf)
 }
 
 // execForIn iterates property names. When the key set is determinate the
@@ -789,6 +810,7 @@ func (a *Analysis) execForIn(f *DFrame, in *ir.ForIn) outcome {
 		if bf != nil {
 			a.popBranch(bf)
 			a.markIndeterminate(bf)
+			a.releaseBranch(bf)
 			a.flushAll("forin-indet")
 			if out.kind != oNormal && out.kind != oBreak {
 				return a.escapeIndet(out)
@@ -893,6 +915,7 @@ func (a *Analysis) execTry(f *DFrame, in *ir.Try) outcome {
 		if bf != nil {
 			a.popBranch(bf)
 			a.markIndeterminate(bf)
+			a.releaseBranch(bf)
 			if out.kind != oNormal {
 				out = a.escapeIndet(out)
 			}
@@ -1007,6 +1030,7 @@ func (a *Analysis) callValue(fnv Value, this Value, args []Value, site ir.ID) ou
 		}
 	}
 	nf := &DFrame{Fn: fn, Env: env, Regs: make([]Value, fn.NumRegs), CallSite: site, Ctx: ctx, ctxUnstable: ctxUnstable}
+	a.initSeq(nf)
 	a.frames = append(a.frames, nf)
 	out := a.execBlock(nf, fn.Body)
 	a.frames = a.frames[:len(a.frames)-1]
@@ -1127,10 +1151,12 @@ func (a *Analysis) execEval(f *DFrame, in *ir.Call) outcome {
 	ctx := append(f.Ctx.Clone(), facts.ContextEntry{Site: in.ID, Seq: f.nextCallSeq(in.ID)})
 	ctxUnstable := f.ctxUnstable || !a.seqStable(f, in.ID)
 	nf := &DFrame{Fn: fn, Env: env, Regs: make([]Value, fn.NumRegs), CallSite: in.ID, Ctx: ctx, ctxUnstable: ctxUnstable}
+	a.initSeq(nf)
 	if len(a.frames) >= a.opts.MaxDepth {
 		if bf != nil {
 			a.popBranch(bf)
 			a.mergeUp(bf)
+			a.releaseBranch(bf)
 		}
 		return failed(ErrStack)
 	}
@@ -1141,6 +1167,7 @@ func (a *Analysis) execEval(f *DFrame, in *ir.Call) outcome {
 	if bf != nil {
 		a.popBranch(bf)
 		a.markIndeterminate(bf)
+		a.releaseBranch(bf)
 		a.flushAll("eval-indet")
 	}
 
@@ -1167,9 +1194,26 @@ func (a *Analysis) lowerEvalFor(caller *ir.Function, src string) (*ir.Function, 
 	if fn, ok := a.evalCache[key]; ok {
 		return fn, okOut
 	}
+	nfuncs := len(a.Mod.Funcs)
 	fn, err := ir.LowerEval(a.Mod, src, caller)
 	if err != nil {
 		return nil, a.throwError("SyntaxError", err.Error(), true)
+	}
+	if a.useVM {
+		// Compile the eval function and any nested function literals it
+		// lowered, numbering their cache sites past the run's current table
+		// (the module-level counter is shared state; this run's clone owns
+		// these functions exclusively).
+		ics := len(a.ics)
+		if a.evalFns == nil {
+			a.evalFns = make(map[*ir.Function]*vm.FnInfo)
+		}
+		for _, efn := range a.Mod.Funcs[nfuncs:] {
+			a.evalFns[efn] = vm.CompileFunc(efn, &ics)
+		}
+		for len(a.ics) < ics {
+			a.ics = append(a.ics, propIC{})
+		}
 	}
 	a.evalCache[key] = fn
 	return fn, okOut

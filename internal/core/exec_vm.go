@@ -1,0 +1,346 @@
+package core
+
+import (
+	"determinacy/internal/ir"
+	"determinacy/internal/vm"
+)
+
+// This file is the instrumented engine's bytecode dispatch loop. It executes
+// the same instrumented semantics as the tree walker in exec.go — every
+// handler either replicates its execInstr case operation-for-operation
+// (including step accounting, journaling and fact recording) or delegates to
+// it — so the two engines produce byte-identical facts, statistics and
+// output. What changes is dispatch cost: operands arrive pre-decoded, the
+// dominant instruction pairs run fused, and property-access sites carry
+// inline caches keyed by hidden shapes (see internal/vm/DESIGN.md).
+
+// execBlockVM dispatches one compiled block. The per-instruction prologue is
+// the same as execBlock's; fused superinstructions run it once per
+// constituent via stepGate, keeping Stats.Steps and interrupt polling
+// positions identical to tree execution.
+func (a *Analysis) execBlockVM(f *DFrame, code *vm.Code) outcome {
+	ins := code.Ins
+	for i := range ins {
+		p := &ins[i]
+		a.stats.Steps++
+		if a.stats.Steps > a.opts.MaxSteps {
+			return failed(ErrBudget)
+		}
+		if a.stats.Steps&(interruptEvery-1) == 0 {
+			a.checkpoint()
+		}
+		if a.stopped != nil {
+			return failed(a.stopped)
+		}
+		a.curIn = p.Src
+
+		switch p.Op {
+		case vm.OpConst:
+			a.define(f, p.Src, ir.Reg(p.A), litValue(p.Src.(*ir.Const).Val))
+		case vm.OpMove:
+			a.define(f, p.Src, ir.Reg(p.A), f.Regs[p.B])
+		case vm.OpLoadVar:
+			a.define(f, p.Src, ir.Reg(p.A), a.loadSlot(f.Env, int(p.B), int(p.C)))
+		case vm.OpStoreVar:
+			a.storeSlot(f.Env, int(p.B), int(p.C), f.Regs[p.A])
+		case vm.OpLoadGlobal:
+			v, found, pathDet := a.lookup(a.Global, p.Name)
+			if !found && p.C == 0 {
+				return a.throwError("ReferenceError", p.Name+" is not defined", pathDet)
+			}
+			a.define(f, p.Src, ir.Reg(p.A), v)
+		case vm.OpStoreGlobal:
+			a.setOwn(a.Global, p.Name, f.Regs[p.A])
+		case vm.OpGetField:
+			base := f.Regs[p.B]
+			v, hit := a.icLoad(p.Site, p.Name, base)
+			if !hit {
+				var out outcome
+				v, out = a.getProp(base, p.Name, true)
+				if out.kind != oNormal {
+					return out
+				}
+				a.primeLoad(p.Site, p.Name, base)
+			}
+			a.define(f, p.Src, ir.Reg(p.A), v)
+		case vm.OpGetProp:
+			name, nameDet := a.toString(f.Regs[p.C])
+			v, out := a.getProp(f.Regs[p.B], name, nameDet)
+			if out.kind != oNormal {
+				return out
+			}
+			a.define(f, p.Src, ir.Reg(p.A), v)
+		case vm.OpSetField:
+			if out := a.icStore(p.Site, p.Name, f.Regs[p.A], f.Regs[p.B]); out.kind != oNormal {
+				return out
+			}
+		case vm.OpSetProp:
+			name, nameDet := a.toString(f.Regs[p.B])
+			if out := a.execStore(f.Regs[p.A], name, nameDet, f.Regs[p.C]); out.kind != oNormal {
+				return out
+			}
+		case vm.OpBinOp:
+			v, out := a.binOp(p.Name, f.Regs[p.B], f.Regs[p.C])
+			if out.kind != oNormal {
+				return out
+			}
+			a.define(f, p.Src, ir.Reg(p.A), v)
+		case vm.OpUnOp:
+			a.define(f, p.Src, ir.Reg(p.A), a.unOp(p.Name, f.Regs[p.B]))
+		case vm.OpIf:
+			in := p.Src.(*ir.If)
+			cond := f.Regs[in.Cond]
+			if cond.Det {
+				// Determinate branch: ordinary execution, inline.
+				var out outcome
+				if a.toBool(cond) {
+					out = a.execBlock(f, in.Then)
+				} else if in.Else != nil {
+					out = a.execBlock(f, in.Else)
+				} else {
+					continue
+				}
+				if out.kind != oNormal {
+					return out
+				}
+				continue
+			}
+			if out := a.execIf(f, in); out.kind != oNormal {
+				return out
+			}
+		case vm.OpReturn:
+			v := UndefD
+			if p.A >= 0 {
+				v = f.Regs[p.A]
+			}
+			return outcome{kind: oReturn, val: v}
+		case vm.OpThrow:
+			return outcome{kind: oThrow, val: f.Regs[p.A]}
+		case vm.OpBreak:
+			return outcome{kind: oBreak}
+		case vm.OpContinue:
+			return outcome{kind: oContinue}
+		case vm.OpLoadVarField:
+			// Fused LoadVar + GetField (`x.f`).
+			a.define(f, p.Src, ir.Reg(p.A), a.loadSlot(f.Env, int(p.B), int(p.C)))
+			if out := a.stepGate(p.Src2); out.kind != oNormal {
+				return out
+			}
+			base := f.Regs[p.A]
+			v, hit := a.icLoad(p.Site, p.Name, base)
+			if !hit {
+				var out outcome
+				v, out = a.getProp(base, p.Name, true)
+				if out.kind != oNormal {
+					return out
+				}
+				a.primeLoad(p.Site, p.Name, base)
+			}
+			a.define(f, p.Src2, ir.Reg(p.B2), v)
+		case vm.OpConstBin:
+			// Fused Const + BinOp (`i < 10`, `n + 1`).
+			a.define(f, p.Src, ir.Reg(p.A), litValue(p.Src.(*ir.Const).Val))
+			if out := a.stepGate(p.Src2); out.kind != oNormal {
+				return out
+			}
+			v, out := a.binOp(p.Name, f.Regs[p.C2], f.Regs[p.A])
+			if out.kind != oNormal {
+				return out
+			}
+			a.define(f, p.Src2, ir.Reg(p.B2), v)
+		default: // vm.OpOther
+			if out := a.execInstr(f, p.Src); out.kind != oNormal {
+				return out
+			}
+		}
+	}
+	// Mirror execBlock's block-exit recheck: a statement may absorb an
+	// interrupt without failing (a counterfactual undoes and taints instead).
+	if a.stopped != nil {
+		return failed(a.stopped)
+	}
+	return okOut
+}
+
+// stepGate runs the per-instruction step prologue for the second constituent
+// of a fused superinstruction, so fused and unfused execution count steps and
+// poll interrupts identically.
+func (a *Analysis) stepGate(in ir.Instr) outcome {
+	a.stats.Steps++
+	if a.stats.Steps > a.opts.MaxSteps {
+		return failed(ErrBudget)
+	}
+	if a.stats.Steps&(interruptEvery-1) == 0 {
+		a.checkpoint()
+	}
+	if a.stopped != nil {
+		return failed(a.stopped)
+	}
+	a.curIn = in
+	return okOut
+}
+
+// ---------------------------------------------------------------------------
+// Inline caches
+
+// icKind classifies what a property-access site has cached.
+type icKind uint8
+
+const (
+	icEmpty icKind = iota
+	icLoadOwn
+	icLoadProto
+	icStore
+	icMega
+)
+
+// icMegaMisses is the miss threshold past which a site goes megamorphic and
+// stops probing (and counting) entirely.
+const icMegaMisses = 8
+
+// icMaxProtoDepth bounds the prototype chain a store cache validates.
+const icMaxProtoDepth = 3
+
+// propIC is one site's inline cache. Load sites cache the receiver shape
+// (own hit) or receiver + prototype shapes (one-hop prototype hit); store
+// sites cache the receiver shape plus the identity of its prototype chain.
+// Hits recompute all determinacy live (propDet, IsOpen, ProtoDet), so a
+// cache hit never changes annotations — only lookup cost.
+type propIC struct {
+	kind   icKind
+	misses uint8
+	depth  uint8
+	shape  *vm.Shape
+	proto  *DObj
+	pshape *vm.Shape
+	chain  [icMaxProtoDepth]*DObj
+}
+
+// icLoad attempts a cached property read for `base.name` at the given site.
+// A hit requires, beyond shape equality, exactly the facts the slow path
+// would rediscover: the shape invariant guarantees no phantom cells and no
+// own accessors, so an own hit is `props[name]` with live determinacy; a
+// prototype hit additionally pins the prototype identity and its shape and
+// folds in the live receiver openness and ProtoDet, matching lookup's path
+// determinacy for a one-hop walk.
+func (a *Analysis) icLoad(site int32, name string, base Value) (Value, bool) {
+	if site < 0 || int(site) >= len(a.ics) || base.Kind != Object {
+		return Value{}, false
+	}
+	ic := &a.ics[site]
+	if ic.kind == icMega {
+		return Value{}, false
+	}
+	o := base.O
+	switch ic.kind {
+	case icLoadOwn:
+		if o.shape == ic.shape {
+			a.icHits++
+			pr := o.props[name]
+			v := pr.val
+			v.Det = a.propDet(pr)
+			return v.WithDet(base.Det), true
+		}
+	case icLoadProto:
+		if o.shape == ic.shape && o.Proto == ic.proto && ic.proto.shape == ic.pshape {
+			a.icHits++
+			pr := ic.proto.props[name]
+			v := pr.val
+			v.Det = a.propDet(pr) && !a.IsOpen(o) && o.ProtoDet
+			return v.WithDet(base.Det), true
+		}
+	}
+	a.icMiss(ic)
+	return Value{}, false
+}
+
+// primeLoad refills a load site after the slow path ran, when the receiver's
+// state is cacheable.
+func (a *Analysis) primeLoad(site int32, name string, base Value) {
+	if site < 0 || int(site) >= len(a.ics) || base.Kind != Object {
+		return
+	}
+	ic := &a.ics[site]
+	if ic.kind == icMega {
+		return
+	}
+	o := base.O
+	if o.shape == nil {
+		return
+	}
+	if o.shape.Has(name) {
+		*ic = propIC{kind: icLoadOwn, misses: ic.misses, shape: o.shape}
+		return
+	}
+	if p := o.Proto; p != nil && p.shape != nil && p.shape.Has(name) {
+		*ic = propIC{kind: icLoadProto, misses: ic.misses, shape: o.shape, proto: p, pshape: p.shape}
+	}
+}
+
+// icStore performs a SetField, through the cache when possible. A store hit
+// must prove what execStore's slow path checks: no setter anywhere on the
+// prototype chain. The receiver's shape implies it has no own accessors;
+// chain members are pinned by identity and checked setter-free live (a shape
+// would be too strong — built-in prototypes are dictionary-mode). The write
+// itself goes through setOwn, so journaling, shape transitions and the
+// indeterminate-base flush are the slow path's own code.
+func (a *Analysis) icStore(site int32, name string, base, v Value) outcome {
+	if site >= 0 && int(site) < len(a.ics) && base.Kind == Object {
+		ic := &a.ics[site]
+		if ic.kind == icStore && base.O.shape == ic.shape {
+			o := base.O
+			cur := o.Proto
+			ok := true
+			for i := 0; i < int(ic.depth); i++ {
+				if cur != ic.chain[i] || len(cur.Setters) != 0 {
+					ok = false
+					break
+				}
+				cur = cur.Proto
+			}
+			if ok && cur == nil {
+				a.icHits++
+				a.setOwn(o, name, v)
+				if !base.Det {
+					a.FlushHeap("indet-store-base")
+				}
+				return okOut
+			}
+		}
+		if ic.kind != icMega {
+			a.icMiss(ic)
+			out := a.execStore(base, name, true, v)
+			if out.kind == oNormal {
+				a.primeStore(ic, base.O)
+			}
+			return out
+		}
+	}
+	return a.execStore(base, name, true, v)
+}
+
+// primeStore refills a store site after a successful slow-path store.
+func (a *Analysis) primeStore(ic *propIC, o *DObj) {
+	if o.shape == nil || len(o.Setters) != 0 {
+		return
+	}
+	n := propIC{kind: icStore, misses: ic.misses, shape: o.shape}
+	cur := o.Proto
+	for cur != nil {
+		if int(n.depth) >= icMaxProtoDepth || len(cur.Setters) != 0 {
+			return
+		}
+		n.chain[n.depth] = cur
+		n.depth++
+		cur = cur.Proto
+	}
+	*ic = n
+}
+
+func (a *Analysis) icMiss(ic *propIC) {
+	a.icMisses++
+	ic.misses++
+	if ic.misses >= icMegaMisses {
+		*ic = propIC{kind: icMega}
+	}
+}

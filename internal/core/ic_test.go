@@ -1,0 +1,239 @@
+package core
+
+// Inline-cache unit tests: site priming, hits, invalidation on shape
+// transition, the megamorphic fallback, and the vm_ic_hits/vm_ic_misses
+// metrics contract. These run in-package because the cache state (kinds,
+// miss counters) is deliberately not part of the public API — the caches
+// must be observationally invisible except through the metrics registry.
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"determinacy/internal/facts"
+	"determinacy/internal/ir"
+	"determinacy/internal/obs"
+	"determinacy/internal/vm"
+)
+
+func numD(n float64) Value { return NumberV(n, true) }
+
+// icAnalysis builds a bytecode-engine analysis over a trivial module with
+// one synthetic property-access site, without running any program.
+func icAnalysis(t *testing.T) *Analysis {
+	t.Helper()
+	a := New(ir.MustCompile("ic.js", ""), facts.NewStore(), Options{})
+	if !a.useVM {
+		t.Fatal("bytecode engine not selected by default")
+	}
+	a.ics = append(a.ics, propIC{})
+	return a
+}
+
+func TestICLoadOwnHitAndShapeInvalidation(t *testing.T) {
+	a := icAnalysis(t)
+	site := int32(len(a.ics) - 1)
+	o := a.NewObj("Object", a.ObjectProto)
+	a.setRawProp(o, "f", numD(1))
+	base := Value{Kind: Object, O: o, Det: true}
+
+	// Cold site: first probe misses, the slow path primes it.
+	if _, hit := a.icLoad(site, "f", base); hit {
+		t.Fatal("cold cache reported a hit")
+	}
+	a.primeLoad(site, "f", base)
+	if a.ics[site].kind != icLoadOwn {
+		t.Fatalf("prime: kind = %d, want icLoadOwn", a.ics[site].kind)
+	}
+	v, hit := a.icLoad(site, "f", base)
+	if !hit || v.N != 1 || !v.Det {
+		t.Fatalf("primed own load: hit=%v v=%+v", hit, v)
+	}
+	hits, misses := a.icHits, a.icMisses
+	if hits != 1 || misses != 1 {
+		t.Fatalf("counters after one miss + one hit: hits=%d misses=%d", hits, misses)
+	}
+
+	// Adding a property transitions the hidden shape: the cached shape
+	// pointer no longer matches and the site must miss, not serve stale
+	// layout.
+	a.setRawProp(o, "g", numD(2))
+	if _, hit := a.icLoad(site, "f", base); hit {
+		t.Fatal("load hit across a shape transition")
+	}
+	// Re-primed on the new shape, it hits again.
+	a.primeLoad(site, "f", base)
+	if _, hit := a.icLoad(site, "f", base); !hit {
+		t.Fatal("re-primed load missed")
+	}
+}
+
+func TestICHitRecomputesDeterminacyLive(t *testing.T) {
+	a := icAnalysis(t)
+	site := int32(len(a.ics) - 1)
+	o := a.NewObj("Object", a.ObjectProto)
+	a.setRawProp(o, "f", numD(1))
+	base := Value{Kind: Object, O: o, Det: true}
+	a.primeLoad(site, "f", base)
+
+	v, hit := a.icLoad(site, "f", base)
+	if !hit || !v.Det {
+		t.Fatalf("determinate before flush: hit=%v det=%v", hit, v.Det)
+	}
+	// A heap flush indeterminates every property cell (epoch bump) but
+	// does not change shapes: the cache still hits, and the hit must
+	// report the post-flush indeterminate value, proving hits recompute
+	// determinacy rather than caching it.
+	a.FlushHeap("test")
+	v, hit = a.icLoad(site, "f", base)
+	if !hit {
+		t.Fatal("flush must not invalidate the cache (shapes unchanged)")
+	}
+	if v.Det {
+		t.Fatal("cache hit served a stale determinate annotation across a heap flush")
+	}
+}
+
+func TestICAccessorAndDeleteDropShape(t *testing.T) {
+	a := icAnalysis(t)
+	site := int32(len(a.ics) - 1)
+	o := a.NewObj("Object", a.ObjectProto)
+	a.setRawProp(o, "f", numD(1))
+	base := Value{Kind: Object, O: o, Det: true}
+	a.primeLoad(site, "f", base)
+
+	// Installing an accessor breaks the shape invariant (shaped objects
+	// have no own accessors), so the object leaves shaped mode and the
+	// site misses forever after.
+	o.DefineGetter("f", func(a *Analysis, this Value, args []Value) (Value, error) {
+		return numD(9), nil
+	})
+	if o.shape != nil {
+		t.Fatal("DefineGetter left the object shaped")
+	}
+	if _, hit := a.icLoad(site, "f", base); hit {
+		t.Fatal("load hit on an object with an own getter")
+	}
+
+	// Deletion likewise drops the shape (key order can reshuffle).
+	o2 := a.NewObj("Object", a.ObjectProto)
+	a.setRawProp(o2, "f", numD(1))
+	if o2.shape == nil {
+		t.Fatal("fresh object not shaped")
+	}
+	a.deleteProp(o2, "f")
+	if o2.shape != nil {
+		t.Fatal("deleteProp left the object shaped")
+	}
+}
+
+func TestICMegamorphicFallback(t *testing.T) {
+	a := icAnalysis(t)
+	site := int32(len(a.ics) - 1)
+	base := Value{Kind: Object, O: a.NewObj("Object", a.ObjectProto), Det: true}
+
+	// Distinctly-shaped receivers on every probe: the site must go
+	// megamorphic after icMegaMisses misses.
+	for i := 0; i < icMegaMisses; i++ {
+		o := a.NewObj("Object", a.ObjectProto)
+		a.setRawProp(o, strings.Repeat("k", i+1), numD(1))
+		b := Value{Kind: Object, O: o, Det: true}
+		if _, hit := a.icLoad(site, "k", b); hit {
+			t.Fatalf("probe %d hit on an unprimed site", i)
+		}
+		a.primeLoad(site, strings.Repeat("k", i+1), b)
+	}
+	if a.ics[site].kind != icMega {
+		t.Fatalf("after %d misses: kind = %d, want icMega", icMegaMisses, a.ics[site].kind)
+	}
+	// Megamorphic sites stop probing and stop counting.
+	before := a.icMisses
+	if _, hit := a.icLoad(site, "k", base); hit {
+		t.Fatal("megamorphic site reported a hit")
+	}
+	if a.icMisses != before {
+		t.Fatal("megamorphic site still counts misses")
+	}
+	// And priming is a no-op: the site stays megamorphic.
+	a.primeLoad(site, "k", base)
+	if a.ics[site].kind != icMega {
+		t.Fatal("primeLoad resurrected a megamorphic site")
+	}
+}
+
+func TestICStoreHitAndSetterInvalidation(t *testing.T) {
+	a := icAnalysis(t)
+	site := int32(len(a.ics) - 1)
+	o := a.NewObj("Object", a.ObjectProto)
+	a.setRawProp(o, "f", numD(1))
+	base := Value{Kind: Object, O: o, Det: true}
+
+	// Slow-path store primes the site…
+	if out := a.icStore(site, "f", base, numD(2)); out.kind != oNormal {
+		t.Fatalf("store: %+v", out)
+	}
+	if a.ics[site].kind != icStore {
+		t.Fatalf("after slow store: kind = %d, want icStore", a.ics[site].kind)
+	}
+	// …and the second store hits.
+	hits := a.icHits
+	if out := a.icStore(site, "f", base, numD(3)); out.kind != oNormal {
+		t.Fatalf("store: %+v", out)
+	}
+	if a.icHits != hits+1 {
+		t.Fatalf("cached store did not hit: hits %d -> %d", hits, a.icHits)
+	}
+	if pr, ok := o.OwnProp("f"); !ok || pr.N != 3 {
+		t.Fatalf("cached store wrote wrong value: %+v ok=%v", pr, ok)
+	}
+
+	// A setter appearing anywhere on the prototype chain must defeat the
+	// cache: chain members are checked setter-free live on every hit.
+	a.ObjectProto.DefineSetter("f", func(a *Analysis, this Value, args []Value) (Value, error) {
+		return UndefD, nil
+	})
+	hits = a.icHits
+	if out := a.icStore(site, "f", base, numD(4)); out.kind != oNormal {
+		t.Fatalf("store through setter chain: %+v", out)
+	}
+	if a.icHits != hits {
+		t.Fatal("store hit although a prototype setter was installed")
+	}
+}
+
+func TestICMetricsPublished(t *testing.T) {
+	src := `
+var o = {f: 1};
+var s = 0;
+var i = 0;
+while (i < 200) { s = s + o.f; o.f = s; i = i + 1; }
+console.log(s);
+`
+	run := func(eng vm.Engine) (hits, misses int64) {
+		m := obs.NewMetrics()
+		a := New(ir.MustCompile("m.js", src), facts.NewStore(), Options{
+			Out: io.Discard, Engine: eng, Metrics: m,
+		})
+		if _, err := a.Run(); err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		return m.Counter("vm_ic_hits").Value(), m.Counter("vm_ic_misses").Value()
+	}
+
+	hits, misses := run(vm.EngineBytecode)
+	if hits == 0 {
+		t.Error("bytecode run published no vm_ic_hits for a monomorphic loop")
+	}
+	if misses == 0 {
+		t.Error("bytecode run published no vm_ic_misses (cold sites must miss once)")
+	}
+	if hits < misses {
+		t.Errorf("monomorphic loop should be hit-dominated: hits=%d misses=%d", hits, misses)
+	}
+
+	// The tree walker has no caches: its counters must stay zero.
+	if hits, misses := run(vm.EngineTree); hits != 0 || misses != 0 {
+		t.Errorf("tree engine published IC activity: hits=%d misses=%d", hits, misses)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"determinacy/internal/batch"
 	"determinacy/internal/guard"
+	"determinacy/internal/vm"
 )
 
 // Config parameterizes a fuzz campaign.
@@ -27,6 +28,10 @@ type Config struct {
 	// rest are skipped (counted in Report.Skipped). nil means no
 	// cancellation.
 	Ctx context.Context
+	// Engine is the primary execution engine for the campaign's runs
+	// (bytecode when zero); the per-seed engine oracle always runs the
+	// opposite engine for comparison, so both are exercised either way.
+	Engine vm.Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -93,7 +98,7 @@ func runOn(pool *batch.Pool, cfg Config) Report {
 		fail    *Failure
 	}
 	outs, qs := batch.MapCtx(cfg.Ctx, pool, cfg.Seeds, func(i int) outcome {
-		checked, f := CheckSeed(cfg.BaseSeed+uint64(i), cfg.Resolutions)
+		checked, f := CheckSeedEngine(cfg.BaseSeed+uint64(i), cfg.Resolutions, cfg.Engine)
 		return outcome{checked, f}
 	})
 	rep := Report{Programs: cfg.Seeds, Resolutions: cfg.Resolutions}

@@ -1,0 +1,132 @@
+package diffcheck
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"determinacy/internal/core"
+	"determinacy/internal/facts"
+	"determinacy/internal/guard"
+	"determinacy/internal/guard/faultinject"
+	"determinacy/internal/ir"
+	"determinacy/internal/vm"
+	"determinacy/internal/workload"
+)
+
+// TestReproducersTreePrimary replays the checked-in reproducer corpus with
+// the tree walker as the primary engine. The in-oracle engine comparison
+// then runs bytecode as the cross-check — the mirror image of the default
+// TestReproducers pass — so every reproducer pins both engine assignments.
+func TestReproducersTreePrimary(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.js"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no reproducers in testdata/")
+	}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, fail := checkSource(string(src), 4, 1, oracleMaxSteps, oracleMaxFlushes, vm.EngineTree); fail != nil {
+			t.Errorf("%s: %s", filepath.Base(file), fail)
+		}
+	}
+}
+
+// TestEngineOracleOnGeneratedPrograms sweeps generated programs through
+// the oracle under both primary-engine assignments. Any disagreement
+// between tree and bytecode — facts, statistics, or output — surfaces as
+// KindEngineDiverge.
+func TestEngineOracleOnGeneratedPrograms(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 12
+	}
+	for seed := uint64(0); seed < uint64(seeds); seed++ {
+		for _, eng := range []vm.Engine{vm.EngineBytecode, vm.EngineTree} {
+			if _, fail := CheckSeedEngine(seed, 2, eng); fail != nil {
+				t.Errorf("seed %d primary=%s: %s", seed, eng, fail)
+			}
+		}
+	}
+}
+
+// partialEngineRun aborts an instrumented run after `after` checkpoint
+// hits under the given engine and returns the sealed partial store and
+// statistics, mirroring CheckPartial's injection protocol.
+func partialEngineRun(t *testing.T, src string, base uint64, after int64, eng vm.Engine) (*core.Analysis, *facts.Store, string, bool) {
+	t.Helper()
+	mod, err := ir.Compile("fuzz.js", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	faultinject.Arm(&faultinject.Plan{
+		Site:     faultinject.SiteCoreStep,
+		After:    after,
+		Action:   faultinject.Cancel,
+		OnCancel: cancel,
+	})
+	defer faultinject.Disarm()
+	var out bytes.Buffer
+	store := facts.NewStore()
+	a := core.New(mod, store, core.Options{
+		Seed:       resolutionSeed(base, 0),
+		Inputs:     resolveInputs(base, 0),
+		Out:        &out,
+		MaxSteps:   oracleMaxSteps,
+		MaxFlushes: oracleMaxFlushes,
+		Ctx:        ctx,
+		Engine:     eng,
+	})
+	_, runErr := a.Run()
+	faultinject.Disarm()
+	if runErr == nil {
+		return a, store, out.String(), false
+	}
+	if guard.ContextReason(runErr) == guard.DegradeNone {
+		t.Fatalf("engine %s: aborted run failed with a non-cancellation error: %v", eng, runErr)
+	}
+	a.SealPartial()
+	return a, store, out.String(), true
+}
+
+// TestSealedPartialIdenticalAcrossEngines cancels the same program at the
+// same checkpoint under both engines and demands byte-identical sealed
+// results. Because the engines count steps identically, the injected
+// abort lands at the same program position, so the truncated fact stores,
+// statistics, and output must match exactly — the partial-result
+// counterpart of the complete-run engine oracle.
+func TestSealedPartialIdenticalAcrossEngines(t *testing.T) {
+	progs := []string{partialLongSrc}
+	for seed := uint64(0); seed < 6; seed++ {
+		progs = append(progs, workload.RandomProgram(GenConfigFor(seed)))
+	}
+	fired := 0
+	for pi, src := range progs {
+		for _, after := range []int64{1, 2, 4} {
+			aT, sT, outT, abT := partialEngineRun(t, src, 77, after, vm.EngineTree)
+			aB, sB, outB, abB := partialEngineRun(t, src, 77, after, vm.EngineBytecode)
+			if abT != abB {
+				t.Fatalf("prog %d after=%d: abort fired on one engine only: tree=%v bytecode=%v", pi, after, abT, abB)
+			}
+			if !abT {
+				continue
+			}
+			fired++
+			if d := compareEngines(aB, sB, outB, aT, sT, outT); d != "" {
+				t.Errorf("prog %d after=%d: sealed partials differ: %s", pi, after, d)
+			}
+		}
+	}
+	if fired == 0 {
+		t.Fatal("no injected abort fired; the comparison never ran")
+	}
+}

@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+
+	"determinacy/internal/core"
+	"determinacy/internal/vm"
+	"determinacy/internal/workload"
+)
+
+// statString renders Stats deterministically (fmt prints map keys sorted).
+func statString(s core.Stats) string { return fmt.Sprintf("%+v", s) }
+
+// The bytecode engine must be indistinguishable from the tree walker on
+// the paper's evaluation workloads: Table 1 and the §5.2 eval study must
+// render byte-identically, cell for cell, under either engine.
+
+func engineCfg(eng vm.Engine) Config {
+	return Config{Seed: 7, Workers: 1, Engine: eng}
+}
+
+func TestTable1IdenticalAcrossEngines(t *testing.T) {
+	tree := FormatTable1(RunTable1(engineCfg(vm.EngineTree)))
+	byte1 := FormatTable1(RunTable1(engineCfg(vm.EngineBytecode)))
+	if tree != byte1 {
+		t.Errorf("Table 1 differs across engines:\ntree:\n%s\nbytecode:\n%s", tree, byte1)
+	}
+}
+
+func TestTable1RowStatsIdenticalAcrossEngines(t *testing.T) {
+	// One row in full detail: the dynamic runs' statistics — steps, flush
+	// counts by reason, counterfactual histograms — must match exactly,
+	// not just the rendered summary.
+	for _, detDOM := range []bool{false, true} {
+		rt, err := RunDynamic(workload.JQuery(workload.JQ10), detDOM, engineCfg(vm.EngineTree))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := RunDynamic(workload.JQuery(workload.JQ10), detDOM, engineCfg(vm.EngineBytecode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.RunErr != nil || rb.RunErr != nil {
+			t.Fatalf("run errors: tree=%v bytecode=%v", rt.RunErr, rb.RunErr)
+		}
+		if got, want := statString(rb.Stats), statString(rt.Stats); got != want {
+			t.Errorf("detDOM=%v: stats differ:\nbytecode: %s\ntree:     %s", detDOM, got, want)
+		}
+		ft, fb := rt.Store.Sorted(), rb.Store.Sorted()
+		if len(ft) != len(fb) {
+			t.Fatalf("detDOM=%v: fact counts differ: tree %d vs bytecode %d", detDOM, len(ft), len(fb))
+		}
+		for i := range ft {
+			a, b := ft[i], fb[i]
+			if a.Instr != b.Instr || a.Ctx.Key() != b.Ctx.Key() || a.Seq != b.Seq ||
+				a.Det != b.Det || a.Hits != b.Hits || !a.Val.Equal(b.Val) {
+				t.Fatalf("detDOM=%v: fact %d differs: tree %+v vs bytecode %+v", detDOM, i, a, b)
+			}
+		}
+	}
+}
+
+func TestEvalStudyIdenticalAcrossEngines(t *testing.T) {
+	tree := FormatEvalStudy(RunEvalStudy(true, engineCfg(vm.EngineTree)))
+	byte1 := FormatEvalStudy(RunEvalStudy(true, engineCfg(vm.EngineBytecode)))
+	if tree != byte1 {
+		t.Errorf("eval study differs across engines:\ntree:\n%s\nbytecode:\n%s", tree, byte1)
+	}
+}

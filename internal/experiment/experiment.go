@@ -24,6 +24,7 @@ import (
 	"determinacy/internal/parser"
 	"determinacy/internal/pointsto"
 	"determinacy/internal/specialize"
+	"determinacy/internal/vm"
 	"determinacy/internal/workload"
 )
 
@@ -62,6 +63,10 @@ type Config struct {
 	// Deadline bounds each cell's dynamic run and solve by wall clock
 	// (zero = none).
 	Deadline time.Time
+	// Engine selects the instrumented execution engine (bytecode when
+	// zero). Both engines produce identical rows and statistics; the
+	// choice only moves wall-clock time.
+	Engine vm.Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +137,8 @@ func RunDynamic(src string, detDOM bool, cfg Config) (*DynamicRun, error) {
 		Tracer:     cfg.Tracer,
 		Ctx:        cfg.Ctx,
 		Deadline:   cfg.Deadline,
+		Engine:     cfg.Engine,
+		Metrics:    cfg.Metrics,
 	})
 	doc := dom.NewDocument(dom.Options{})
 	binding := dom.InstallCore(a, doc, detDOM)

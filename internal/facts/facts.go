@@ -13,6 +13,7 @@ package facts
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"determinacy/internal/ir"
@@ -33,14 +34,22 @@ type Context []ContextEntry
 
 // Key renders a context as a compact map key.
 func (c Context) Key() string {
-	var b strings.Builder
+	return string(appendContext(make([]byte, 0, 12*len(c)), c))
+}
+
+// appendContext renders c into b exactly as Context.Key does. Fact keys
+// are built on every recorded observation — the hottest path of the whole
+// instrumented run — so the rendering avoids fmt entirely.
+func appendContext(b []byte, c Context) []byte {
 	for i, e := range c {
 		if i > 0 {
-			b.WriteByte('>')
+			b = append(b, '>')
 		}
-		fmt.Fprintf(&b, "%d.%d", e.Site, e.Seq)
+		b = strconv.AppendInt(b, int64(e.Site), 10)
+		b = append(b, '.')
+		b = strconv.AppendInt(b, int64(e.Seq), 10)
 	}
-	return b.String()
+	return b
 }
 
 // Clone returns an independent copy of c.
@@ -169,6 +178,20 @@ type Store struct {
 	// MaxSeq caps per-(instr,ctx) occurrence tracking; occurrences beyond
 	// the cap are joined into the fact with Seq == MaxSeq.
 	MaxSeq int
+	// keyBuf is Record's scratch key buffer. Probing the map through
+	// m[string(keyBuf)] compiles to an allocation-free lookup, so repeat
+	// observations (the overwhelming majority) cost no heap traffic.
+	keyBuf []byte
+	// arena chunk-allocates Fact values so each first observation costs an
+	// amortized slice append instead of an individual heap object. Chunks
+	// are abandoned (never reallocated) once full, so &arena[i] pointers
+	// stay valid for the life of the store.
+	arena []Fact
+	// lastCtxRender/lastCtxClone share one Context clone across facts
+	// recorded under the same call stack: a frame records every one of its
+	// facts under a single context, so cloning per fact is pure waste.
+	lastCtxRender string
+	lastCtxClone  Context
 }
 
 // NewStore creates an empty fact store.
@@ -177,7 +200,28 @@ func NewStore() *Store {
 }
 
 func key(instr ir.ID, ctx Context, seq int) string {
-	return fmt.Sprintf("%d|%s|%d", instr, ctx.Key(), seq)
+	return string(appendKey(nil, instr, ctx, seq))
+}
+
+// appendKey renders the map key for (instr, ctx, seq) into b.
+func appendKey(b []byte, instr ir.ID, ctx Context, seq int) []byte {
+	b = strconv.AppendInt(b, int64(instr), 10)
+	b = append(b, '|')
+	b = appendContext(b, ctx)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(seq), 10)
+	return b
+}
+
+// newFact hands out the next slot of the current arena chunk, starting a
+// fresh chunk when the current one fills. Full chunks are left behind with
+// live pointers into them, so the append below can never reallocate.
+func (s *Store) newFact() *Fact {
+	if len(s.arena) == cap(s.arena) {
+		s.arena = make([]Fact, 0, 512)
+	}
+	s.arena = append(s.arena, Fact{})
+	return &s.arena[len(s.arena)-1]
 }
 
 // Record adds one observation. Repeated observations of the same point,
@@ -189,10 +233,23 @@ func (s *Store) Record(instr ir.ID, ctx Context, seq int, det bool, val Snapshot
 	if seq > s.MaxSeq {
 		seq = s.MaxSeq
 	}
-	k := key(instr, ctx, seq)
-	f, ok := s.m[k]
+	s.keyBuf = strconv.AppendInt(s.keyBuf[:0], int64(instr), 10)
+	s.keyBuf = append(s.keyBuf, '|')
+	c0 := len(s.keyBuf)
+	s.keyBuf = appendContext(s.keyBuf, ctx)
+	c1 := len(s.keyBuf)
+	s.keyBuf = append(s.keyBuf, '|')
+	s.keyBuf = strconv.AppendInt(s.keyBuf, int64(seq), 10)
+	f, ok := s.m[string(s.keyBuf)]
 	if !ok {
-		s.m[k] = &Fact{Instr: instr, Ctx: ctx.Clone(), Seq: seq, Det: det, Val: val, Hits: 1}
+		k := string(s.keyBuf)
+		if s.lastCtxClone == nil || s.lastCtxRender != k[c0:c1] {
+			s.lastCtxClone = ctx.Clone()
+			s.lastCtxRender = k[c0:c1]
+		}
+		nf := s.newFact()
+		*nf = Fact{Instr: instr, Ctx: s.lastCtxClone, Seq: seq, Det: det, Val: val, Hits: 1}
+		s.m[k] = nf
 		s.order = append(s.order, k)
 		return false
 	}

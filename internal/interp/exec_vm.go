@@ -1,0 +1,169 @@
+package interp
+
+import (
+	"determinacy/internal/ir"
+	"determinacy/internal/vm"
+)
+
+// execBlockVM is the concrete engine's bytecode dispatch loop. Each handler
+// replicates its execInstr case exactly — same step accounting, same observe
+// calls, same completion values — so tree and bytecode execution are
+// indistinguishable to callers and to the differential harness; rare
+// instructions delegate to execInstr through Ins.Src. The concrete engine
+// carries no inline caches: its property maps have no shapes to key on, and
+// the differential battery wants one cache-free engine as the oracle.
+func (it *Interp) execBlockVM(f *Frame, code *vm.Code) outcome {
+	ins := code.Ins
+	for i := range ins {
+		p := &ins[i]
+		it.steps++
+		if it.steps > it.opts.MaxSteps {
+			return failed(ErrBudget)
+		}
+		if it.steps&(interruptEvery-1) == 0 {
+			it.checkpoint()
+		}
+		if it.stopped != nil {
+			return failed(it.stopped)
+		}
+		it.curIn = p.Src
+
+		switch p.Op {
+		case vm.OpConst:
+			v := litValue(p.Src.(*ir.Const).Val)
+			f.Regs[p.A] = v
+			it.observe(p.Src, v)
+		case vm.OpMove:
+			f.Regs[p.A] = f.Regs[p.B]
+			it.observe(p.Src, f.Regs[p.A])
+		case vm.OpLoadVar:
+			f.Regs[p.A] = f.Env.At(int(p.B), int(p.C))
+			it.observe(p.Src, f.Regs[p.A])
+		case vm.OpStoreVar:
+			f.Env.SetAt(int(p.B), int(p.C), f.Regs[p.A])
+		case vm.OpLoadGlobal:
+			v, ok := it.Global.Get(p.Name)
+			if !ok {
+				if p.C != 0 {
+					v = UndefinedVal
+				} else {
+					return it.throwError("ReferenceError", p.Name+" is not defined")
+				}
+			}
+			f.Regs[p.A] = v
+			it.observe(p.Src, v)
+		case vm.OpStoreGlobal:
+			it.Global.Set(p.Name, f.Regs[p.A])
+		case vm.OpGetField:
+			v, out := it.getProp(f.Regs[p.B], p.Name)
+			if out.kind != oNormal {
+				return out
+			}
+			f.Regs[p.A] = v
+			it.observe(p.Src, v)
+		case vm.OpGetProp:
+			name := ToString(f.Regs[p.C])
+			v, out := it.getProp(f.Regs[p.B], name)
+			if out.kind != oNormal {
+				return out
+			}
+			f.Regs[p.A] = v
+			it.observe(p.Src, v)
+		case vm.OpSetField:
+			if out := it.setProp(f.Regs[p.A], p.Name, f.Regs[p.B]); out.kind != oNormal {
+				return out
+			}
+		case vm.OpSetProp:
+			name := ToString(f.Regs[p.B])
+			if out := it.setProp(f.Regs[p.A], name, f.Regs[p.C]); out.kind != oNormal {
+				return out
+			}
+		case vm.OpBinOp:
+			v, out := it.binOp(p.Name, f.Regs[p.B], f.Regs[p.C])
+			if out.kind != oNormal {
+				return out
+			}
+			f.Regs[p.A] = v
+			it.observe(p.Src, v)
+		case vm.OpUnOp:
+			v := unOp(p.Name, f.Regs[p.B])
+			f.Regs[p.A] = v
+			it.observe(p.Src, v)
+		case vm.OpIf:
+			in := p.Src.(*ir.If)
+			var out outcome
+			if ToBool(f.Regs[p.A]) {
+				out = it.execBlock(f, in.Then)
+			} else if in.Else != nil {
+				out = it.execBlock(f, in.Else)
+			} else {
+				continue
+			}
+			if out.kind != oNormal {
+				return out
+			}
+		case vm.OpReturn:
+			v := UndefinedVal
+			if p.A >= 0 {
+				v = f.Regs[p.A]
+			}
+			return outcome{kind: oReturn, val: v}
+		case vm.OpThrow:
+			return outcome{kind: oThrow, val: f.Regs[p.A]}
+		case vm.OpBreak:
+			return outcome{kind: oBreak}
+		case vm.OpContinue:
+			return outcome{kind: oContinue}
+		case vm.OpLoadVarField:
+			// Fused LoadVar + GetField (`x.f`).
+			f.Regs[p.A] = f.Env.At(int(p.B), int(p.C))
+			it.observe(p.Src, f.Regs[p.A])
+			if out := it.stepGate(p.Src2); out.kind != oNormal {
+				return out
+			}
+			v, out := it.getProp(f.Regs[p.A], p.Name)
+			if out.kind != oNormal {
+				return out
+			}
+			f.Regs[p.B2] = v
+			it.observe(p.Src2, v)
+		case vm.OpConstBin:
+			// Fused Const + BinOp (`i < 10`, `n + 1`).
+			cv := litValue(p.Src.(*ir.Const).Val)
+			f.Regs[p.A] = cv
+			it.observe(p.Src, cv)
+			if out := it.stepGate(p.Src2); out.kind != oNormal {
+				return out
+			}
+			v, out := it.binOp(p.Name, f.Regs[p.C2], f.Regs[p.A])
+			if out.kind != oNormal {
+				return out
+			}
+			f.Regs[p.B2] = v
+			it.observe(p.Src2, v)
+		default: // vm.OpOther
+			if out := it.execInstr(f, p.Src); out.kind != oNormal {
+				return out
+			}
+		}
+	}
+	return okOutcome
+}
+
+// stepGate runs the per-instruction step prologue for the second constituent
+// of a fused superinstruction, so fused and unfused execution count steps and
+// poll interrupts identically.
+func (it *Interp) stepGate(in ir.Instr) outcome {
+	it.steps++
+	if it.steps > it.opts.MaxSteps {
+		return failed(ErrBudget)
+	}
+	if it.steps&(interruptEvery-1) == 0 {
+		it.checkpoint()
+	}
+	if it.stopped != nil {
+		return failed(it.stopped)
+	}
+	it.curIn = in
+	return okOutcome
+}

@@ -202,14 +202,10 @@ type loadC struct {
 	dst   int
 }
 
-// key dedups identical loads attached to the same node (the recursive
+// ckey dedups identical loads attached to the same node (the recursive
 // prototype attachment re-derives them constantly).
-func (c *loadC) key() string {
-	w := "f"
-	if c.wild {
-		w = "w"
-	}
-	return "ld|" + w + "|" + c.field + "|" + strconv.Itoa(c.dst)
+func (c *loadC) ckey() constrKey {
+	return constrKey{kind: 'l', wild: c.wild, field: c.field, node: c.dst}
 }
 
 func (c *loadC) apply(a *analysis, o ObjID) {
@@ -224,7 +220,7 @@ func (c *loadC) apply(a *analysis, o ObjID) {
 	a.addCopy(a.wildNode(o), c.dst)
 	// Follow the prototype chain: the same load applies to every prototype
 	// this object may have.
-	a.addConstraint(a.protoNode(o), &loadC{field: c.field, wild: c.wild, dst: c.dst})
+	a.addLoad(a.protoNode(o), c.field, c.wild, c.dst)
 }
 
 // storeC is o.field ⊇ src (or the wildcard when wild).
@@ -234,12 +230,8 @@ type storeC struct {
 	src   int
 }
 
-func (c *storeC) key() string {
-	w := "f"
-	if c.wild {
-		w = "w"
-	}
-	return "st|" + w + "|" + c.field + "|" + strconv.Itoa(c.src)
+func (c *storeC) ckey() constrKey {
+	return constrKey{kind: 's', wild: c.wild, field: c.field, node: c.src}
 }
 
 func (c *storeC) apply(a *analysis, o ObjID) {

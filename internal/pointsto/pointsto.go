@@ -21,6 +21,7 @@ package pointsto
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"time"
 
 	"determinacy/internal/guard"
@@ -175,14 +176,7 @@ func (b bitset) forEach(f func(ObjID)) {
 	}
 }
 
-func trailingZeros(x uint64) int {
-	n := 0
-	for x&1 == 0 {
-		x >>= 1
-		n++
-	}
-	return n
-}
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
 
 // constraint reacts to new objects arriving at a node.
 type constraint interface {
@@ -195,8 +189,25 @@ type node struct {
 	copies      []int
 	copySet     map[int]bool
 	constraints []constraint
-	constrKeys  map[string]bool
+	constrKeys  map[constrKey]bool
 	inWorklist  bool
+}
+
+// constrKey identifies a deduplicatable constraint as a comparable value,
+// so attaching one costs a struct map probe instead of rendering a string:
+// kind distinguishes loads from stores, wild/field mirror the selector, and
+// node is the constraint's dst (loads) or src (stores) endpoint.
+type constrKey struct {
+	kind  uint8 // 'l' for loads, 's' for stores
+	wild  bool
+	field string
+	node  int
+}
+
+// keyedConstraint marks constraints that participate in deduplication.
+type keyedConstraint interface {
+	constraint
+	ckey() constrKey
 }
 
 // analysis is the solver state.
@@ -466,15 +477,36 @@ func (a *analysis) addCopy(from, to int) {
 
 func (a *analysis) addConstraint(n int, c constraint) {
 	nd := a.nodes[n]
-	if k, ok := c.(interface{ key() string }); ok {
+	if k, ok := c.(keyedConstraint); ok {
+		key := k.ckey()
 		if nd.constrKeys == nil {
-			nd.constrKeys = make(map[string]bool, 4)
+			nd.constrKeys = make(map[constrKey]bool, 4)
 		}
-		if nd.constrKeys[k.key()] {
+		if nd.constrKeys[key] {
 			return
 		}
-		nd.constrKeys[k.key()] = true
+		nd.constrKeys[key] = true
 	}
+	nd.constraints = append(nd.constraints, c)
+	nd.pts.forEach(func(o ObjID) { c.apply(a, o) })
+}
+
+// addLoad attaches a load constraint to node n like addConstraint would,
+// but checks the dedup table before allocating the constraint at all. The
+// recursive prototype attachment in loadC.apply re-derives the same load
+// once per arriving object, so on the hot path the probe almost always
+// hits and the allocation never happens.
+func (a *analysis) addLoad(n int, field string, wild bool, dst int) {
+	nd := a.nodes[n]
+	key := constrKey{kind: 'l', wild: wild, field: field, node: dst}
+	if nd.constrKeys == nil {
+		nd.constrKeys = make(map[constrKey]bool, 4)
+	}
+	if nd.constrKeys[key] {
+		return
+	}
+	nd.constrKeys[key] = true
+	c := &loadC{field: field, wild: wild, dst: dst}
 	nd.constraints = append(nd.constraints, c)
 	nd.pts.forEach(func(o ObjID) { c.apply(a, o) })
 }

@@ -357,7 +357,7 @@ func (s *Server) noteAnalyzeSuccess(rt *reqTrace, resp *AnalyzeResponse) {
 }
 
 // analyzeOptions builds run options shared by both endpoints.
-func analyzeOptions(seed uint64, maxFlushes, maxSteps, handlers int, dom, detDOM bool, deadline time.Time) determinacy.Options {
+func (s *Server) analyzeOptions(seed uint64, maxFlushes, maxSteps, handlers int, dom, detDOM bool, deadline time.Time) determinacy.Options {
 	if maxFlushes == 0 {
 		maxFlushes = 1000
 	}
@@ -369,6 +369,10 @@ func analyzeOptions(seed uint64, maxFlushes, maxSteps, handlers int, dom, detDOM
 		MaxFlushes:       maxFlushes,
 		MaxSteps:         maxSteps,
 		Deadline:         deadline,
+		Engine:           s.cfg.Engine,
+		// Engine counters (vm_ic_hits/vm_ic_misses) aggregate across
+		// requests into the server registry scraped at /metrics.
+		Metrics: s.metrics,
 	}
 }
 
@@ -392,7 +396,7 @@ func (s *Server) runAnalyze(reqCtx context.Context, req *AnalyzeRequest, rt *req
 	if name == "" {
 		name = "program.js"
 	}
-	opts := analyzeOptions(req.Seed, req.MaxFlushes, req.MaxSteps, req.Handlers, req.DOM, req.DetDOM, time.Now().Add(budget))
+	opts := s.analyzeOptions(req.Seed, req.MaxFlushes, req.MaxSteps, req.Handlers, req.DOM, req.DetDOM, time.Now().Add(budget))
 	opts.Tracer = tracer
 
 	var res *determinacy.Result
@@ -517,7 +521,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, rt *reqTrac
 		if faultinject.Armed() {
 			faultinject.Hit(faultinject.SiteServerRequest)
 		}
-		opts := analyzeOptions(p.Seed, req.MaxFlushes, req.MaxSteps, req.Handlers, req.DOM, req.DetDOM, deadline)
+		opts := s.analyzeOptions(p.Seed, req.MaxFlushes, req.MaxSteps, req.Handlers, req.DOM, req.DetDOM, deadline)
 		opts.Tracer = tracer
 		prog, hit, err := s.cache.CompileHit(name, p.Source)
 		if hit {

@@ -76,6 +76,9 @@ type Config struct {
 	// with a nil Tracer (the zero-alloc path) and /debug/tracez has
 	// nothing to serve. Flight-recorder summaries are still kept.
 	DisableTracing bool
+	// Engine selects the execution engine for every analysis the server
+	// runs (bytecode when zero). Responses are byte-identical either way.
+	Engine determinacy.Engine
 }
 
 func (c Config) withDefaults() Config {

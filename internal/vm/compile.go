@@ -1,0 +1,209 @@
+package vm
+
+import (
+	"determinacy/internal/ir"
+)
+
+// Ensure compiles mod's functions to bytecode exactly once, attaching code
+// to every block and metadata to the module, and returns the metadata.
+// Attaching code mutates blocks that module clones share, so Ensure must
+// only be called where no sibling clone executes concurrently: on a freshly
+// lowered module, or on the pristine master inside the progcache's
+// singleflight (clones then inherit the attached code and the shared
+// *Info). Ensure on an already-compiled module (or any of its clones) is a
+// cheap no-op.
+func Ensure(mod *ir.Module) *Info {
+	if info := InfoOf(mod); info != nil {
+		return info
+	}
+	info := &Info{Fns: make(map[*ir.Function]*FnInfo, len(mod.Funcs))}
+	ics := 0
+	for _, fn := range mod.Funcs {
+		info.Fns[fn] = CompileFunc(fn, &ics)
+	}
+	info.NumICs = ics
+	mod.VMInfo = info
+	return info
+}
+
+// CompileFunc compiles one function's blocks, numbering inline-cache sites
+// from *ics (advanced past the sites allocated). The instrumented engine
+// uses it directly for runtime-lowered eval functions, numbering their
+// sites from a run-local counter.
+func CompileFunc(fn *ir.Function, ics *int) *FnInfo {
+	c := &fnCompiler{ics: ics}
+	c.scanBlock(fn.Body)
+	fi := c.finishIndex()
+	c.compileBlock(fn.Body)
+	return fi
+}
+
+type fnCompiler struct {
+	ics *int
+	ids []ir.ID
+}
+
+// scanBlock collects the function's instruction IDs (not recursing into
+// nested function literals, which compile separately).
+func (c *fnCompiler) scanBlock(b *ir.Block) {
+	if b == nil {
+		return
+	}
+	for _, in := range b.Instrs {
+		c.ids = append(c.ids, in.IID())
+		switch in := in.(type) {
+		case *ir.If:
+			c.scanBlock(in.Then)
+			c.scanBlock(in.Else)
+		case *ir.While:
+			c.scanBlock(in.CondBlock)
+			c.scanBlock(in.Body)
+			c.scanBlock(in.Update)
+		case *ir.ForIn:
+			c.scanBlock(in.Body)
+		case *ir.Try:
+			c.scanBlock(in.Body)
+			c.scanBlock(in.Catch)
+			c.scanBlock(in.Finally)
+		}
+	}
+}
+
+func (c *fnCompiler) finishIndex() *FnInfo {
+	fi := &FnInfo{}
+	if len(c.ids) == 0 {
+		return fi
+	}
+	fi.minID, fi.maxID = c.ids[0], c.ids[0]
+	for _, id := range c.ids {
+		if id < fi.minID {
+			fi.minID = id
+		}
+		if id > fi.maxID {
+			fi.maxID = id
+		}
+	}
+	fi.slots = make([]int32, fi.maxID-fi.minID+1)
+	for i := range fi.slots {
+		fi.slots[i] = -1
+	}
+	for _, id := range c.ids {
+		if fi.slots[id-fi.minID] == -1 {
+			fi.slots[id-fi.minID] = int32(fi.n)
+			fi.n++
+		}
+	}
+	return fi
+}
+
+// compileBlock lowers one block to bytecode and recurses into nested
+// control-flow blocks (which execute through their own attached code).
+func (c *fnCompiler) compileBlock(b *ir.Block) {
+	if b == nil || b.Code != nil {
+		return
+	}
+	code := &Code{Ins: make([]Ins, 0, len(b.Instrs))}
+	for i := 0; i < len(b.Instrs); i++ {
+		in := b.Instrs[i]
+		// Superinstruction fusion over adjacent pairs. The fused handler
+		// still performs both instructions' full effects (register writes,
+		// fact recording, step accounting), so fusion never changes
+		// semantics — only dispatch count.
+		if i+1 < len(b.Instrs) {
+			switch first := in.(type) {
+			case *ir.LoadVar:
+				if gf, ok := b.Instrs[i+1].(*ir.GetField); ok && gf.Obj == first.Dst {
+					code.Ins = append(code.Ins, Ins{
+						Op: OpLoadVarField,
+						A:  int32(first.Dst), B: int32(first.Var.Hops), C: int32(first.Var.Slot),
+						B2: int32(gf.Dst), Name: gf.Name, Site: c.nextIC(),
+						Src: first, Src2: gf,
+					})
+					i++
+					continue
+				}
+			case *ir.Const:
+				if bin, ok := b.Instrs[i+1].(*ir.BinOp); ok && bin.R == first.Dst {
+					code.Ins = append(code.Ins, Ins{
+						Op: OpConstBin,
+						A:  int32(first.Dst),
+						B2: int32(bin.Dst), C2: int32(bin.L), Name: bin.Op, Site: NoIC,
+						Src: first, Src2: bin,
+					})
+					i++
+					continue
+				}
+			}
+		}
+		code.Ins = append(code.Ins, c.compileIns(in))
+	}
+	b.Code = code
+}
+
+func (c *fnCompiler) compileIns(in ir.Instr) Ins {
+	switch in := in.(type) {
+	case *ir.Const:
+		return Ins{Op: OpConst, A: int32(in.Dst), Site: NoIC, Src: in}
+	case *ir.Move:
+		return Ins{Op: OpMove, A: int32(in.Dst), B: int32(in.Src), Site: NoIC, Src: in}
+	case *ir.LoadVar:
+		return Ins{Op: OpLoadVar, A: int32(in.Dst), B: int32(in.Var.Hops), C: int32(in.Var.Slot), Site: NoIC, Src: in}
+	case *ir.StoreVar:
+		return Ins{Op: OpStoreVar, A: int32(in.Src), B: int32(in.Var.Hops), C: int32(in.Var.Slot), Site: NoIC, Src: in}
+	case *ir.LoadGlobal:
+		forTypeof := int32(0)
+		if in.ForTypeof {
+			forTypeof = 1
+		}
+		return Ins{Op: OpLoadGlobal, A: int32(in.Dst), C: forTypeof, Name: in.Name, Site: NoIC, Src: in}
+	case *ir.StoreGlobal:
+		return Ins{Op: OpStoreGlobal, A: int32(in.Src), Name: in.Name, Site: NoIC, Src: in}
+	case *ir.GetField:
+		return Ins{Op: OpGetField, A: int32(in.Dst), B: int32(in.Obj), Name: in.Name, Site: c.nextIC(), Src: in}
+	case *ir.GetProp:
+		return Ins{Op: OpGetProp, A: int32(in.Dst), B: int32(in.Obj), C: int32(in.Prop), Site: NoIC, Src: in}
+	case *ir.SetField:
+		return Ins{Op: OpSetField, A: int32(in.Obj), B: int32(in.Src), Name: in.Name, Site: c.nextIC(), Src: in}
+	case *ir.SetProp:
+		return Ins{Op: OpSetProp, A: int32(in.Obj), B: int32(in.Prop), C: int32(in.Src), Site: NoIC, Src: in}
+	case *ir.BinOp:
+		return Ins{Op: OpBinOp, A: int32(in.Dst), B: int32(in.L), C: int32(in.R), Name: in.Op, Site: NoIC, Src: in}
+	case *ir.UnOp:
+		return Ins{Op: OpUnOp, A: int32(in.Dst), B: int32(in.X), Name: in.Op, Site: NoIC, Src: in}
+	case *ir.If:
+		c.compileBlock(in.Then)
+		c.compileBlock(in.Else)
+		return Ins{Op: OpIf, A: int32(in.Cond), Site: NoIC, Src: in}
+	case *ir.While:
+		c.compileBlock(in.CondBlock)
+		c.compileBlock(in.Body)
+		c.compileBlock(in.Update)
+		return Ins{Op: OpOther, Site: NoIC, Src: in}
+	case *ir.ForIn:
+		c.compileBlock(in.Body)
+		return Ins{Op: OpOther, Site: NoIC, Src: in}
+	case *ir.Try:
+		c.compileBlock(in.Body)
+		c.compileBlock(in.Catch)
+		c.compileBlock(in.Finally)
+		return Ins{Op: OpOther, Site: NoIC, Src: in}
+	case *ir.Return:
+		return Ins{Op: OpReturn, A: int32(in.Src), Site: NoIC, Src: in}
+	case *ir.Throw:
+		return Ins{Op: OpThrow, A: int32(in.Src), Site: NoIC, Src: in}
+	case *ir.Break:
+		return Ins{Op: OpBreak, Site: NoIC, Src: in}
+	case *ir.Continue:
+		return Ins{Op: OpContinue, Site: NoIC, Src: in}
+	default:
+		// Call, New, MakeClosure, MakeObject, MakeArray, DelField, DelProp:
+		// delegated whole to the engine's tree handler.
+		return Ins{Op: OpOther, Site: NoIC, Src: in}
+	}
+}
+
+func (c *fnCompiler) nextIC() int32 {
+	s := int32(*c.ics)
+	*c.ics++
+	return s
+}

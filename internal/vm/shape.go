@@ -1,0 +1,55 @@
+package vm
+
+// Shape is a hidden class describing an object's own-property key sequence.
+// Objects that gained the same keys in the same order share one Shape, so an
+// inline cache validates a whole property lookup with a single pointer
+// comparison. Shapes form a transition tree rooted per run: adding key k to
+// an object with shape s moves it to the unique child s.Transition(k).
+//
+// The instrumented engine maintains the invariant that a shaped object's own
+// keys are exactly the shape's path from the root, with no phantom cells, no
+// accessors, and untouched key order: any operation that would break that —
+// deletes, counterfactual undo, phantom installation, key-order restoration,
+// accessor definition — drops the object to dictionary mode (nil shape)
+// instead of transitioning. Shapes are not synchronized; each analysis run
+// owns a private root.
+type Shape struct {
+	parent   *Shape
+	key      string
+	depth    int
+	children map[string]*Shape
+}
+
+// NewRootShape creates the empty-object shape for one run's transition tree.
+func NewRootShape() *Shape { return &Shape{} }
+
+// Transition returns the shape for this shape's key set extended by key,
+// creating (and caching) it on first use. The caller guarantees key is not
+// already present. A shape is just a link to its parent: transitions are
+// O(1) and a chain of n keys costs n small nodes, not n cloned key tables
+// (Has runs only on the inline caches' cold priming path, where a chain
+// walk is cheap).
+func (s *Shape) Transition(key string) *Shape {
+	if c, ok := s.children[key]; ok {
+		return c
+	}
+	c := &Shape{parent: s, key: key, depth: s.depth + 1}
+	if s.children == nil {
+		s.children = make(map[string]*Shape, 1)
+	}
+	s.children[key] = c
+	return c
+}
+
+// Has reports whether key is in the shape's key set.
+func (s *Shape) Has(key string) bool {
+	for c := s; c.parent != nil; c = c.parent {
+		if c.key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Len is the number of own keys the shape describes.
+func (s *Shape) Len() int { return s.depth }
