@@ -20,6 +20,7 @@ import (
 
 	"determinacy/internal/cliexit"
 	"determinacy/internal/experiment"
+	"determinacy/internal/factcache"
 	"determinacy/internal/obs"
 	"determinacy/internal/version"
 	"determinacy/internal/vm"
@@ -36,6 +37,7 @@ func main() {
 		metricsJSON = flag.String("metrics-json", "", `also write experiment metrics as JSON to this file ("-" = stdout); EXPERIMENTS.md numbers regenerate from this dump`)
 		engine      = flag.String("engine", "bytecode", "execution engine for the dynamic runs: bytecode or tree (identical output, different speed)")
 		timeout     = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); on expiry remaining cells are skipped and the exit code is 7")
+		factDir     = flag.String("factcache", "", "directory for the on-disk fact DB; a warm second invocation serves memoized dynamic runs with byte-identical tables")
 		showVer     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Usage = func() {
@@ -76,6 +78,14 @@ func main() {
 		m = obs.NewMetrics()
 	}
 	cfg := experiment.Config{Budget: *budget, Seed: *seed, Workers: *workers, Metrics: m, Engine: eng}
+	if *factDir != "" {
+		fc, err := factcache.Open(*factDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "detbench:", err)
+			os.Exit(cliexit.Error)
+		}
+		cfg.FactCache = fc.WithMetrics(m)
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc

@@ -39,6 +39,7 @@ func main() {
 		noReduce    = flag.Bool("no-reduce", false, "skip delta-debugging failing programs")
 		engine      = flag.String("engine", "bytecode", "primary execution engine: bytecode or tree (the oracle always cross-checks the other)")
 		timeout     = flag.Duration("timeout", 0, "hard wall-clock cap for the campaign (0 = none); unchecked seeds are reported as skipped")
+		factDir     = flag.String("factcache", "", "also run the memoization oracle against the fact DB in this directory: every program runs cold and warm and must be byte-identical")
 		showVer     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Usage = func() {
@@ -73,12 +74,13 @@ func main() {
 	}
 
 	cfg := diffcheck.Config{
-		Seeds:       *seeds,
-		Resolutions: *resolutions,
-		BaseSeed:    *base,
-		Workers:     *workers,
-		Reduce:      !*noReduce,
-		Engine:      eng,
+		Seeds:        *seeds,
+		Resolutions:  *resolutions,
+		BaseSeed:     *base,
+		Workers:      *workers,
+		Reduce:       !*noReduce,
+		Engine:       eng,
+		FactCacheDir: *factDir,
 	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -103,6 +105,9 @@ func main() {
 		fmt.Printf("detfuzz: %d programs x %d resolutions, %d determinate fact checks, %d failures (%.1fs)\n",
 			rep.Programs, rep.Resolutions, rep.FactsChecked, len(rep.Failures),
 			time.Duration(rep.ElapsedMS*int64(time.Millisecond)).Seconds())
+		if rep.MemoChecks > 0 {
+			fmt.Printf("detfuzz: %d cold/warm memoization checks\n", rep.MemoChecks)
+		}
 		if rep.Skipped > 0 {
 			fmt.Printf("detfuzz: %d seeds skipped (timeout)\n", rep.Skipped)
 		}

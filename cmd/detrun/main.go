@@ -43,6 +43,7 @@ func main() {
 		metrics  = flag.String("metrics", "", `write Prometheus-style metrics to this file ("-" = stdout)`)
 		engine   = flag.String("engine", "bytecode", "execution engine: bytecode or tree (identical output, different speed)")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the analysis (0 = none); a timed-out run still prints its sound partial facts")
+		factDir  = flag.String("factcache", "", "directory for the on-disk fact DB; warm re-runs of an unchanged program serve byte-identical memoized facts")
 		showVer  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Usage = func() {
@@ -108,6 +109,13 @@ func main() {
 	if *jsonOut {
 		// Keep stdout clean for the fact dump.
 		opts.Out = os.Stderr
+	}
+	if *factDir != "" {
+		fc, err := determinacy.OpenFactCache(*factDir)
+		if err != nil {
+			fatal(err)
+		}
+		opts.FactCache = fc
 	}
 
 	// Tracing: jsonl streams events as they happen; chrome buffers in memory

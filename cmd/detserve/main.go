@@ -65,6 +65,7 @@ func main() {
 		traceCap  = flag.Int("trace-events", 0, "retained trace events per request (0 = default 4096)")
 		engine    = flag.String("engine", "bytecode", "execution engine for analysis requests: bytecode or tree (identical responses, different speed)")
 		noTrace   = flag.Bool("no-trace", false, "disable per-request tracing (requests run on the zero-alloc nil-tracer path)")
+		factDir   = flag.String("factcache", "", "directory for the on-disk fact DB (L2 under the compile cache); warm re-submissions of an unchanged program serve memoized facts")
 		showVer   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Usage = func() {
@@ -104,6 +105,16 @@ func main() {
 	}
 
 	m := obs.NewMetrics()
+	var fc *determinacy.FactCache
+	if *factDir != "" {
+		var fcErr error
+		fc, fcErr = determinacy.OpenFactCache(*factDir)
+		if fcErr != nil {
+			fmt.Fprintln(os.Stderr, "detserve:", fcErr)
+			os.Exit(cliexit.Error)
+		}
+		fc = fc.WithMetrics(m)
+	}
 	srv := server.New(server.Config{
 		MaxInFlight:      *inflight,
 		QueueDepth:       *queue,
@@ -117,6 +128,7 @@ func main() {
 		TraceEventCap:    *traceCap,
 		DisableTracing:   *noTrace,
 		Engine:           eng,
+		FactCache:        fc,
 	})
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),

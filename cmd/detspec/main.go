@@ -39,6 +39,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "concurrent dynamic runs when -runs > 1 (0 = GOMAXPROCS, 1 = serial); the merged facts are identical for every setting")
 		engine     = flag.String("engine", "bytecode", "execution engine: bytecode or tree (identical output, different speed)")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the dynamic analysis (0 = none); a timed-out run still specializes with its sound partial facts and exits 7")
+		factDir    = flag.String("factcache", "", "directory for the on-disk fact DB; re-specializing an unchanged program reuses memoized dynamic-analysis facts")
 		showVer    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Usage = func() {
@@ -114,6 +115,13 @@ func main() {
 			Out:              io.Discard,
 			Workers:          *workers,
 			Engine:           eng,
+		}
+		if *factDir != "" {
+			fc, err := determinacy.OpenFactCache(*factDir)
+			if err != nil {
+				fatal(err)
+			}
+			opts.FactCache = fc
 		}
 		ctx := context.Background()
 		if *timeout > 0 {

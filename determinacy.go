@@ -35,6 +35,7 @@ import (
 	"determinacy/internal/batch/progcache"
 	"determinacy/internal/core"
 	"determinacy/internal/dom"
+	"determinacy/internal/factcache"
 	"determinacy/internal/facts"
 	"determinacy/internal/guard"
 	"determinacy/internal/interp"
@@ -181,6 +182,16 @@ type Options struct {
 	// are merged in seed submission order, so the merged facts and
 	// statistics are identical for every setting; see internal/batch.
 	Workers int
+
+	// FactCache, when non-nil, memoizes completed analyses at function
+	// granularity in an on-disk fact database — the L2 cache under the
+	// compile cache: a re-submitted (source, options) pair is served from
+	// cached facts without re-executing, byte-identical to a fresh run.
+	// Partial, degraded, errored, or eval-containing runs never populate
+	// it. The engine is not part of the cache key (both engines are
+	// byte-identical by contract), so warm hits serve across engines. See
+	// the README's Caching section and internal/factcache.
+	FactCache *FactCache
 }
 
 // Value is a concrete input value for Options.Inputs.
@@ -317,17 +328,137 @@ func degrade(res *Result, a *core.Analysis, runErr error, reason DegradeReason) 
 	return res, nil
 }
 
+// FactCache is the public handle on an on-disk function-level fact
+// database (internal/factcache) — the L2 cache under the compile cache.
+// One FactCache is safe to share across concurrent analyses and across
+// engines; see Options.FactCache for the memoization contract.
+type FactCache struct{ c *factcache.Cache }
+
+// OpenFactCache creates or opens the fact database rooted at dir.
+func OpenFactCache(dir string) (*FactCache, error) {
+	c, err := factcache.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &FactCache{c: c}, nil
+}
+
+// WithMetrics attaches a metrics registry; the cache then maintains
+// factcache_* hit/miss/join/invalidation series live. Returns the cache
+// for chaining.
+func (f *FactCache) WithMetrics(m *Metrics) *FactCache {
+	f.c.WithMetrics(m)
+	return f
+}
+
+// Internal exposes the underlying cache for in-module embedders (the
+// experiment harness, the diffcheck memo oracle).
+func (f *FactCache) Internal() *factcache.Cache { return f.c }
+
+// factSig canonicalizes the fact-shaping options into a cache signature.
+func factSig(opts Options) factcache.Sig {
+	sig := factcache.Sig{
+		Seed:                  opts.Seed,
+		NowBits:               factcache.NumSigBits(opts.Now),
+		WithDOM:               opts.WithDOM,
+		DetDOM:                opts.DeterministicDOM,
+		RunHandlers:           opts.RunHandlers,
+		MaxCFDepth:            opts.MaxCounterfactualDepth,
+		MaxFlushes:            opts.MaxFlushes,
+		MaxSteps:              opts.MaxSteps,
+		DisableCounterfactual: opts.DisableCounterfactual,
+		ImmediateTaint:        opts.ImmediateTaint,
+		MuJSLocals:            opts.MuJSLocals,
+	}
+	for name, v := range opts.Inputs {
+		sig.Inputs = append(sig.Inputs, factcache.InputSig{
+			Name: name, Kind: int(v.Kind),
+			NumBits: factcache.NumSigBits(v.N), Str: v.S, Bool: v.B,
+		})
+	}
+	return sig
+}
+
+// captureWriter tees console output for caching, bounded so a printing
+// loop can't balloon the fact DB; overflowing runs simply aren't cached.
+type captureWriter struct {
+	b        []byte
+	overflow bool
+}
+
+func (w *captureWriter) Write(p []byte) (int, error) {
+	if len(w.b)+len(p) > factcache.MaxOutputBytes {
+		w.overflow = true
+	} else {
+		w.b = append(w.b, p...)
+	}
+	return len(p), nil
+}
+
+// memoState carries one analyzeLowered call's fact-cache context.
+type memoState struct {
+	fc  *factcache.Cache
+	key factcache.Key
+	rec *factcache.Recorder
+	out *captureWriter
+}
+
+// skip records a non-cacheable outcome, tolerating absent memoization.
+func (m *memoState) skip(reason string) {
+	if m != nil {
+		m.fc.Skip(reason)
+	}
+}
+
 // analyzeLowered runs the instrumented semantics over an already-compiled
 // program. The module is mutated during the run (eval'd code lowers into
 // it), so callers sharing a cached compile must pass a fresh Clone.
+//
+// With Options.FactCache set, a completed run is memoized and an exact
+// re-submission is served from the cache: the fact store is stitched from
+// per-function chunks through the ordinary Store.Record path, and output,
+// statistics and handler count replay from the manifest, so a warm result
+// is byte-identical to a cold one. Only clean completions are stored —
+// every degraded, errored or eval-lowering path skips the cache.
 func analyzeLowered(ctx context.Context, prog *ast.Program, mod *ir.Module, opts Options) (*Result, error) {
 	tr := opts.Tracer
+	var memo *memoState
+	coreOut := opts.Out
+	if opts.FactCache != nil {
+		fc := opts.FactCache.c
+		key := factcache.KeyFor(mod.File, mod.Source, factSig(opts))
+		if hit, ok := fc.Lookup(key); ok {
+			if opts.Out != nil {
+				opts.Out.Write(hit.Output)
+			}
+			if tr != nil {
+				tr.Event(obs.Event{Kind: obs.EvCache, Phase: "factcache", Detail: "hit"})
+			}
+			return &Result{
+				prog: prog, mod: mod, store: hit.Store,
+				staticInstrs: mod.NumInstrs, tracer: tr,
+				Stats: hit.Stats, HandlersRan: hit.HandlersRan,
+			}, nil
+		}
+		if tr != nil {
+			tr.Event(obs.Event{Kind: obs.EvCache, Phase: "factcache", Detail: "miss"})
+		}
+		// Incremental report: which functions changed since the last cached
+		// run of this (program, options) anchor.
+		fc.Diff(key, mod)
+		memo = &memoState{fc: fc, key: key, rec: factcache.NewRecorder(), out: &captureWriter{}}
+		if coreOut != nil {
+			coreOut = io.MultiWriter(coreOut, memo.out)
+		} else {
+			coreOut = memo.out
+		}
+	}
 	store := facts.NewStore()
-	a := core.New(mod, store, core.Options{
+	coreOpts := core.Options{
 		Seed:                   opts.Seed,
 		Now:                    opts.Now,
 		Inputs:                 opts.Inputs,
-		Out:                    opts.Out,
+		Out:                    coreOut,
 		MaxCounterfactualDepth: opts.MaxCounterfactualDepth,
 		MaxFlushes:             opts.MaxFlushes,
 		MaxSteps:               opts.MaxSteps,
@@ -339,7 +470,11 @@ func analyzeLowered(ctx context.Context, prog *ast.Program, mod *ir.Module, opts
 		Deadline:               opts.Deadline,
 		Engine:                 opts.Engine,
 		Metrics:                opts.Metrics,
-	})
+	}
+	if memo != nil {
+		coreOpts.OnEnterFunc = memo.rec.OnEnter
+	}
+	a := core.New(mod, store, coreOpts)
 	res := &Result{prog: prog, mod: mod, store: store, staticInstrs: mod.NumInstrs, tracer: tr}
 
 	var binding *dom.CoreBinding
@@ -351,9 +486,11 @@ func analyzeLowered(ctx context.Context, prog *ast.Program, mod *ir.Module, opts
 	endExec()
 	if runErr != nil {
 		if reason := degradeReason(runErr); reason != DegradeNone {
+			memo.skip("partial")
 			return degrade(res, a, runErr, reason)
 		}
 		res.Stats = a.Stats()
+		memo.skip("error")
 		var thrown *core.Thrown
 		if errors.As(runErr, &thrown) {
 			return nil, ErrUncaughtException
@@ -363,15 +500,32 @@ func analyzeLowered(ctx context.Context, prog *ast.Program, mod *ir.Module, opts
 	if binding != nil && opts.RunHandlers > 0 {
 		n, herr := runHandlersGuarded(binding, opts.RunHandlers, tr, a.CurrentPoint)
 		res.HandlersRan = n
+		// Handler-phase inline-cache traffic lands after Run's own publish;
+		// the watermark makes this a pure delta, never a double count.
+		a.PublishEngineMetrics()
 		if herr != nil {
 			if reason := degradeReason(herr); reason != DegradeNone {
+				memo.skip("partial")
 				return degrade(res, a, herr, reason)
 			}
 			res.Stats = a.Stats()
+			memo.skip("error")
 			return nil, herr
 		}
 	}
 	res.Stats = a.Stats()
+	if memo != nil {
+		switch {
+		case mod.NumInstrs > res.staticInstrs:
+			// Runtime eval lowered fresh instructions whose IDs are not
+			// stable across executions; such runs are never cacheable.
+			memo.skip("eval")
+		case memo.out.overflow:
+			memo.skip("output-cap")
+		default:
+			memo.fc.Store(memo.key, mod, store, memo.rec, memo.out.b, res.Stats, res.HandlersRan)
+		}
+	}
 	return res, nil
 }
 

@@ -1,0 +1,82 @@
+// Deterministic-series tests for engine-counter publication. vm_ic_hits /
+// vm_ic_misses publication is delta-based: a run publishes at the end of
+// the main script, again after the DOM handler phase, and again at a
+// partial seal, and each cache probe must land in the registry exactly
+// once — including when one registry is shared across many runs and both
+// engines, the detbench -all configuration that used to double-count.
+package determinacy_test
+
+import (
+	"io"
+	"testing"
+
+	"determinacy"
+)
+
+const icSeriesSrc = `
+var o = {f: 1};
+var s = 0;
+var i = 0;
+while (i < 200) { s = s + o.f; o.f = s; i = i + 1; }
+document.addEventListener("DOMContentLoaded", function(ev) {
+  var j = 0;
+  while (j < 50) { s = s + o.f; o.f = s; j = j + 1; }
+});
+console.log(s);
+`
+
+func TestEngineMetricsDeltaPublishing(t *testing.T) {
+	run := func(m *determinacy.Metrics, eng determinacy.Engine, handlers int) {
+		t.Helper()
+		res, err := determinacy.Analyze(icSeriesSrc, determinacy.Options{
+			WithDOM: true, RunHandlers: handlers, Out: io.Discard, Engine: eng, Metrics: m,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if handlers > 0 && res.HandlersRan == 0 {
+			t.Fatal("no DOM handlers ran; the handler-phase assertion below would be vacuous")
+		}
+	}
+	counters := func(m *determinacy.Metrics) (int64, int64) {
+		return m.Counter("vm_ic_hits").Value(), m.Counter("vm_ic_misses").Value()
+	}
+
+	m1 := determinacy.NewMetrics()
+	run(m1, determinacy.EngineBytecode, 4)
+	hits, misses := counters(m1)
+	if hits == 0 || misses == 0 {
+		t.Fatalf("bytecode run published hits=%d misses=%d, want both non-zero", hits, misses)
+	}
+
+	// Same workload into a fresh registry: the series must be identical.
+	m2 := determinacy.NewMetrics()
+	run(m2, determinacy.EngineBytecode, 4)
+	if h2, s2 := counters(m2); h2 != hits || s2 != misses {
+		t.Errorf("second run published hits=%d misses=%d, want the identical series %d/%d", h2, s2, hits, misses)
+	}
+
+	// Handler-phase cache probes must be included: dropping the handler
+	// phase must strictly reduce the hit count.
+	mNoH := determinacy.NewMetrics()
+	run(mNoH, determinacy.EngineBytecode, 0)
+	if hNoH, _ := counters(mNoH); hNoH >= hits {
+		t.Errorf("run without handlers published %d hits, want fewer than the %d of the handler run", hNoH, hits)
+	}
+
+	// Repeated runs sharing one registry: exact doubling, not the
+	// re-publication inflation the detbench -all path used to show.
+	shared := determinacy.NewMetrics()
+	run(shared, determinacy.EngineBytecode, 4)
+	run(shared, determinacy.EngineBytecode, 4)
+	if hS, sS := counters(shared); hS != 2*hits || sS != 2*misses {
+		t.Errorf("two shared-registry runs published hits=%d misses=%d, want exactly %d/%d", hS, sS, 2*hits, 2*misses)
+	}
+
+	// The tree engine has no caches: interleaving it on the same shared
+	// registry must add exactly zero to both series.
+	run(shared, determinacy.EngineTree, 4)
+	if hS, sS := counters(shared); hS != 2*hits || sS != 2*misses {
+		t.Errorf("tree run changed the shared series to hits=%d misses=%d", hS, sS)
+	}
+}

@@ -31,6 +31,10 @@ import (
 // 28-program corpus), so this keeps every workload resident.
 const DefaultMaxEntries = 128
 
+// minErrorEntries floors the error-entry cap so tiny caches still retain
+// a few cached diagnostics.
+const minErrorEntries = 4
+
 // Cache is a bounded, content-addressed compile cache. It is safe for
 // concurrent use; concurrent misses on the same key compile once and share
 // the result (the losers block until the winner finishes).
@@ -40,11 +44,20 @@ type Cache struct {
 	entries map[cacheKey]*entry
 	lru     *list.List // front = most recently used; values are *entry
 
+	// Error entries (cached front-end failures) are capped separately at
+	// errMax: a diagnostic costs microseconds to recreate, so a stream of
+	// distinct bad sources must never be able to evict expensively
+	// compiled programs wholesale. errCount tracks live error entries
+	// under mu.
+	errMax   int
+	errCount int
+
 	metrics *obs.Metrics
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	evictions atomic.Int64
+	hits         atomic.Int64
+	misses       atomic.Int64
+	evictions    atomic.Int64
+	errEvictions atomic.Int64
 }
 
 // cacheKey is the content address: a hash of display name and source text.
@@ -62,6 +75,13 @@ type entry struct {
 	prog *ast.Program
 	mod  *ir.Module // pristine master, never executed — only cloned
 	err  error
+
+	// isErr and counted implement error-entry accounting, both under
+	// Cache.mu: counted flips when the finished compilation's outcome has
+	// been folded into errCount, isErr marks the entry as a cached error
+	// so eviction paths can maintain the count.
+	isErr   bool
+	counted bool
 }
 
 // New creates a cache bounded to max entries (DefaultMaxEntries when
@@ -70,7 +90,11 @@ func New(max int) *Cache {
 	if max <= 0 {
 		max = DefaultMaxEntries
 	}
-	return &Cache{max: max, entries: make(map[cacheKey]*entry), lru: list.New()}
+	errMax := max / 4
+	if errMax < minErrorEntries {
+		errMax = minErrorEntries
+	}
+	return &Cache{max: max, errMax: errMax, entries: make(map[cacheKey]*entry), lru: list.New()}
 }
 
 // WithMetrics attaches a metrics registry; the cache then maintains
@@ -119,6 +143,9 @@ func (c *Cache) CompileHit(file, src string) (prog *ast.Program, mod *ir.Module,
 			be := back.Value.(*entry)
 			c.lru.Remove(back)
 			delete(c.entries, be.key)
+			if be.isErr {
+				c.errCount--
+			}
 			c.evictions.Add(1)
 			c.count(func(m *obs.Metrics) { m.Counter("progcache_evictions_total").Inc() })
 		}
@@ -159,9 +186,52 @@ func (c *Cache) CompileHit(file, src string) (prog *ast.Program, mod *ir.Module,
 		e.prog, e.mod = prog, mod
 	})
 	if e.err != nil {
+		c.noteError(e)
 		return nil, nil, ok, e.err
 	}
 	return e.prog, e.mod.Clone(), ok, nil
+}
+
+// noteError folds a finished compilation's error outcome into the
+// error-entry accounting, exactly once per entry, and enforces the error
+// cap by evicting the least-recently-used cached errors beyond it.
+// Cached diagnostics cost microseconds to recreate, so shedding them
+// protects the expensive compiled programs sharing the LRU.
+func (c *Cache) noteError(e *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.counted {
+		return
+	}
+	e.counted = true
+	// The entry may have been evicted by the capacity sweep while its
+	// compilation was still in flight; it then holds no cache slot.
+	if c.entries[e.key] != e {
+		return
+	}
+	e.isErr = true
+	c.errCount++
+	for elem := c.lru.Back(); elem != nil && c.errCount > c.errMax; {
+		prev := elem.Prev()
+		be := elem.Value.(*entry)
+		if be.isErr {
+			c.lru.Remove(elem)
+			delete(c.entries, be.key)
+			c.errCount--
+			c.evictions.Add(1)
+			c.errEvictions.Add(1)
+			c.count(func(m *obs.Metrics) {
+				m.Counter("progcache_evictions_total").Inc()
+				m.Counter("progcache_error_evictions_total").Inc()
+			})
+		}
+		elem = prev
+	}
+	entries, errs := len(c.entries), c.errCount
+	c.count(func(m *obs.Metrics) {
+		m.Gauge("progcache_entries").Set(float64(entries))
+		m.Gauge("progcache_error_entries").Set(float64(errs))
+	})
 }
 
 // count runs f against the attached registry, if any.
@@ -174,7 +244,13 @@ func (c *Cache) count(f func(*obs.Metrics)) {
 // Stats is a point-in-time snapshot of cache effectiveness.
 type Stats struct {
 	Hits, Misses, Evictions int64
-	Entries                 int
+	// ErrorEvictions counts evictions forced by the error-entry cap (also
+	// included in Evictions).
+	ErrorEvictions int64
+	Entries        int
+	// ErrorEntries counts live entries caching a front-end error; they
+	// are capped separately from Entries (see New).
+	ErrorEntries int
 }
 
 // HitRate is hits / (hits + misses), or 0 before any lookup.
@@ -189,12 +265,14 @@ func (s Stats) HitRate() float64 {
 // count.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
-	n := len(c.entries)
+	n, errs := len(c.entries), c.errCount
 	c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Entries:   n,
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Evictions:      c.evictions.Load(),
+		ErrorEvictions: c.errEvictions.Load(),
+		Entries:        n,
+		ErrorEntries:   errs,
 	}
 }

@@ -1,6 +1,7 @@
 package progcache
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -161,5 +162,98 @@ func mustCompile(t *testing.T, c *Cache, file, src string) {
 	t.Helper()
 	if _, _, err := c.Compile(file, src); err != nil {
 		t.Fatalf("Compile(%s): %v", file, err)
+	}
+}
+
+// TestErrorEntryCapAndMetrics pins the error-entry accounting: cached
+// front-end errors are counted, capped well below the main capacity, and
+// evicted oldest-first with their own eviction series — a stream of
+// distinct bad sources must never displace compiled programs wholesale.
+func TestErrorEntryCapAndMetrics(t *testing.T) {
+	m := obs.NewMetrics()
+	c := New(40).WithMetrics(m) // error cap = 40/4 = 10
+	mustCompile(t, c, "good-a.js", progA)
+	mustCompile(t, c, "good-b.js", progB)
+
+	bad := func(i int) (string, string) {
+		return fmt.Sprintf("bad-%d.js", i), fmt.Sprintf("var %d = = ;", i)
+	}
+	for i := 0; i < 25; i++ {
+		file, src := bad(i)
+		if _, _, err := c.Compile(file, src); err == nil {
+			t.Fatalf("%s: expected a parse error", file)
+		}
+	}
+	s := c.Stats()
+	if s.ErrorEntries != 10 {
+		t.Fatalf("error entries = %d, want the cap of 10 (stats %+v)", s.ErrorEntries, s)
+	}
+	if s.ErrorEvictions != 15 {
+		t.Fatalf("error evictions = %d, want 15 (stats %+v)", s.ErrorEvictions, s)
+	}
+	if s.Evictions != 15 {
+		t.Fatalf("evictions = %d, want error evictions included (stats %+v)", s.Evictions, s)
+	}
+	// The compiled programs survive untouched, far below the main cap.
+	mustCompile(t, c, "good-a.js", progA)
+	mustCompile(t, c, "good-b.js", progB)
+	if got := c.Stats(); got.Hits != 2 {
+		t.Fatalf("compiled entries were displaced by error entries: %+v", got)
+	}
+
+	// Oldest errors went first: the most recent ones still hit, the
+	// earliest miss again.
+	if file, src := bad(24); func() bool { _, _, err := c.Compile(file, src); return err != nil }() {
+		if got := c.Stats(); got.Hits != 3 {
+			t.Fatalf("recent error entry did not hit: %+v", got)
+		}
+	}
+	if file, src := bad(0); func() bool { _, _, err := c.Compile(file, src); return err != nil }() {
+		if got := c.Stats(); got.Misses != 28 {
+			t.Fatalf("oldest error entry should have been evicted (misses %d, want 28): %+v", got.Misses, got)
+		}
+	}
+
+	if got := m.Counter("progcache_error_evictions_total").Value(); got < 15 {
+		t.Fatalf("error_evictions_total = %d, want >= 15", got)
+	}
+	if got := m.Gauge("progcache_error_entries").Value(); got != float64(c.Stats().ErrorEntries) {
+		t.Fatalf("error_entries gauge = %v, want %d", got, c.Stats().ErrorEntries)
+	}
+
+	// Re-requesting a cached error must not inflate the count.
+	for i := 20; i < 25; i++ {
+		file, src := bad(i)
+		c.Compile(file, src)
+	}
+	if got := c.Stats(); got.ErrorEntries > 10 {
+		t.Fatalf("error entries exceeded the cap after repeat lookups: %+v", got)
+	}
+}
+
+// TestErrorCapConcurrent hammers the error cap from many goroutines so
+// -race proves the accounting's lock discipline.
+func TestErrorCapConcurrent(t *testing.T) {
+	c := New(16) // error cap = minErrorEntries = 4
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				file := fmt.Sprintf("bad-%d-%d.js", g, i%10)
+				if _, _, err := c.Compile(file, `var = = ;`); err == nil {
+					t.Errorf("%s: expected a parse error", file)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.ErrorEntries > 4 {
+		t.Fatalf("error entries = %d, want <= cap 4 (stats %+v)", s.ErrorEntries, s)
+	}
+	if s.ErrorEntries < 0 {
+		t.Fatalf("error accounting went negative: %+v", s)
 	}
 }

@@ -97,8 +97,44 @@ type Options struct {
 	// facts, statistics, and output.
 	Engine vm.Engine
 	// Metrics, when non-nil, receives engine counters (vm_ic_hits,
-	// vm_ic_misses) when the run finishes or seals.
+	// vm_ic_misses). Publication is delta-based and idempotent (see
+	// PublishEngineMetrics): the counters advance by exactly the activity
+	// since the previous publication, so shared registries aggregate
+	// correctly across engines, repeated runs, and the handler phase.
 	Metrics *obs.Metrics
+
+	// OnEnterFunc, when set, observes every user-function activation as its
+	// frame is created: the callee, the packed determinacy signature of its
+	// inputs (see EntrySig), and the heap-flush epoch at entry. The fact
+	// cache uses it to key per-function fact chunks by input determinacy and
+	// to anchor them at flush-epoch join points. Both engines call it at the
+	// same activations in the same order.
+	OnEnterFunc func(fn *ir.Function, sig uint64, epoch uint64)
+}
+
+// EntrySig packs the determinacy of a call's inputs into one word: bit 62
+// is the receiver, bit i (i < 62) is the i-th provided argument, and bit
+// 63 folds the determinacy of any arguments beyond the 62nd. Missing
+// arguments bind determinate undefined and contribute nothing.
+func EntrySig(this Value, args []Value) uint64 {
+	var sig uint64
+	if this.Det {
+		sig |= 1 << 62
+	}
+	overflow := true // vacuously "all determinate"
+	for i, av := range args {
+		if i < 62 {
+			if av.Det {
+				sig |= 1 << uint(i)
+			}
+		} else if !av.Det {
+			overflow = false
+		}
+	}
+	if overflow {
+		sig |= 1 << 63
+	}
+	return sig
 }
 
 // MaxTrackedCFDepth is the size of Stats.CFDepthHist; deeper nestings fold
@@ -217,6 +253,13 @@ type Analysis struct {
 	icHits    int64
 	icMisses  int64
 	bfPool    []*branchFrame
+	// icPubHits/icPubMisses are the publication watermarks: how much of
+	// icHits/icMisses has already been added to Options.Metrics. Delta
+	// publication makes PublishEngineMetrics idempotent, so the counters
+	// never double-add when a run publishes at several points (end of the
+	// main script, after the handler phase, at a partial seal).
+	icPubHits   int64
+	icPubMisses int64
 }
 
 // DFrame is one instrumented activation record.
@@ -353,6 +396,29 @@ func (a *Analysis) Stats() Stats { return a.stats }
 
 // Options returns the analysis configuration.
 func (a *Analysis) Options() Options { return a.opts }
+
+// HeapEpoch returns the current heap-flush epoch. Epochs advance on every
+// heap flush and are the sound join points for stitching memoized facts
+// back into a live run (internal/factcache).
+func (a *Analysis) HeapEpoch() uint64 { return a.heapEpoch }
+
+// PublishEngineMetrics adds the engine counters (vm_ic_hits, vm_ic_misses)
+// accumulated since the previous publication to Options.Metrics. The
+// counters live outside Stats so both engines report identical statistics;
+// delta accounting makes repeated calls safe: a run that publishes at the
+// end of Run, again after the DOM handler phase, and again at a partial
+// seal adds each cache probe exactly once, even when one registry is
+// shared across engines and many runs (the detbench -all configuration).
+// The first call materializes both series even at zero, so a tree-engine
+// run still pins them in metric dumps.
+func (a *Analysis) PublishEngineMetrics() {
+	if a.opts.Metrics == nil {
+		return
+	}
+	a.opts.Metrics.Counter("vm_ic_hits").Add(a.icHits - a.icPubHits)
+	a.opts.Metrics.Counter("vm_ic_misses").Add(a.icMisses - a.icPubMisses)
+	a.icPubHits, a.icPubMisses = a.icHits, a.icMisses
+}
 
 // ---------------------------------------------------------------------------
 // Allocation
@@ -530,6 +596,7 @@ func (a *Analysis) SealPartial() {
 		a.Facts.InvalidateSaturated()
 	}
 	a.stopped = stopped
+	a.PublishEngineMetrics()
 }
 
 // interruptEvery is the step interval between cooperative interrupt polls

@@ -1,0 +1,133 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"determinacy/internal/core"
+	"determinacy/internal/facts"
+	"determinacy/internal/ir"
+	"determinacy/internal/vm"
+)
+
+// ensureHammerSrc exercises the shared compiled state aggressively: inline
+// caches on loads and stores, shape transitions, a megamorphic site, and a
+// superinstruction-fused LoadVar+GetField pair inside a loop.
+const ensureHammerSrc = `
+function mk(n) { var o = {}; o.a = n; o.b = n + 1; return o; }
+function get(o) { return o.a + o.b; }
+var total = 0;
+for (var i = 0; i < 50; i = i + 1) {
+  var o = mk(i);
+  total = total + get(o);
+  o.c = i; // shape transition past the cached shapes
+  total = total + o.c;
+}
+console.log(total);
+`
+
+// runCloneHammer lowers one pristine master and fans N never-ensured clones
+// to concurrent bytecode analyses, returning each run's rendered facts and
+// output. The harness is two-phase on purpose: every goroutine first
+// creates its analysis — core.New is where first-time bytecode compilation
+// attaches code to the master's shared blocks, so this is where concurrent
+// clones contend — and only after a barrier do the runs execute. Without
+// the phase split, the first goroutine's execution floods the shared
+// *ir.Block.Code words with reads and the race detector's bounded shadow
+// history can lose the compile-time write before a later goroutine's
+// conflicting access, masking the very bug this test pins.
+func runCloneHammer(t *testing.T, goroutines int) []string {
+	t.Helper()
+	master, err := ir.Compile("hammer.js", ensureHammerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type job struct {
+		a     *core.Analysis
+		store *facts.Store
+		out   bytes.Buffer
+	}
+	jobs := make([]*job, goroutines)
+	results := make([]string, goroutines)
+	errs := make([]error, goroutines)
+	var created, done sync.WaitGroup
+	release := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		created.Add(1)
+		done.Add(1)
+		go func(g int) {
+			defer done.Done()
+			j := &job{store: facts.NewStore()}
+			// Phase 1: concurrent creation. Before the Ensure fix, the
+			// clones' first-time compiles raced here on the shared blocks.
+			j.a = core.New(master.Clone(), j.store, core.Options{Engine: vm.EngineBytecode, Out: &j.out})
+			jobs[g] = j
+			created.Done()
+			<-release
+			// Phase 2: concurrent execution over the shared compiled code
+			// with per-run IC and shape state.
+			if _, err := j.a.Run(); err != nil {
+				errs[g] = err
+				return
+			}
+			var b bytes.Buffer
+			for _, f := range j.store.Sorted() {
+				fmt.Fprintf(&b, "%d|%s|%d det=%v hits=%d val=%v\n", f.Instr, f.Ctx.Key(), f.Seq, f.Det, f.Hits, f.Val)
+			}
+			b.WriteString("OUT:" + j.out.String())
+			results[g] = b.String()
+		}(g)
+	}
+	created.Wait()
+	close(release)
+	done.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	return results
+}
+
+// TestEnsureConcurrentClones is the -race regression test for cross-request
+// mutable sharing of cached bytecode state: many goroutines take clones of
+// one cached (lowered-but-not-compiled) program and run them concurrently.
+// Every run must produce identical facts and output, and the race detector
+// must stay quiet while the goroutines contend on first-time compilation.
+func TestEnsureConcurrentClones(t *testing.T) {
+	for round := 0; round < 4; round++ {
+		results := runCloneHammer(t, 16)
+		for g := 1; g < len(results); g++ {
+			if results[g] != results[0] {
+				t.Fatalf("round %d: goroutine %d produced different facts/output than goroutine 0:\n%s\nvs\n%s",
+					round, g, results[g], results[0])
+			}
+		}
+	}
+}
+
+// TestEnsureRecoversICCount pins the index-rebuild path: an Ensure that
+// finds the shared blocks already compiled must recover the same inline
+// cache site count the compiling Ensure allocated, or IC slot lookups would
+// index out of range at run time.
+func TestEnsureRecoversICCount(t *testing.T) {
+	master, err := ir.Compile("hammer.js", ensureHammerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := master.Clone()
+	second := master.Clone()
+	infoA := vm.Ensure(first)  // compiles the shared blocks
+	infoB := vm.Ensure(second) // must rebuild metadata from them
+	if infoA.NumICs == 0 {
+		t.Fatal("test program allocated no IC sites; it no longer exercises the recovery path")
+	}
+	if infoB.NumICs != infoA.NumICs {
+		t.Fatalf("recovered NumICs = %d, compiling Ensure allocated %d", infoB.NumICs, infoA.NumICs)
+	}
+	if len(infoB.Fns) != len(infoA.Fns) {
+		t.Fatalf("recovered %d function indexes, want %d", len(infoB.Fns), len(infoA.Fns))
+	}
+}

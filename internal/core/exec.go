@@ -62,12 +62,11 @@ func (a *Analysis) Run() (v Value, err error) {
 	defer func() {
 		// The run is over: drop the recycled branch frames and their journal
 		// arenas, and publish the engine counters (kept out of Stats so both
-		// engines report identical statistics).
+		// engines report identical statistics). Publication is delta-based,
+		// so handler-phase activity after Run returns is picked up by a later
+		// PublishEngineMetrics without re-adding anything counted here.
 		a.bfPool = nil
-		if a.opts.Metrics != nil {
-			a.opts.Metrics.Counter("vm_ic_hits").Add(a.icHits)
-			a.opts.Metrics.Counter("vm_ic_misses").Add(a.icMisses)
-		}
+		a.PublishEngineMetrics()
 	}()
 	top := a.Mod.Top()
 	f := &DFrame{
@@ -1031,6 +1030,9 @@ func (a *Analysis) callValue(fnv Value, this Value, args []Value, site ir.ID) ou
 	}
 	nf := &DFrame{Fn: fn, Env: env, Regs: make([]Value, fn.NumRegs), CallSite: site, Ctx: ctx, ctxUnstable: ctxUnstable}
 	a.initSeq(nf)
+	if a.opts.OnEnterFunc != nil {
+		a.opts.OnEnterFunc(fn, EntrySig(this, args), a.heapEpoch)
+	}
 	a.frames = append(a.frames, nf)
 	out := a.execBlock(nf, fn.Body)
 	a.frames = a.frames[:len(a.frames)-1]

@@ -32,6 +32,13 @@ type Config struct {
 	// (bytecode when zero); the per-seed engine oracle always runs the
 	// opposite engine for comparison, so both are exercised either way.
 	Engine vm.Engine
+	// FactCacheDir, when non-empty, additionally runs the memoization
+	// oracle for every seed: each program is analyzed cold (populating
+	// the fact DB under this directory) and warm (served from it, on the
+	// opposite engine), and the two runs must be byte-identical — see
+	// KindMemoDiverge. The cold engine alternates with seed parity so
+	// both cold/warm engine orders are exercised.
+	FactCacheDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -53,8 +60,12 @@ type Report struct {
 	Failures     []Failure `json:"failures"`
 	// Skipped counts seeds never checked because Config.Ctx was cancelled
 	// mid-campaign.
-	Skipped   int   `json:"skipped,omitempty"`
-	ElapsedMS int64 `json:"elapsed_ms"`
+	Skipped int `json:"skipped,omitempty"`
+	// MemoChecks counts cold/warm memoization-oracle comparisons (two per
+	// seed when Config.FactCacheDir is set: a complete leg and a
+	// budget-limited partial leg).
+	MemoChecks int   `json:"memo_checks,omitempty"`
+	ElapsedMS  int64 `json:"elapsed_ms"`
 }
 
 // Run fans the campaign's programs out across the batch worker pool and
@@ -77,6 +88,7 @@ func RunFor(cfg Config, d time.Duration) Report {
 		rep := runOn(pool, cfg)
 		total.Programs += rep.Programs
 		total.FactsChecked += rep.FactsChecked
+		total.MemoChecks += rep.MemoChecks
 		total.Failures = append(total.Failures, rep.Failures...)
 		total.Skipped += rep.Skipped
 		cfg.BaseSeed += uint64(cfg.Seeds)
@@ -94,12 +106,29 @@ func RunFor(cfg Config, d time.Duration) Report {
 func runOn(pool *batch.Pool, cfg Config) Report {
 	start := time.Now()
 	type outcome struct {
-		checked int
-		fail    *Failure
+		checked    int
+		memoChecks int
+		fail       *Failure
 	}
 	outs, qs := batch.MapCtx(cfg.Ctx, pool, cfg.Seeds, func(i int) outcome {
-		checked, f := CheckSeedEngine(cfg.BaseSeed+uint64(i), cfg.Resolutions, cfg.Engine)
-		return outcome{checked, f}
+		seed := cfg.BaseSeed + uint64(i)
+		checked, f := CheckSeedEngine(seed, cfg.Resolutions, cfg.Engine)
+		o := outcome{checked: checked, fail: f}
+		if cfg.FactCacheDir != "" && o.fail == nil {
+			// Alternate the cold engine with seed parity so the oracle
+			// exercises both cold/warm engine pairings.
+			cold := cfg.Engine
+			if i%2 == 1 {
+				if cold.Bytecode() {
+					cold = vm.EngineTree
+				} else {
+					cold = vm.EngineBytecode
+				}
+			}
+			o.memoChecks = 2
+			o.fail = CheckMemoSeed(seed, cfg.FactCacheDir, cold)
+		}
+		return o
 	})
 	rep := Report{Programs: cfg.Seeds, Resolutions: cfg.Resolutions}
 	for _, q := range qs {
@@ -115,8 +144,11 @@ func runOn(pool *batch.Pool, cfg Config) Report {
 	}
 	for _, o := range outs {
 		rep.FactsChecked += o.checked
+		rep.MemoChecks += o.memoChecks
 		if o.fail != nil {
-			if cfg.Reduce {
+			// Memo-oracle failures depend on fact-DB state, which the
+			// stateless reduction predicate cannot reproduce.
+			if cfg.Reduce && o.fail.Kind != KindMemoDiverge {
 				o.fail.Minimized = Reduce(o.fail.Program,
 					SameFailure(o.fail.Kind, cfg.Resolutions, o.fail.GenSeed))
 			}

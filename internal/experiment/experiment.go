@@ -18,6 +18,7 @@ import (
 	"determinacy/internal/batch/progcache"
 	"determinacy/internal/core"
 	"determinacy/internal/dom"
+	"determinacy/internal/factcache"
 	"determinacy/internal/facts"
 	"determinacy/internal/ir"
 	"determinacy/internal/obs"
@@ -67,6 +68,12 @@ type Config struct {
 	// zero). Both engines produce identical rows and statistics; the
 	// choice only moves wall-clock time.
 	Engine vm.Engine
+	// FactCache, when non-nil, memoizes completed dynamic runs in the
+	// on-disk fact database (L2 under the compile cache): repeated
+	// experiment sweeps over the same workloads serve facts, statistics and
+	// handler counts from cache, byte-identical to a cold run. Runs stopped
+	// at the flush cap (or failing outright) never populate it.
+	FactCache *factcache.Cache
 }
 
 func (c Config) withDefaults() Config {
@@ -120,26 +127,87 @@ type DynamicRun struct {
 	HandlersRan int
 }
 
+// experimentNow is the fixed Date.now the experiments run under: the
+// PLDI'13 week; any fixed instant works.
+const experimentNow = 1371161337000
+
+// dynamicSig is the fact-cache signature of one experiment dynamic run.
+func dynamicSig(detDOM bool, cfg Config) factcache.Sig {
+	return factcache.Sig{
+		Seed:        cfg.Seed,
+		NowBits:     factcache.NumSigBits(experimentNow),
+		WithDOM:     true,
+		DetDOM:      detDOM,
+		RunHandlers: cfg.HandlerLimit,
+		MaxFlushes:  cfg.MaxFlushes,
+	}
+}
+
+// discardCapture tees the (discarded) console output into a bounded buffer
+// so a cached run replays it; see factcache.MaxOutputBytes.
+type discardCapture struct {
+	b        []byte
+	overflow bool
+}
+
+func (w *discardCapture) Write(p []byte) (int, error) {
+	if len(w.b)+len(p) > factcache.MaxOutputBytes {
+		w.overflow = true
+	} else {
+		w.b = append(w.b, p...)
+	}
+	return len(p), nil
+}
+
 // RunDynamic executes src under the instrumented interpreter with the DOM
-// emulation, driving registered event handlers afterwards.
+// emulation, driving registered event handlers afterwards. With
+// cfg.FactCache set, a completed run (no error, no flush-cap stop, no
+// runtime eval) is memoized and an identical re-submission is served from
+// the cache byte-identically.
 func RunDynamic(src string, detDOM bool, cfg Config) (*DynamicRun, error) {
 	cfg = cfg.withDefaults()
 	prog, mod, err := cfg.compile("workload.js", src)
 	if err != nil {
 		return nil, fmt.Errorf("compile: %w", err)
 	}
+
+	var (
+		key     factcache.Key
+		rec     *factcache.Recorder
+		capture *discardCapture
+	)
+	coreOut := io.Writer(io.Discard)
+	if cfg.FactCache != nil {
+		key = factcache.KeyFor("workload.js", src, dynamicSig(detDOM, cfg))
+		if hit, ok := cfg.FactCache.Lookup(key); ok {
+			return &DynamicRun{
+				Prog: prog, Mod: mod, Store: hit.Store,
+				Stats: hit.Stats, HandlersRan: hit.HandlersRan,
+			}, nil
+		}
+		cfg.FactCache.Diff(key, mod)
+		rec = factcache.NewRecorder()
+		capture = &discardCapture{}
+		coreOut = capture
+	}
+
+	staticInstrs := mod.NumInstrs
 	store := facts.NewStore()
-	a := core.New(mod, store, core.Options{
+	coreOpts := core.Options{
 		Seed:       cfg.Seed,
-		Now:        1371161337000, // PLDI'13 week; any fixed instant works
+		Now:        experimentNow,
 		MaxFlushes: cfg.MaxFlushes,
-		Out:        io.Discard,
+		Out:        coreOut,
 		Tracer:     cfg.Tracer,
 		Ctx:        cfg.Ctx,
 		Deadline:   cfg.Deadline,
 		Engine:     cfg.Engine,
 		Metrics:    cfg.Metrics,
-	})
+	}
+	if rec != nil {
+		coreOpts.OnEnterFunc = rec.OnEnter
+	}
+	a := core.New(mod, store, coreOpts)
 	doc := dom.NewDocument(dom.Options{})
 	binding := dom.InstallCore(a, doc, detDOM)
 
@@ -148,6 +216,9 @@ func RunDynamic(src string, detDOM bool, cfg Config) (*DynamicRun, error) {
 	if runErr == nil || errors.Is(runErr, core.ErrFlushLimit) {
 		n, herr := binding.RunHandlers(cfg.HandlerLimit)
 		out.HandlersRan = n
+		// Handler-phase engine counters publish as a delta on top of Run's
+		// own publish (see core.PublishEngineMetrics).
+		a.PublishEngineMetrics()
 		if runErr == nil {
 			runErr = herr
 		}
@@ -158,6 +229,23 @@ func RunDynamic(src string, detDOM bool, cfg Config) (*DynamicRun, error) {
 	}
 	out.RunErr = runErr
 	out.Stats = a.Stats()
+
+	if cfg.FactCache != nil {
+		switch {
+		case out.RunErr != nil:
+			cfg.FactCache.Skip("error")
+		case out.FlushLimit:
+			// A flush-cap stop is a partial execution: its facts are sound
+			// but not what an uncapped run produces — never cache it.
+			cfg.FactCache.Skip("partial")
+		case mod.NumInstrs > staticInstrs:
+			cfg.FactCache.Skip("eval")
+		case capture.overflow:
+			cfg.FactCache.Skip("output-cap")
+		default:
+			cfg.FactCache.Store(key, mod, store, rec, capture.b, out.Stats, out.HandlersRan)
+		}
+	}
 	return out, nil
 }
 

@@ -1,0 +1,490 @@
+// Package factcache memoizes determinacy analysis results at function
+// granularity in an on-disk, content-addressed fact database — the L2
+// layer under the front-end compile cache (internal/batch/progcache, L1).
+//
+// A completed run is split into per-function fact chunks, each keyed by
+// the content hash of the function's body plus the folded determinacy
+// signature of its inputs at entry (core.EntrySig) and the heap-flush
+// epoch span it was observed over — heap flushes are the analysis' sound
+// join points (§4 of the paper), so they are the boundaries at which
+// cached facts can be stitched back into a live result. A manifest ties
+// the chunks of one (program, options) pair together with the global
+// recording-order interleaving, the console output, and the run
+// statistics; serving a warm hit replays the chunks through the ordinary
+// Store.Record path and is therefore byte-identical to re-running the
+// analysis — the property internal/diffcheck's memoization oracle checks.
+//
+// On a re-submission whose source changed, the full key misses but a
+// per-(program, options) head still names the previous manifest; Diff
+// compares per-function body hashes against it so the incremental cost is
+// visible (factcache_fn_{unchanged,changed}_total), and unchanged
+// functions' chunks deduplicate in the object store when the new run is
+// recorded.
+//
+// Eligibility is decided by callers (only they see partiality): partial,
+// degraded, errored, or eval-containing runs must NEVER populate the
+// cache — a cached entry asserts "this is exactly what a fresh run
+// produces", which a truncated run cannot. The engine is deliberately
+// absent from the key: both execution engines are byte-identical by
+// contract, so warm hits serve across engines.
+package factcache
+
+import (
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"determinacy/internal/core"
+	"determinacy/internal/facts"
+	"determinacy/internal/ir"
+	"determinacy/internal/obs"
+)
+
+// DefaultMemEntries bounds the in-memory LRU of decoded manifests; disk
+// entries are unbounded (content-addressed objects dedup naturally).
+const DefaultMemEntries = 64
+
+// MaxOutputBytes caps the console output a cached run may carry; runs
+// printing more are not cached (skip reason "output-cap").
+const MaxOutputBytes = 1 << 20
+
+// Sig is the canonical signature of every analysis option that shapes
+// facts, statistics or output. Sinks (Out, Tracer, Metrics), scheduling
+// (Workers, Deadline, Ctx) and the Engine (byte-identical by contract) are
+// deliberately absent.
+type Sig struct {
+	Seed                  uint64     `json:"seed"`
+	NowBits               uint64     `json:"now"`
+	Inputs                []InputSig `json:"inputs,omitempty"`
+	WithDOM               bool       `json:"dom,omitempty"`
+	DetDOM                bool       `json:"detdom,omitempty"`
+	RunHandlers           int        `json:"handlers,omitempty"`
+	MaxCFDepth            int        `json:"cfdepth,omitempty"`
+	MaxFlushes            int        `json:"flushes,omitempty"`
+	MaxSteps              int        `json:"steps,omitempty"`
+	DisableCounterfactual bool       `json:"nocf,omitempty"`
+	ImmediateTaint        bool       `json:"taint,omitempty"`
+	MuJSLocals            bool       `json:"mujs,omitempty"`
+}
+
+// InputSig is one __input binding in canonical form.
+type InputSig struct {
+	Name    string `json:"name"`
+	Kind    int    `json:"kind"`
+	NumBits uint64 `json:"num,omitempty"`
+	Str     string `json:"str,omitempty"`
+	Bool    bool   `json:"bool,omitempty"`
+}
+
+// NumSigBits canonicalizes a float for signature purposes (NaN bit
+// patterns collapse to one).
+func NumSigBits(f float64) uint64 {
+	if math.IsNaN(f) {
+		return math.Float64bits(math.NaN())
+	}
+	return math.Float64bits(f)
+}
+
+// canon serializes the signature deterministically (inputs sorted by
+// name).
+func (s Sig) canon() []byte {
+	sort.Slice(s.Inputs, func(i, j int) bool { return s.Inputs[i].Name < s.Inputs[j].Name })
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Sig is a closed struct of scalars; Marshal cannot fail.
+		panic(err)
+	}
+	return b
+}
+
+// Key addresses one (program, options) pair in the cache.
+type Key struct {
+	id   string // full address: schema + file + source hash + options
+	head string // diff anchor: same minus the source hash
+}
+
+// KeyFor derives the cache key for a program and its options signature.
+func KeyFor(file, source string, sig Sig) Key {
+	sb := string(sig.canon())
+	return Key{
+		id:   hashString(fmt.Sprintf("key\x00%d\x00%s\x00%s\x00%s", Schema, file, hashString(source), sb)),
+		head: hashString(fmt.Sprintf("head\x00%d\x00%s\x00%s", Schema, file, sb)),
+	}
+}
+
+// ID reports the full cache address (diagnostics, tests).
+func (k Key) ID() string { return k.id }
+
+// Zero reports whether the key is the zero value (no cache in play).
+func (k Key) Zero() bool { return k.id == "" }
+
+// Hit is a warm result: everything a cold run would have produced.
+type Hit struct {
+	// Store is a freshly stitched fact store; the caller owns it.
+	Store *facts.Store
+	// Output is the run's console bytes.
+	Output []byte
+	// Stats are the cold run's statistics.
+	Stats core.Stats
+	// HandlersRan counts the DOM handlers the cold run drove.
+	HandlersRan int
+	// Chunks is the number of function chunks stitched into Store.
+	Chunks int
+}
+
+// DiffReport summarizes a per-function IR diff against the previous cached
+// manifest for the same (program, options) anchor.
+type DiffReport struct {
+	Total     int // functions in the current lowering
+	Unchanged int // body hash present in the previous manifest
+	Changed   int // new or modified bodies that need re-analysis
+}
+
+// CacheStats is a point-in-time snapshot of cache activity, for tests and
+// diagnostics; the live series go to the attached metrics registry.
+type CacheStats struct {
+	Hits, Misses, Stores, Joins  int64
+	Invalidations, Skips         int64
+	ChunksWritten, ChunksDeduped int64
+	FnUnchanged, FnChanged       int64
+}
+
+// Cache is the fact cache: an on-disk DB plus a small in-memory LRU of
+// decoded entries. Safe for concurrent use.
+type Cache struct {
+	db *DB
+
+	mu     sync.Mutex
+	mem    map[string]*memEntry
+	lru    *list.List // front = most recently used; values are *memEntry
+	maxMem int
+
+	metrics *obs.Metrics
+	stats   CacheStats
+}
+
+type memEntry struct {
+	key    string
+	elem   *list.Element
+	man    *manifest
+	chunks []*chunkPayload
+}
+
+// Open creates or opens a fact cache rooted at dir.
+func Open(dir string) (*Cache, error) {
+	db, err := OpenDB(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{
+		db:     db,
+		mem:    map[string]*memEntry{},
+		lru:    list.New(),
+		maxMem: DefaultMemEntries,
+	}, nil
+}
+
+// WithMetrics attaches a metrics registry; the cache then maintains
+// factcache_* series live. Returns the cache for chaining.
+func (c *Cache) WithMetrics(m *obs.Metrics) *Cache {
+	c.mu.Lock()
+	c.metrics = m
+	c.mu.Unlock()
+	return c
+}
+
+// Dir reports the cache's database root.
+func (c *Cache) Dir() string { return c.db.Dir() }
+
+// Stats snapshots cumulative cache activity.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// count bumps a local stat and the matching metrics series under c.mu.
+func (c *Cache) countLocked(stat *int64, name string) {
+	*stat++
+	if c.metrics != nil {
+		c.metrics.Counter(name).Inc()
+	}
+}
+
+// Skip records that a run was deliberately not cached and why ("partial",
+// "error", "eval", "output-cap", "unmapped"). The eligibility decision
+// lives with callers; the taxonomy lives here so every layer shares one
+// series.
+func (c *Cache) Skip(reason string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.countLocked(&c.stats.Skips, fmt.Sprintf("factcache_skips_total{reason=%q}", reason))
+}
+
+// invalidate drops a broken entry: the head pointer is removed so the next
+// lookup is a clean miss, and the reason is published.
+func (c *Cache) invalidate(key Key, reason string, objectID string) {
+	c.db.RemoveHead(key.id)
+	if objectID != "" {
+		c.db.RemoveObject(objectID)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.mem, key.id)
+	c.countLocked(&c.stats.Invalidations, fmt.Sprintf("factcache_invalidations_total{reason=%q}", reason))
+}
+
+// reasonFor classifies a read error for the invalidation series.
+func reasonFor(err error) string {
+	switch {
+	case IsNotExist(err):
+		return "missing"
+	case errors.Is(err, ErrVersion):
+		return "version"
+	default:
+		return "corrupt"
+	}
+}
+
+// Lookup serves a warm result for key, stitching a fresh fact store from
+// the cached chunks. ok is false on a miss; any invalid on-disk state
+// (truncation, bit flips, version skew, structural inconsistency) is
+// invalidated and reported as a miss — never an error, never a wrong
+// result.
+func (c *Cache) Lookup(key Key) (*Hit, bool) {
+	if key.Zero() {
+		return nil, false
+	}
+	man, chunks, ok := c.load(key)
+	if !ok {
+		c.mu.Lock()
+		c.countLocked(&c.stats.Misses, "factcache_misses_total")
+		c.mu.Unlock()
+		return nil, false
+	}
+	store, err := stitch(man, chunks)
+	if err != nil {
+		c.invalidate(key, "stitch", "")
+		c.mu.Lock()
+		c.countLocked(&c.stats.Misses, "factcache_misses_total")
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.mu.Lock()
+	c.countLocked(&c.stats.Hits, "factcache_hits_total")
+	c.stats.Joins += int64(len(chunks))
+	if c.metrics != nil {
+		c.metrics.Counter("factcache_joins_total").Add(int64(len(chunks)))
+	}
+	c.mu.Unlock()
+	out := make([]byte, len(man.Output))
+	copy(out, man.Output)
+	return &Hit{
+		Store:       store,
+		Output:      out,
+		Stats:       man.Stats,
+		HandlersRan: man.HandlersRan,
+		Chunks:      len(chunks),
+	}, true
+}
+
+// load fetches the decoded manifest + chunks for key, from the memory LRU
+// or disk. Absence is a quiet miss; invalid state invalidates first.
+func (c *Cache) load(key Key) (*manifest, []*chunkPayload, bool) {
+	c.mu.Lock()
+	if e, ok := c.mem[key.id]; ok {
+		c.lru.MoveToFront(e.elem)
+		man, chunks := e.man, e.chunks
+		c.mu.Unlock()
+		return man, chunks, true
+	}
+	c.mu.Unlock()
+
+	mid, err := c.db.Head(key.id)
+	if err != nil {
+		if !IsNotExist(err) {
+			c.invalidate(key, reasonFor(err), "")
+		}
+		return nil, nil, false
+	}
+	mb, err := c.db.GetObject(mid, KindManifest)
+	if err != nil {
+		c.invalidate(key, reasonFor(err), mid)
+		return nil, nil, false
+	}
+	man := &manifest{}
+	if err := json.Unmarshal(mb, man); err != nil || man.Schema != Schema {
+		c.invalidate(key, "schema", mid)
+		return nil, nil, false
+	}
+	if len(man.ChunkFns) != len(man.Chunks) || len(man.ChunkBodies) != len(man.Chunks) {
+		c.invalidate(key, "schema", mid)
+		return nil, nil, false
+	}
+	chunks := make([]*chunkPayload, len(man.Chunks))
+	for i, cid := range man.Chunks {
+		cb, err := c.db.GetObject(cid, KindChunk)
+		if err != nil {
+			c.invalidate(key, reasonFor(err), cid)
+			return nil, nil, false
+		}
+		ch := &chunkPayload{}
+		if err := json.Unmarshal(cb, ch); err != nil || ch.Schema != Schema {
+			c.invalidate(key, "schema", cid)
+			return nil, nil, false
+		}
+		chunks[i] = ch
+	}
+	c.remember(key, man, chunks)
+	return man, chunks, true
+}
+
+// remember inserts a decoded entry into the memory LRU.
+func (c *Cache) remember(key Key, man *manifest, chunks []*chunkPayload) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.mem[key.id]; ok {
+		e.man, e.chunks = man, chunks
+		c.lru.MoveToFront(e.elem)
+		return
+	}
+	e := &memEntry{key: key.id, man: man, chunks: chunks}
+	e.elem = c.lru.PushFront(e)
+	c.mem[key.id] = e
+	for len(c.mem) > c.maxMem {
+		back := c.lru.Back()
+		be := back.Value.(*memEntry)
+		c.lru.Remove(back)
+		delete(c.mem, be.key)
+	}
+	if c.metrics != nil {
+		c.metrics.Gauge("factcache_mem_entries").Set(float64(len(c.mem)))
+	}
+}
+
+// Store persists a COMPLETED run — the caller vouches that it ran to the
+// end (not partial, not degraded, no runtime eval) and that store/output/
+// stats are exactly what any fresh run with the same key produces.
+func (c *Cache) Store(key Key, mod *ir.Module, store *facts.Store, rec *Recorder, output []byte, stats core.Stats, handlersRan int) error {
+	if key.Zero() {
+		return nil
+	}
+	if len(output) > MaxOutputBytes {
+		c.Skip("output-cap")
+		return nil
+	}
+	chunks, order, err := splitChunks(mod, store, rec)
+	if err != nil {
+		c.Skip("unmapped")
+		return nil
+	}
+	man := &manifest{
+		Schema:      Schema,
+		File:        mod.File,
+		SourceHash:  hashString(mod.Source),
+		Order:       order,
+		Output:      output,
+		Stats:       stats,
+		HandlersRan: handlersRan,
+		MaxSeq:      store.MaxSeq,
+	}
+	var written, deduped int64
+	for _, ch := range chunks {
+		cb, err := json.Marshal(ch)
+		if err != nil {
+			return fmt.Errorf("factcache: encode chunk: %w", err)
+		}
+		cid, created, err := c.db.PutObject(KindChunk, cb)
+		if err != nil {
+			return err
+		}
+		if created {
+			written++
+		} else {
+			deduped++
+		}
+		man.Chunks = append(man.Chunks, cid)
+		man.ChunkFns = append(man.ChunkFns, ch.Fn)
+		man.ChunkBodies = append(man.ChunkBodies, ch.BodyHash)
+	}
+	mb, err := json.Marshal(man)
+	if err != nil {
+		return fmt.Errorf("factcache: encode manifest: %w", err)
+	}
+	mid, _, err := c.db.PutObject(KindManifest, mb)
+	if err != nil {
+		return err
+	}
+	if err := c.db.SetHead(key.id, mid); err != nil {
+		return err
+	}
+	if err := c.db.SetHead(key.head, mid); err != nil {
+		return err
+	}
+	c.remember(key, man, chunks)
+	c.mu.Lock()
+	c.countLocked(&c.stats.Stores, "factcache_stores_total")
+	c.stats.ChunksWritten += written
+	c.stats.ChunksDeduped += deduped
+	if c.metrics != nil {
+		c.metrics.Counter("factcache_chunks_written_total").Add(written)
+		c.metrics.Counter("factcache_chunks_deduped_total").Add(deduped)
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// Diff compares the current lowering's per-function body hashes against
+// the most recent cached manifest for the same (program, options) anchor —
+// the incremental-resubmission report: after an edit the full key misses,
+// but the anchor still says which functions actually changed and thus how
+// much of the re-analysis the chunk store will absorb. ok is false when no
+// previous manifest exists (first sight of this program).
+func (c *Cache) Diff(key Key, mod *ir.Module) (DiffReport, bool) {
+	if key.Zero() {
+		return DiffReport{}, false
+	}
+	mid, err := c.db.Head(key.head)
+	if err != nil {
+		if !IsNotExist(err) {
+			c.db.RemoveHead(key.head)
+		}
+		return DiffReport{}, false
+	}
+	mb, err := c.db.GetObject(mid, KindManifest)
+	if err != nil {
+		c.db.RemoveHead(key.head)
+		return DiffReport{}, false
+	}
+	man := &manifest{}
+	if err := json.Unmarshal(mb, man); err != nil || man.Schema != Schema {
+		c.db.RemoveHead(key.head)
+		return DiffReport{}, false
+	}
+	prev := make(map[string]bool, len(man.ChunkBodies))
+	for _, h := range man.ChunkBodies {
+		prev[h] = true
+	}
+	var rep DiffReport
+	for _, fn := range mod.Funcs {
+		rep.Total++
+		if prev[BodyHash(mod, fn)] {
+			rep.Unchanged++
+		} else {
+			rep.Changed++
+		}
+	}
+	c.mu.Lock()
+	c.stats.FnUnchanged += int64(rep.Unchanged)
+	c.stats.FnChanged += int64(rep.Changed)
+	if c.metrics != nil {
+		c.metrics.Counter("factcache_fn_unchanged_total").Add(int64(rep.Unchanged))
+		c.metrics.Counter("factcache_fn_changed_total").Add(int64(rep.Changed))
+	}
+	c.mu.Unlock()
+	return rep, true
+}

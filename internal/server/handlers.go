@@ -372,7 +372,8 @@ func (s *Server) analyzeOptions(seed uint64, maxFlushes, maxSteps, handlers int,
 		Engine:           s.cfg.Engine,
 		// Engine counters (vm_ic_hits/vm_ic_misses) aggregate across
 		// requests into the server registry scraped at /metrics.
-		Metrics: s.metrics,
+		Metrics:   s.metrics,
+		FactCache: s.cfg.FactCache,
 	}
 }
 

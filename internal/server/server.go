@@ -79,6 +79,11 @@ type Config struct {
 	// Engine selects the execution engine for every analysis the server
 	// runs (bytecode when zero). Responses are byte-identical either way.
 	Engine determinacy.Engine
+	// FactCache, when set, memoizes completed single-run analyses in the
+	// on-disk fact DB (L2 under the compile cache's L1). Warm hits serve
+	// byte-identical responses; partial/degraded/errored runs never
+	// populate it, so cached facts are always from clean completions.
+	FactCache *determinacy.FactCache
 }
 
 func (c Config) withDefaults() Config {

@@ -1,29 +1,107 @@
 package vm
 
 import (
+	"sync"
+
 	"determinacy/internal/ir"
 )
 
-// Ensure compiles mod's functions to bytecode exactly once, attaching code
-// to every block and metadata to the module, and returns the metadata.
-// Attaching code mutates blocks that module clones share, so Ensure must
-// only be called where no sibling clone executes concurrently: on a freshly
-// lowered module, or on the pristine master inside the progcache's
-// singleflight (clones then inherit the attached code and the shared
-// *Info). Ensure on an already-compiled module (or any of its clones) is a
-// cheap no-op.
+// ensureMu serializes first-time compilation. Compilation attaches code to
+// blocks that every clone of a module shares, so two goroutines ensuring
+// sibling clones of a never-compiled master would race on the same
+// *ir.Block.Code fields without it. Compilation happens once per distinct
+// program, so a single package lock is contention-free in practice.
+var ensureMu sync.Mutex
+
+// Ensure compiles mod's functions to bytecode exactly once per clone
+// family, attaching code to the shared blocks and metadata to this module,
+// and returns the metadata. It is safe to call concurrently on sibling
+// clones of one master: the first caller compiles under ensureMu, later
+// callers (and callers on clones of an already-compiled master) find the
+// shared blocks populated and only rebuild the cheap per-function indexes.
+// Ensure on a module that already carries metadata is a lock-free no-op —
+// the caller must have obtained the clone through a synchronizing handoff
+// (the progcache singleflight, or plain single-goroutine creation), which
+// orders the compile before the read.
 func Ensure(mod *ir.Module) *Info {
 	if info := InfoOf(mod); info != nil {
 		return info
 	}
+	ensureMu.Lock()
+	defer ensureMu.Unlock()
 	info := &Info{Fns: make(map[*ir.Function]*FnInfo, len(mod.Funcs))}
-	ics := 0
-	for _, fn := range mod.Funcs {
-		info.Fns[fn] = CompileFunc(fn, &ics)
+	if top := mod.Top(); top.Body != nil && CodeOf(top.Body) != nil {
+		// A sibling clone compiled the shared blocks already (a completed
+		// Ensure attaches code to every block, top level included, before
+		// releasing ensureMu — there is no partially-compiled state to
+		// observe here). Recover this clone's metadata without touching the
+		// attached code: the index computation is a pure function of the
+		// immutable instruction IDs, and the IC site count is read back off
+		// the numbered sites.
+		maxSite := int32(NoIC)
+		for _, fn := range mod.Funcs {
+			c := &fnCompiler{}
+			c.scanBlock(fn.Body)
+			info.Fns[fn] = c.finishIndex()
+			if s := maxSiteIn(fn.Body); s > maxSite {
+				maxSite = s
+			}
+		}
+		info.NumICs = int(maxSite + 1)
+	} else {
+		ics := 0
+		for _, fn := range mod.Funcs {
+			info.Fns[fn] = CompileFunc(fn, &ics)
+		}
+		info.NumICs = ics
 	}
-	info.NumICs = ics
 	mod.VMInfo = info
 	return info
+}
+
+// maxSiteIn returns the largest inline-cache site number in a compiled
+// block tree (NoIC when it has none).
+func maxSiteIn(b *ir.Block) int32 {
+	maxSite := NoIC
+	if b == nil {
+		return maxSite
+	}
+	code := CodeOf(b)
+	if code == nil {
+		return maxSite
+	}
+	for _, in := range code.Ins {
+		if in.Site > maxSite {
+			maxSite = in.Site
+		}
+	}
+	for _, in := range b.Instrs {
+		switch in := in.(type) {
+		case *ir.If:
+			for _, c := range []*ir.Block{in.Then, in.Else} {
+				if s := maxSiteIn(c); s > maxSite {
+					maxSite = s
+				}
+			}
+		case *ir.While:
+			for _, c := range []*ir.Block{in.CondBlock, in.Body, in.Update} {
+				if s := maxSiteIn(c); s > maxSite {
+					maxSite = s
+				}
+			}
+		case *ir.ForIn:
+			if s := maxSiteIn(in.Body); s > maxSite {
+				maxSite = s
+			}
+		case *ir.Try:
+			for _, c := range []*ir.Block{in.Body, in.Catch, in.Finally} {
+				if s := maxSiteIn(c); s > maxSite {
+					maxSite = s
+				}
+			}
+		}
+	}
+	return maxSite
 }
 
 // CompileFunc compiles one function's blocks, numbering inline-cache sites
