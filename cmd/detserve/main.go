@@ -45,6 +45,7 @@ import (
 	"determinacy/internal/cliexit"
 	"determinacy/internal/obs"
 	"determinacy/internal/server"
+	"determinacy/internal/server/sched"
 	"determinacy/internal/version"
 )
 
@@ -66,6 +67,9 @@ func main() {
 		engine    = flag.String("engine", "bytecode", "execution engine for analysis requests: bytecode or tree (identical responses, different speed)")
 		noTrace   = flag.Bool("no-trace", false, "disable per-request tracing (requests run on the zero-alloc nil-tracer path)")
 		factDir   = flag.String("factcache", "", "directory for the on-disk fact DB (L2 under the compile cache); warm re-submissions of an unchanged program serve memoized facts")
+		schedPol  = flag.String("scheduler", "fifo", "admission scheduler: fifo (first come first served), wfq (weighted-fair across tenants), or priority (strict interactive > batch > background classes)")
+		tenants   = flag.String("tenants", "", `per-tenant scheduling config, JSON or @file: {"pro":{"weight":4,"rate":50},"bulk":{"weight":1,"class":"batch"},"*":{"weight":1}}`)
+		heartbeat = flag.Duration("stream-heartbeat", 15*time.Second, "keepalive interval on ?stream= responses (0 = disabled)")
 		showVer   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Usage = func() {
@@ -103,6 +107,23 @@ func main() {
 	if engErr != nil {
 		badFlag("%v", engErr)
 	}
+	if *heartbeat < 0 {
+		badFlag("-stream-heartbeat must be non-negative, got %v", *heartbeat)
+	}
+	policy, polErr := sched.ParsePolicy(*schedPol)
+	if polErr != nil {
+		badFlag("%v", polErr)
+	}
+	tenantTable, tErr := sched.ParseTableFlag(*tenants)
+	if tErr != nil {
+		badFlag("%v", tErr)
+	}
+	// Flag 0 disables heartbeats; Config 0 means "default", so map it to
+	// the Config's explicit-disable (negative) encoding.
+	streamHB := *heartbeat
+	if streamHB == 0 {
+		streamHB = -1
+	}
 
 	m := obs.NewMetrics()
 	var fc *determinacy.FactCache
@@ -129,6 +150,9 @@ func main() {
 		DisableTracing:   *noTrace,
 		Engine:           eng,
 		FactCache:        fc,
+		SchedPolicy:      policy,
+		Tenants:          tenantTable,
+		StreamHeartbeat:  streamHB,
 	})
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),

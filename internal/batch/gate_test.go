@@ -1,0 +1,97 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapCtxGatedRunsGatePerJob: a nil-error gate runs exactly once per
+// job and leaves results byte-identical to the ungated path.
+func TestMapCtxGatedRunsGatePerJob(t *testing.T) {
+	p := New(4)
+	var gateCalls atomic.Int64
+	gate := func(ctx context.Context) error {
+		gateCalls.Add(1)
+		return nil
+	}
+	out, qs := MapCtxGated(context.Background(), p, 16, gate, func(i int) int { return i * i })
+	if len(qs) != 0 {
+		t.Fatalf("quarantines from a permissive gate: %v", qs)
+	}
+	if got := gateCalls.Load(); got != 16 {
+		t.Fatalf("gate ran %d times, want 16 (once per job)", got)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestMapCtxGatedGateErrorSkipsJob: a gate refusal quarantines the job
+// (zero-value result slot, wrapped error) without poisoning the batch.
+func TestMapCtxGatedGateErrorSkipsJob(t *testing.T) {
+	p := New(1) // serial: job order is submission order, so the cut is exact
+	refusal := errors.New("yielding to higher-priority work")
+	var calls int
+	gate := func(ctx context.Context) error {
+		calls++
+		if calls > 3 {
+			return refusal
+		}
+		return nil
+	}
+	out, qs := MapCtxGated(context.Background(), p, 6, gate, func(i int) int { return i + 100 })
+	if len(qs) != 3 {
+		t.Fatalf("quarantined %d jobs, want 3: %v", len(qs), qs)
+	}
+	for _, q := range qs {
+		if !errors.Is(q.Err, refusal) {
+			t.Fatalf("quarantine %d does not wrap the gate error: %v", q.Index, q.Err)
+		}
+		if !strings.Contains(q.Err.Error(), "not run") {
+			t.Fatalf("quarantine message %q does not say the job was skipped", q.Err)
+		}
+		if out[q.Index] != 0 {
+			t.Fatalf("skipped job %d has non-zero result %d", q.Index, out[q.Index])
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if out[i] != i+100 {
+			t.Fatalf("gated-through job %d result = %d, want %d", i, out[i], i+100)
+		}
+	}
+	// Gate skips account as cancelled (no result), not quarantined (panic).
+	if s := p.Snapshot(); s.Cancelled != 3 || s.Quarantined != 0 {
+		t.Fatalf("snapshot cancelled=%d quarantined=%d, want 3/0", s.Cancelled, s.Quarantined)
+	}
+}
+
+// TestMapCtxGatedGateSeesCancellation: the gate receives the batch ctx so
+// a pacing gate can stop waiting the moment the batch is cancelled.
+func TestMapCtxGatedGateSeesCancellation(t *testing.T) {
+	p := New(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	gate := func(gctx context.Context) error {
+		cancel() // cancel mid-batch from inside the first gate call
+		select {
+		case <-gctx.Done():
+			return gctx.Err()
+		case <-time.After(5 * time.Second):
+			return nil
+		}
+	}
+	_, qs := MapCtxGated(ctx, p, 4, gate, func(i int) int { return i })
+	if len(qs) != 4 {
+		t.Fatalf("quarantined %d jobs after mid-batch cancel, want all 4", len(qs))
+	}
+	for _, q := range qs {
+		if !errors.Is(q.Err, context.Canceled) {
+			t.Fatalf("quarantine %d: %v, want context.Canceled", q.Index, q.Err)
+		}
+	}
+}

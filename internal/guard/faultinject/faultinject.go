@@ -28,6 +28,13 @@ const (
 	// recovery middleware); Request sits inside it, mid-analysis.
 	SiteServerAdmit   = "server.admit"
 	SiteServerRequest = "server.request"
+	// Scheduler sites, on the admission scheduler's queue path. Enqueue
+	// fires as a request enters admission (before any slot is held);
+	// Dispatch fires on the admitted goroutine the moment it is granted an
+	// execution slot — schedulers release the slot before re-panicking so
+	// an injected dispatch panic can never leak pool capacity.
+	SiteSchedEnqueue  = "sched.enqueue"
+	SiteSchedDispatch = "sched.dispatch"
 )
 
 // Action is the fault a plan injects when its trigger count is reached.

@@ -192,6 +192,12 @@ type FlightEntry struct {
 	ErrorKind     string `json:"error_kind,omitempty"`
 	CacheHit      bool   `json:"cache_hit,omitempty"`
 
+	// Tenant and Class identify the admitted request under the wfq and
+	// priority scheduler policies; empty under fifo, where admission is
+	// tenant-blind.
+	Tenant string `json:"tenant,omitempty"`
+	Class  string `json:"class,omitempty"`
+
 	Steps           int `json:"steps,omitempty"`
 	HeapFlushes     int `json:"heap_flushes,omitempty"`
 	Counterfactuals int `json:"counterfactuals,omitempty"`

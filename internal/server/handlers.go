@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"determinacy/internal/guard/faultinject"
 	"determinacy/internal/obs"
 	"determinacy/internal/parser"
+	"determinacy/internal/server/sched"
 )
 
 // AnalyzeRequest is the /v1/analyze body. Only Source is required.
@@ -195,6 +197,29 @@ func (s *Server) writeErr(w http.ResponseWriter, rt *reqTrace, status int, body 
 	s.writeError(w, status, body)
 }
 
+// writeErrRetry is writeErr for refusals carrying their own Retry-After
+// guidance; ra <= 0 falls back to the legacy pool-derived estimate. The
+// header is whole seconds (minimum 1, per RFC 9110); the body's
+// retry_after_ms carries the precise value.
+func (s *Server) writeErrRetry(w http.ResponseWriter, rt *reqTrace, status int, body ErrorBody, ra time.Duration) {
+	if ra <= 0 {
+		s.writeErr(w, rt, status, body)
+		return
+	}
+	if rt != nil {
+		rt.entry.Status = status
+		rt.entry.ErrorKind = body.Kind
+		rt.entry.Outcome = outcomeForKind(body.Kind)
+	}
+	body.RetryAfterMS = ra.Milliseconds()
+	secs := int(ra.Seconds() + 0.5)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	s.writeJSON(w, status, ErrorResponse{Error: body})
+}
+
 // decodeBody reads a size-limited JSON body into v, answering 413/400
 // itself; ok=false means the response has been written.
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, rt *reqTrace, v any) bool {
@@ -215,20 +240,92 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, rt *reqTrace
 	return true
 }
 
-// writeAdmissionError maps an admission failure to its typed response.
-func (s *Server) writeAdmissionError(w http.ResponseWriter, rt *reqTrace, err *admissionError) {
+// tenantID extracts the request's tenant identity: the X-Tenant-ID
+// header, else the API key's prefix before the first "." (Authorization:
+// Bearer <tenant>.<secret> or X-API-Key: <tenant>.<secret>), else "".
+// IDs longer than 64 bytes or outside [A-Za-z0-9_.-] are treated as
+// absent; unconfigured tenants pool into the shared "other" state anyway,
+// so a hostile header can never mint scheduler state or metric labels.
+func tenantID(r *http.Request) string {
+	id := r.Header.Get("X-Tenant-ID")
+	if id == "" {
+		key := r.Header.Get("X-API-Key")
+		if key == "" {
+			const bearer = "Bearer "
+			if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, bearer) {
+				key = auth[len(bearer):]
+			}
+		}
+		if i := strings.IndexByte(key, '.'); i > 0 {
+			id = key[:i]
+		}
+	}
+	if len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '.', c == '-':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// schedRequest builds a route's admission request: tenant identity, the
+// route's default priority class (overridable by a valid X-Priority
+// header; the tenant's configured class overrides both inside the
+// scheduler), and the effective deadline driving deadline-aware shedding.
+func (s *Server) schedRequest(r *http.Request, class sched.Class, timeoutMS int64) *sched.Request {
+	if c, ok := sched.ParseClass(r.Header.Get("X-Priority")); ok {
+		class = c
+	}
+	return &sched.Request{
+		Tenant:   tenantID(r),
+		Class:    class,
+		Deadline: time.Now().Add(s.effTimeout(timeoutMS)),
+	}
+}
+
+// noteAdmitted records the admitted request's effective tenant and class
+// into its flight-recorder entry, and observes its per-tenant latency
+// histogram on completion. Both only under the wfq/priority policies:
+// under fifo every request is anonymous and the entries (and metric
+// families) stay byte-identical to the pre-scheduler server.
+func (s *Server) noteAdmitted(rt *reqTrace, sreq *sched.Request, t0 time.Time) func() {
+	if !s.tenantLatency {
+		return func() {}
+	}
+	if rt != nil {
+		rt.entry.Tenant = sreq.Tenant
+		rt.entry.Class = sreq.Class.String()
+	}
+	h := s.metrics.Histogram(fmt.Sprintf("server_tenant_request_seconds{tenant=%q}", sreq.Tenant), latencyBuckets...)
+	return func() { h.Observe(time.Since(t0).Seconds()) }
+}
+
+// writeAdmissionError maps an admission refusal to its typed response: a
+// scheduler shed is a 429 whose Retry-After carries the scheduler's
+// computed guidance (queue depth × observed p50, jittered), draining is
+// the drain 503, and anything else means the client went away while
+// queued.
+func (s *Server) writeAdmissionError(w http.ResponseWriter, rt *reqTrace, err error) {
+	var shed *sched.ShedError
 	switch {
-	case err.shed:
-		s.writeErr(w, rt, http.StatusTooManyRequests, ErrorBody{
+	case errors.As(err, &shed):
+		s.writeErrRetry(w, rt, http.StatusTooManyRequests, ErrorBody{
 			Kind:    "shed",
-			Message: fmt.Sprintf("admission queue full (%d executing, %d queued); retry later", s.cfg.MaxInFlight, s.cfg.QueueDepth),
-		})
-	case err.draining:
+			Message: fmt.Sprintf("admission refused (%s); retry later", shed.Reason),
+		}, shed.RetryAfter)
+	case errors.Is(err, sched.ErrDraining):
 		s.writeErr(w, rt, http.StatusServiceUnavailable, ErrorBody{Kind: "draining", Message: "server is draining; retry against another replica"})
 	default:
 		// The client abandoned the request while queued; the status is
 		// best-effort since nobody is reading it.
-		s.writeErr(w, rt, http.StatusServiceUnavailable, ErrorBody{Kind: "interrupted", Message: err.Error()})
+		s.writeErr(w, rt, http.StatusServiceUnavailable, ErrorBody{Kind: "interrupted", Message: "server: admission aborted: " + err.Error()})
 	}
 }
 
@@ -305,25 +402,29 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request, rt *reqTr
 		return
 	}
 	stream, sse := streamMode(r)
+	sreq := s.schedRequest(r, sched.Interactive, req.TimeoutMS)
 	s.wg.Add(1)
 	defer s.wg.Done()
 	if faultinject.Armed() {
 		faultinject.Hit(faultinject.SiteServerAdmit)
 	}
-	if err := s.acquire(r.Context(), s.hQueueWait[rt.route]); err != nil {
-		s.writeAdmissionError(w, rt, err.(*admissionError))
+	if err := s.acquire(r.Context(), sreq, s.hQueueWait[rt.route]); err != nil {
+		s.writeAdmissionError(w, rt, err)
 		return
 	}
-	defer s.release()
+	defer s.release(sreq)
 
 	if stream {
+		defer s.noteAdmitted(rt, sreq, time.Now())()
 		s.streamAnalyze(w, r, rt, &req, sse)
 		return
 	}
 
 	t0 := time.Now()
+	observeTenant := s.noteAdmitted(rt, sreq, t0)
 	resp, err := s.runAnalyze(r.Context(), &req, rt, rt.obsTracer())
 	s.hLatency[rt.route].Observe(time.Since(t0).Seconds())
+	observeTenant()
 	if err != nil {
 		s.writeRunError(w, rt, err)
 		return
@@ -488,15 +589,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, rt *reqTrac
 		s.writeErr(w, rt, http.StatusBadRequest, ErrorBody{Kind: "bad-request", Message: "numeric options must be non-negative"})
 		return
 	}
+	sreq := s.schedRequest(r, sched.Batch, req.TimeoutMS)
 	s.wg.Add(1)
 	defer s.wg.Done()
-	if err := s.acquire(r.Context(), s.hQueueWait[rt.route]); err != nil {
-		s.writeAdmissionError(w, rt, err.(*admissionError))
+	if err := s.acquire(r.Context(), sreq, s.hQueueWait[rt.route]); err != nil {
+		s.writeAdmissionError(w, rt, err)
 		return
 	}
-	defer s.release()
+	defer s.release(sreq)
 
 	t0 := time.Now()
+	observeTenant := s.noteAdmitted(rt, sreq, t0)
+	defer observeTenant()
 	budget := s.effTimeout(req.TimeoutMS)
 	ctx, cancel := context.WithTimeout(r.Context(), budget)
 	defer cancel()
@@ -509,11 +613,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, rt *reqTrac
 	tracer := rt.obsTracer()
 	var cacheHits atomic.Int64
 
+	// The priority policy paces bulk batches: before each pool job, the
+	// gate briefly yields while strictly higher classes have queued
+	// admission waiters.
+	var gate func(context.Context) error
+	if g, ok := s.sched.(sched.DispatchGater); ok {
+		gate = g.JobGate(sreq)
+	}
+
 	type progOut struct {
 		resp *AnalyzeResponse
 		err  error
 	}
-	outs, qs := batch.MapCtx(ctx, s.pool, len(req.Programs), func(i int) progOut {
+	outs, qs := batch.MapCtxGated(ctx, s.pool, len(req.Programs), gate, func(i int) progOut {
 		p := req.Programs[i]
 		name := p.Name
 		if name == "" {
@@ -633,13 +745,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHealthz is liveness: 200 as long as the process serves, draining
-// or not. The payload carries the build identity (satellite: -version).
+// or not. The payload carries the build identity (satellite: -version)
+// and the drain state with the remaining in-flight count, so operators
+// watching a drain can see it empty out.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
 		"version":   s.cfg.Version,
 		"uptime_ms": time.Since(s.start).Milliseconds(),
 		"draining":  s.draining.Load(),
+		"inflight":  s.sched.Snapshot().InFlight,
 	})
 }
 

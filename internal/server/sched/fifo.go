@@ -1,0 +1,141 @@
+package sched
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"determinacy/internal/guard/faultinject"
+	"determinacy/internal/obs"
+)
+
+// fifo is the default policy: a slot semaphore plus one bounded global
+// queue, first come first served. It is a byte-compatible port of the
+// pre-scheduler admission path — same metric series (server_inflight,
+// server_queue_depth, server_shed_total), same shed condition (queue
+// occupancy beyond QueueDepth), same drain semantics (queued waiters fail
+// immediately when drain begins) — so the existing fault campaign, drain
+// suite, and Prometheus conformance tests hold unmodified over it.
+type fifo struct {
+	cfg   Config
+	slots chan struct{}
+
+	queued   atomic.Int64
+	draining atomic.Bool
+	drainCh  chan struct{}
+
+	tenants *tenantBook
+
+	gInFlight, gQueued *obs.Gauge
+	cShed              *obs.Counter
+}
+
+func newFIFO(cfg Config) *fifo {
+	f := &fifo{
+		cfg:     cfg,
+		slots:   make(chan struct{}, cfg.Slots),
+		drainCh: make(chan struct{}),
+		tenants: newTenantBook(cfg),
+	}
+	if m := cfg.Metrics; m != nil {
+		f.gInFlight = m.Gauge("server_inflight")
+		f.gQueued = m.Gauge("server_queue_depth")
+		f.cShed = m.Counter("server_shed_total")
+	}
+	return f
+}
+
+func (f *fifo) Name() string { return PolicyFIFO }
+
+func (f *fifo) Acquire(ctx context.Context, req *Request) error {
+	if f.draining.Load() {
+		return ErrDraining
+	}
+	if faultinject.Armed() {
+		faultinject.Hit(faultinject.SiteSchedEnqueue)
+	}
+	req.tenant = f.tenants.get(req.Tenant)
+	req.Tenant = req.tenant.name
+	select {
+	case f.slots <- struct{}{}:
+		f.setInFlight()
+		return f.granted(req)
+	default:
+	}
+	q := f.queued.Add(1)
+	f.setQueued(q)
+	if int(q) > f.cfg.QueueDepth {
+		f.setQueued(f.queued.Add(-1))
+		if f.cShed != nil {
+			f.cShed.Inc()
+		}
+		req.tenant.noteShed()
+		return &ShedError{Reason: ReasonQueueFull}
+	}
+	t0 := time.Now()
+	defer func() {
+		f.setQueued(f.queued.Add(-1))
+		req.Queued = true
+		req.Wait = time.Since(t0)
+	}()
+	select {
+	case f.slots <- struct{}{}:
+		f.setInFlight()
+		return f.granted(req)
+	case <-f.drainCh:
+		return ErrDraining
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// granted finalizes a slot grant: accounting, then the sched.dispatch
+// fault site. An injected dispatch panic releases the slot before
+// unwinding so the pool never leaks capacity.
+func (f *fifo) granted(req *Request) error {
+	req.granted = time.Now()
+	req.tenant.noteAdmit()
+	if faultinject.Armed() {
+		defer func() {
+			if r := recover(); r != nil {
+				f.Release(req)
+				panic(r)
+			}
+		}()
+		faultinject.Hit(faultinject.SiteSchedDispatch)
+	}
+	return nil
+}
+
+func (f *fifo) Release(req *Request) {
+	req.tenant.noteDone()
+	<-f.slots
+	f.setInFlight()
+}
+
+func (f *fifo) BeginDrain() {
+	if f.draining.CompareAndSwap(false, true) {
+		close(f.drainCh)
+	}
+}
+
+func (f *fifo) Snapshot() Snapshot {
+	return Snapshot{
+		Policy:   PolicyFIFO,
+		InFlight: len(f.slots),
+		Queued:   int(f.queued.Load()),
+		Tenants:  f.tenants.snapshot(),
+	}
+}
+
+func (f *fifo) setInFlight() {
+	if f.gInFlight != nil {
+		f.gInFlight.Set(float64(len(f.slots)))
+	}
+}
+
+func (f *fifo) setQueued(q int64) {
+	if f.gQueued != nil {
+		f.gQueued.Set(float64(q))
+	}
+}

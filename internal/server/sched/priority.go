@@ -1,0 +1,54 @@
+package sched
+
+// priorityOrder is strict priority over classes: every queued
+// interactive request dispatches before any batch request, which
+// dispatches before any background request; within a class, first come
+// first served. Starvation of lower classes under sustained
+// higher-class load is the contract, bounded by the per-class queue
+// caps (a full lower class sheds with a typed 429 rather than queueing
+// forever).
+type priorityOrder struct{}
+
+func (*priorityOrder) name() string { return PolicyPriority }
+
+func (*priorityOrder) push(c *core, w *waiter) {
+	c.classQ[w.class] = append(c.classQ[w.class], w)
+}
+
+func (*priorityOrder) next(c *core) *waiter {
+	for class := Class(0); class < numClasses; class++ {
+		q := c.classQ[class]
+		if len(q) == 0 {
+			continue
+		}
+		w := q[0]
+		copy(q, q[1:])
+		q[len(q)-1] = nil
+		c.classQ[class] = q[:len(q)-1]
+		return w
+	}
+	return nil
+}
+
+func (*priorityOrder) remove(c *core, w *waiter) {
+	q := c.classQ[w.class]
+	for i, cand := range q {
+		if cand == w {
+			copy(q[i:], q[i+1:])
+			q[len(q)-1] = nil
+			c.classQ[w.class] = q[:len(q)-1]
+			return
+		}
+	}
+}
+
+func (*priorityOrder) chargeImmediate(*core, *tenantState) {}
+
+func (*priorityOrder) higherQueued(c *core, class Class) bool {
+	for cl := Class(0); cl < class; cl++ {
+		if c.queuedByClass[cl] > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,399 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"determinacy/internal/guard/faultinject"
+	"determinacy/internal/obs"
+)
+
+// waiter states, transitioned under core.mu.
+const (
+	stQueued = iota
+	stGranted
+	stShed // shed or drained after queueing; ready carries the error
+	stCancelled
+)
+
+// waiter is one queued admission attempt.
+type waiter struct {
+	req   *Request
+	t     *tenantState
+	class Class
+	enq   time.Time
+	// vfinish is the WFQ virtual finish time; unused by priority.
+	vfinish float64
+	// ready receives exactly one grant (nil) or refusal; buffered so
+	// dispatch never blocks on an abandoning waiter.
+	ready chan error
+	state int
+}
+
+// order is the queueing discipline plugged into core: wfq and priority
+// differ only in how waiters are stored and which one dispatches next.
+// All methods run under core.mu.
+type order interface {
+	name() string
+	// push enqueues w (and computes its ordering state).
+	push(c *core, w *waiter)
+	// next pops the waiter to dispatch, nil when no queue is backlogged.
+	next(c *core) *waiter
+	// remove deletes an abandoned waiter from its queue.
+	remove(c *core, w *waiter)
+	// chargeImmediate accounts an uncontended grant (empty queue, free
+	// slot) so fairness state stays consistent across idle periods.
+	chargeImmediate(c *core, t *tenantState)
+	// higherQueued reports whether a strictly more urgent waiter than
+	// class is queued (drives the batch-pool dispatch gate).
+	higherQueued(c *core, class Class) bool
+}
+
+// core is the mutex-guarded scheduler shared by the wfq and priority
+// policies: bounded per-tenant/per-class queues, token-bucket quotas,
+// deadline-aware shedding with computed Retry-After guidance, and a
+// pluggable dispatch order.
+type core struct {
+	cfg Config
+	ord order
+
+	mu            sync.Mutex
+	free          int
+	inflight      int
+	queued        int
+	queuedByClass [numClasses]int
+	draining      bool
+	tenants       *tenantBook
+	// active tracks tenants with non-empty WFQ queues.
+	active map[*tenantState]bool
+	// classQ holds the priority policy's per-class FIFO queues.
+	classQ [numClasses][]*waiter
+	// vtime is the WFQ virtual clock.
+	vtime float64
+	svc   svcWindow
+	rng   *rand.Rand
+
+	m                  *obs.Metrics
+	gInFlight, gQueued *obs.Gauge
+	cShedLegacy        *obs.Counter
+}
+
+func newCore(cfg Config, ord order) *core {
+	c := &core{
+		cfg:     cfg,
+		ord:     ord,
+		free:    cfg.Slots,
+		tenants: newTenantBook(cfg),
+		active:  map[*tenantState]bool{},
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		m:       cfg.Metrics,
+	}
+	if m := cfg.Metrics; m != nil {
+		c.gInFlight = m.Gauge("server_inflight")
+		c.gQueued = m.Gauge("server_queue_depth")
+		c.cShedLegacy = m.Counter("server_shed_total")
+		m.Help("sched_queue_depth", "Queued admission waiters by tenant and priority class.")
+		m.Help("sched_sheds_total", "Requests shed by the admission scheduler, by reason.")
+	}
+	return c
+}
+
+func (c *core) Name() string { return c.ord.name() }
+
+func (c *core) Acquire(ctx context.Context, req *Request) error {
+	if faultinject.Armed() {
+		faultinject.Hit(faultinject.SiteSchedEnqueue)
+	}
+	t := c.tenants.get(req.Tenant)
+	req.tenant = t
+	req.Tenant = t.name // effective identity: unknown tenants pool as "other"
+	req.Class = t.classFor(req.Class)
+	now := time.Now()
+
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		return ErrDraining
+	}
+	if ok, wait := t.takeToken(now); !ok {
+		err := c.shedLocked(t, req.Class, ReasonQuota, wait)
+		c.mu.Unlock()
+		return err
+	}
+	// Deadline-aware queue control: a request whose remaining budget can
+	// no longer cover the observed p50 service time would only burn a
+	// queue place and a slot to seal a near-empty partial at its deadline;
+	// shed it now with live Retry-After guidance instead.
+	if p50 := c.svc.p50(); p50 > 0 && !req.Deadline.IsZero() && now.Add(p50).After(req.Deadline) {
+		err := c.shedLocked(t, req.Class, ReasonDeadline, c.estimateRetryLocked(p50))
+		c.mu.Unlock()
+		return err
+	}
+	if c.free > 0 && c.queued == 0 {
+		c.free--
+		c.inflight++
+		t.noteAdmit()
+		req.granted = now
+		c.ord.chargeImmediate(c, t)
+		c.setInFlightLocked()
+		c.mu.Unlock()
+		return c.fireDispatch(req)
+	}
+	// Bounded queueing: global depth, then the tenant's own cap, then the
+	// priority policy's per-class cap.
+	switch {
+	case c.queued >= c.cfg.QueueDepth:
+		err := c.shedLocked(t, req.Class, ReasonQueueFull, 0)
+		c.mu.Unlock()
+		return err
+	case int(t.queuedN.Load()) >= c.tenantCap(t):
+		err := c.shedLocked(t, req.Class, ReasonTenantQueueFull, 0)
+		c.mu.Unlock()
+		return err
+	case c.queuedByClass[req.Class] >= c.classCap(req.Class):
+		err := c.shedLocked(t, req.Class, ReasonClassQueueFull, 0)
+		c.mu.Unlock()
+		return err
+	}
+	w := &waiter{req: req, t: t, class: req.Class, enq: now, ready: make(chan error, 1)}
+	c.ord.push(c, w)
+	c.queued++
+	c.queuedByClass[w.class]++
+	t.queuedN.Add(1)
+	t.queuedClass[w.class]++
+	c.setQueueGaugesLocked(t, w.class)
+	c.mu.Unlock()
+
+	select {
+	case err := <-w.ready:
+		req.Queued = true
+		req.Wait = time.Since(w.enq)
+		if err != nil {
+			return err
+		}
+		return c.fireDispatch(req)
+	case <-ctx.Done():
+		c.mu.Lock()
+		if w.state == stQueued {
+			w.state = stCancelled
+			c.ord.remove(c, w)
+			c.dequeueAccountingLocked(w)
+			c.mu.Unlock()
+			req.Queued = true
+			req.Wait = time.Since(w.enq)
+			return ctx.Err()
+		}
+		c.mu.Unlock()
+		// Raced with dispatch or drain: consume the decision; a grant we
+		// can no longer use goes straight back to the pool.
+		err := <-w.ready
+		req.Queued = true
+		req.Wait = time.Since(w.enq)
+		if err == nil {
+			c.Release(req)
+		}
+		return ctx.Err()
+	}
+}
+
+// fireDispatch marks the grant complete and fires the sched.dispatch
+// fault site on the admitted goroutine. An injected panic releases the
+// slot before unwinding so injected faults can never leak pool capacity.
+func (c *core) fireDispatch(req *Request) error {
+	if faultinject.Armed() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.Release(req)
+				panic(r)
+			}
+		}()
+		faultinject.Hit(faultinject.SiteSchedDispatch)
+	}
+	return nil
+}
+
+func (c *core) Release(req *Request) {
+	t := req.tenant
+	c.mu.Lock()
+	c.free++
+	c.inflight--
+	t.noteDone()
+	if !req.granted.IsZero() {
+		c.svc.observe(time.Since(req.granted))
+	}
+	c.setInFlightLocked()
+	c.dispatchLocked()
+	c.mu.Unlock()
+}
+
+// dispatchLocked grants free slots to queued waiters in policy order,
+// shedding queued requests whose deadline became unmeetable while they
+// waited (their slot goes to the next waiter instead of being wasted).
+func (c *core) dispatchLocked() {
+	for c.free > 0 {
+		w := c.ord.next(c)
+		if w == nil {
+			return
+		}
+		c.dequeueAccountingLocked(w)
+		if p50 := c.svc.p50(); p50 > 0 && !w.req.Deadline.IsZero() && time.Now().Add(p50).After(w.req.Deadline) {
+			w.state = stShed
+			w.t.noteShed()
+			c.countShedLocked(ReasonDeadline)
+			w.ready <- &ShedError{Reason: ReasonDeadline, RetryAfter: c.estimateRetryLocked(p50)}
+			continue
+		}
+		c.free--
+		c.inflight++
+		w.t.noteAdmit()
+		w.req.granted = time.Now()
+		w.state = stGranted
+		c.setInFlightLocked()
+		w.ready <- nil
+	}
+}
+
+func (c *core) BeginDrain() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		return
+	}
+	c.draining = true
+	for {
+		w := c.ord.next(c)
+		if w == nil {
+			return
+		}
+		c.dequeueAccountingLocked(w)
+		w.state = stShed
+		w.ready <- ErrDraining
+	}
+}
+
+func (c *core) Snapshot() Snapshot {
+	c.mu.Lock()
+	snap := Snapshot{
+		Policy:   c.ord.name(),
+		InFlight: c.inflight,
+		Queued:   c.queued,
+		P50MS:    float64(c.svc.p50().Microseconds()) / 1000,
+	}
+	c.mu.Unlock()
+	snap.Tenants = c.tenants.snapshot()
+	return snap
+}
+
+// JobGate is the batch pool's priority-aware dispatch hook: before each
+// pool job runs on behalf of req, the gate briefly yields while a
+// strictly more urgent class has queued admission waiters, so a bulk
+// batch holding a slot stops monopolizing CPU the moment interactive
+// work arrives. The yield is bounded (a few milliseconds per job) and
+// never blocks on those waiters' progress, so it cannot deadlock the
+// slot-holder against the very queue it is yielding to.
+func (c *core) JobGate(req *Request) func(context.Context) error {
+	class := req.Class
+	return func(ctx context.Context) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for i := 0; i < 8; i++ {
+			c.mu.Lock()
+			yield := c.ord.higherQueued(c, class)
+			c.mu.Unlock()
+			if !yield {
+				return nil
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(500 * time.Microsecond):
+			}
+		}
+		return nil
+	}
+}
+
+// shedLocked accounts a refusal and builds its typed error. wait, when
+// positive, is the reason-specific Retry-After (quota refill, deadline
+// guidance); zero falls back to the live queue estimate.
+func (c *core) shedLocked(t *tenantState, class Class, reason string, wait time.Duration) *ShedError {
+	t.noteShed()
+	c.countShedLocked(reason)
+	if wait <= 0 {
+		wait = c.estimateRetryLocked(c.svc.p50())
+	}
+	if wait > c.cfg.MaxRetryAfter {
+		wait = c.cfg.MaxRetryAfter
+	}
+	return &ShedError{Reason: reason, RetryAfter: wait}
+}
+
+// estimateRetryLocked computes shed guidance from live queue depth and
+// observed service time, plus jitter so a synchronized thundering herd of
+// shed clients does not return in lockstep.
+func (c *core) estimateRetryLocked(p50 time.Duration) time.Duration {
+	if p50 <= 0 {
+		p50 = time.Second
+	}
+	est := time.Duration(float64(p50) * (float64(c.queued)/float64(c.cfg.Slots) + 1))
+	est += time.Duration(c.rng.Int63n(int64(p50)/2 + 1))
+	if est > c.cfg.MaxRetryAfter {
+		est = c.cfg.MaxRetryAfter
+	}
+	return est
+}
+
+func (c *core) tenantCap(t *tenantState) int {
+	if t.cfg.QueueCap > 0 {
+		return t.cfg.QueueCap
+	}
+	return c.cfg.QueueDepth
+}
+
+func (c *core) classCap(class Class) int {
+	if cap, ok := c.cfg.ClassCaps[class]; ok && cap > 0 {
+		return cap
+	}
+	return c.cfg.QueueDepth
+}
+
+// dequeueAccountingLocked unwinds a waiter's queue-side counters and
+// gauges (it left the queue: granted, shed, drained, or cancelled).
+func (c *core) dequeueAccountingLocked(w *waiter) {
+	c.queued--
+	c.queuedByClass[w.class]--
+	w.t.queuedN.Add(-1)
+	w.t.queuedClass[w.class]--
+	c.setQueueGaugesLocked(w.t, w.class)
+}
+
+func (c *core) countShedLocked(reason string) {
+	if c.m == nil {
+		return
+	}
+	c.cShedLegacy.Inc()
+	c.m.Counter(fmt.Sprintf("sched_sheds_total{reason=%q}", reason)).Inc()
+}
+
+func (c *core) setInFlightLocked() {
+	if c.gInFlight != nil {
+		c.gInFlight.Set(float64(c.inflight))
+	}
+}
+
+func (c *core) setQueueGaugesLocked(t *tenantState, class Class) {
+	if c.m == nil {
+		return
+	}
+	c.gQueued.Set(float64(c.queued))
+	if t.gQueued[class] == nil {
+		t.gQueued[class] = c.m.Gauge(fmt.Sprintf("sched_queue_depth{tenant=%q,class=%q}", t.name, class.String()))
+	}
+	// queuedByClass is global; the per-tenant series wants this tenant's
+	// share, tracked on the tenant under the same mutex.
+	t.gQueued[class].Set(float64(t.queuedClass[class]))
+}

@@ -1,0 +1,323 @@
+// Package sched is the server's pluggable admission layer: a Scheduler
+// decides which waiting request gets the next execution slot, so
+// multi-tenant fairness and priority become configurable policy over the
+// same fixed soundness machinery (guard deadlines, sealed partials, typed
+// sheds) the rest of the pipeline already proves. Three policies ship:
+//
+//   - fifo: byte-compatible with the pre-scheduler admission path — a slot
+//     semaphore plus a bounded global queue, first come first served;
+//   - wfq: weighted-fair queueing across tenants — each backlogged tenant
+//     receives execution slots in proportion to its configured weight, so
+//     one bulk-batch tenant can no longer starve interactive users;
+//   - priority: strict priority classes (interactive > batch > background)
+//     with per-class queue caps, FIFO within a class.
+//
+// The wfq and priority policies add per-tenant token-bucket quotas and
+// deadline-aware queue control: a request whose remaining deadline can no
+// longer cover the observed p50 service time is shed immediately with
+// computed Retry-After guidance instead of timing out in queue and wasting
+// a slot. Every shed is a typed *ShedError — the server renders it as a
+// 429 with Retry-After, never a wrong or silently dropped answer.
+package sched
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"determinacy/internal/obs"
+)
+
+// Policy names accepted by New and ParsePolicy.
+const (
+	PolicyFIFO     = "fifo"
+	PolicyWFQ      = "wfq"
+	PolicyPriority = "priority"
+)
+
+// ParsePolicy validates a policy name.
+func ParsePolicy(s string) (string, error) {
+	switch s {
+	case "", PolicyFIFO:
+		return PolicyFIFO, nil
+	case PolicyWFQ, PolicyPriority:
+		return s, nil
+	default:
+		return "", fmt.Errorf("sched: unknown policy %q (want fifo, wfq, or priority)", s)
+	}
+}
+
+// Class is a strict priority level. Lower values dispatch first.
+type Class int
+
+const (
+	Interactive Class = iota
+	Batch
+	Background
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case Interactive:
+		return "interactive"
+	case Batch:
+		return "batch"
+	case Background:
+		return "background"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// ParseClass resolves a class name; ok is false for anything else.
+func ParseClass(s string) (Class, bool) {
+	switch s {
+	case "interactive":
+		return Interactive, true
+	case "batch":
+		return Batch, true
+	case "background":
+		return Background, true
+	default:
+		return 0, false
+	}
+}
+
+// TenantConfig is one tenant's admission policy. The JSON shape is the
+// -tenants flag format.
+type TenantConfig struct {
+	// Weight is the tenant's WFQ share (<= 0 means 1). A weight-4 tenant
+	// receives 4x the slots of a weight-1 tenant while both are backlogged.
+	Weight float64 `json:"weight,omitempty"`
+	// Class names the tenant's default priority class ("" = per-route
+	// default: interactive for /v1/analyze, batch for /v1/batch).
+	Class string `json:"class,omitempty"`
+	// Rate is the token-bucket refill in requests/second (0 = no quota);
+	// Burst is the bucket capacity (0 = max(Rate, 1)).
+	Rate  float64 `json:"rate,omitempty"`
+	Burst float64 `json:"burst,omitempty"`
+	// QueueCap bounds this tenant's queued requests (0 = the scheduler's
+	// global queue depth).
+	QueueCap int `json:"queue_cap,omitempty"`
+}
+
+// Table maps tenant IDs to their configs. The "*" entry, when present,
+// configures unknown tenants; otherwise they get the zero TenantConfig
+// (weight 1, route-default class, no quota).
+type Table struct {
+	Tenants map[string]TenantConfig
+	Default TenantConfig
+}
+
+// ParseTable decodes the -tenants JSON object:
+//
+//	{"pro": {"weight": 4, "class": "interactive", "rate": 50, "burst": 100},
+//	 "bulk": {"weight": 1, "class": "batch", "queue_cap": 8},
+//	 "*": {"weight": 1}}
+func ParseTable(data []byte) (Table, error) {
+	var raw map[string]TenantConfig
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return Table{}, fmt.Errorf("sched: tenants config: %w", err)
+	}
+	t := Table{Tenants: map[string]TenantConfig{}}
+	for name, cfg := range raw {
+		if cfg.Weight < 0 || cfg.Rate < 0 || cfg.Burst < 0 || cfg.QueueCap < 0 {
+			return Table{}, fmt.Errorf("sched: tenant %q: weight, rate, burst and queue_cap must be non-negative", name)
+		}
+		if cfg.Class != "" {
+			if _, ok := ParseClass(cfg.Class); !ok {
+				return Table{}, fmt.Errorf("sched: tenant %q: unknown class %q (want interactive, batch, or background)", name, cfg.Class)
+			}
+		}
+		if name == "*" {
+			t.Default = cfg
+			continue
+		}
+		t.Tenants[name] = cfg
+	}
+	return t, nil
+}
+
+// ParseTableFlag resolves the -tenants flag value: inline JSON, or
+// @path to read the JSON from a file.
+func ParseTableFlag(v string) (Table, error) {
+	if v == "" {
+		return Table{}, nil
+	}
+	data := []byte(v)
+	if strings.HasPrefix(v, "@") {
+		b, err := os.ReadFile(v[1:])
+		if err != nil {
+			return Table{}, fmt.Errorf("sched: tenants config: %w", err)
+		}
+		data = b
+	}
+	return ParseTable(data)
+}
+
+// config looks up a tenant, falling back to the table default.
+func (t Table) config(name string) TenantConfig {
+	if cfg, ok := t.Tenants[name]; ok {
+		return cfg
+	}
+	return t.Default
+}
+
+// known reports whether the tenant is explicitly configured; unknown
+// tenants share the "other" metric label so cardinality stays bounded by
+// the config.
+func (t Table) known(name string) bool {
+	_, ok := t.Tenants[name]
+	return ok
+}
+
+// Config tunes a scheduler. Slots and QueueDepth are required (>0).
+type Config struct {
+	// Slots bounds concurrently executing requests; QueueDepth bounds
+	// requests waiting for a slot across all tenants.
+	Slots      int
+	QueueDepth int
+	// Tenants configures per-tenant weights, classes, quotas and caps.
+	Tenants Table
+	// ClassCaps bounds queued requests per priority class for the priority
+	// policy (0 entries default to QueueDepth).
+	ClassCaps map[Class]int
+	// MaxRetryAfter clamps computed Retry-After guidance (0 = 30s).
+	MaxRetryAfter time.Duration
+	// Metrics receives scheduler series; nil disables publication.
+	Metrics *obs.Metrics
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxRetryAfter <= 0 {
+		c.MaxRetryAfter = 30 * time.Second
+	}
+	return c
+}
+
+// Request is one admission attempt. The caller fills Tenant, Class and
+// Deadline; the scheduler fills the accounting fields during Acquire.
+type Request struct {
+	Tenant string
+	Class  Class
+	// Deadline is the request's effective completion deadline; the zero
+	// time disables deadline-aware shedding for this request.
+	Deadline time.Time
+
+	// Queued and Wait report whether (and how long) the request waited in
+	// the admission queue; valid after Acquire returns.
+	Queued bool
+	Wait   time.Duration
+
+	// granted stamps slot acquisition so Release can observe service time.
+	granted time.Time
+	// tenant is the scheduler-internal tenant state, set by Acquire.
+	tenant *tenantState
+}
+
+// Shed reasons carried by ShedError and the sched_sheds_total{reason}
+// counter.
+const (
+	ReasonQueueFull       = "queue-full"
+	ReasonTenantQueueFull = "tenant-queue-full"
+	ReasonClassQueueFull  = "class-queue-full"
+	ReasonQuota           = "quota"
+	ReasonDeadline        = "deadline-unmeetable"
+)
+
+// ShedError is a typed admission refusal: the request was not (and will
+// not be) executed, and the client should retry after RetryAfter.
+type ShedError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("sched: request shed (%s); retry after %v", e.Reason, e.RetryAfter)
+}
+
+// ErrDraining refuses admission while the server drains.
+var ErrDraining = errors.New("sched: draining, not accepting new work")
+
+// Scheduler admits requests to execution slots. Implementations are safe
+// for concurrent use. Every successful Acquire must be paired with exactly
+// one Release.
+type Scheduler interface {
+	// Name reports the policy name (fifo, wfq, priority).
+	Name() string
+	// Acquire blocks until req is granted a slot or refused: a *ShedError
+	// (bounded queue, quota, or unmeetable deadline), ErrDraining, or the
+	// context's error when the caller went away while queued.
+	Acquire(ctx context.Context, req *Request) error
+	// Release returns req's slot and dispatches the next waiter.
+	Release(req *Request)
+	// BeginDrain refuses new admissions and fails every queued waiter with
+	// ErrDraining. Idempotent.
+	BeginDrain()
+	// Snapshot reports live per-tenant queue state for /debug/statusz.
+	Snapshot() Snapshot
+}
+
+// DispatchGater is implemented by schedulers that pace work dispatched on
+// behalf of an admitted request (the batch pool's priority-aware hook).
+// The returned gate runs before each unit of work; it must be bounded and
+// may refuse with the context's error.
+type DispatchGater interface {
+	JobGate(req *Request) func(context.Context) error
+}
+
+// Snapshot is a point-in-time scheduler view, the /debug/statusz
+// "scheduler" payload.
+type Snapshot struct {
+	Policy   string           `json:"policy"`
+	InFlight int              `json:"inflight"`
+	Queued   int              `json:"queued"`
+	P50MS    float64          `json:"p50_service_ms,omitempty"`
+	Tenants  []TenantSnapshot `json:"tenants,omitempty"`
+}
+
+// TenantSnapshot is one tenant's live admission state.
+type TenantSnapshot struct {
+	Tenant   string  `json:"tenant"`
+	Class    string  `json:"class,omitempty"`
+	Weight   float64 `json:"weight"`
+	Queued   int     `json:"queued"`
+	InFlight int     `json:"inflight"`
+	Admitted int64   `json:"admitted"`
+	Shed     int64   `json:"shed"`
+}
+
+// New builds the named policy. Policy names come from ParsePolicy; an
+// unknown name is an error so CLI validation can reject it before a
+// listener binds.
+func New(policy string, cfg Config) (Scheduler, error) {
+	p, err := ParsePolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Slots <= 0 || cfg.QueueDepth <= 0 {
+		return nil, fmt.Errorf("sched: Slots and QueueDepth must be positive (got %d, %d)", cfg.Slots, cfg.QueueDepth)
+	}
+	switch p {
+	case PolicyFIFO:
+		return newFIFO(cfg), nil
+	case PolicyWFQ:
+		return newCore(cfg, &wfqOrder{}), nil
+	default:
+		return newCore(cfg, &priorityOrder{}), nil
+	}
+}
+
+// sortTenantSnapshots orders snapshots by name for stable statusz output.
+func sortTenantSnapshots(ts []TenantSnapshot) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Tenant < ts[j].Tenant })
+}

@@ -1,0 +1,79 @@
+package sched
+
+// wfqOrder is weighted-fair queueing over tenants, start-time-fair
+// virtual-clock style: each queued request gets a virtual finish time
+// vfinish = max(vtime, tenant.vfinish) + 1/weight, and dispatch always
+// picks the earliest-finishing head. Charging one virtual unit per
+// request means that while several tenants stay backlogged, their
+// completed-request counts converge to the ratio of their weights; the
+// max() term forgives idle periods, so a tenant returning after quiet
+// time starts at the current clock instead of a banked advantage.
+type wfqOrder struct{}
+
+func (*wfqOrder) name() string { return PolicyWFQ }
+
+func (*wfqOrder) push(c *core, w *waiter) {
+	t := w.t
+	base := c.vtime
+	if t.vfinish > base {
+		base = t.vfinish
+	}
+	w.vfinish = base + 1/t.weight
+	t.vfinish = w.vfinish
+	t.queue = append(t.queue, w)
+	c.active[t] = true
+}
+
+func (*wfqOrder) next(c *core) *waiter {
+	var best *tenantState
+	for t := range c.active {
+		if best == nil || t.queue[0].vfinish < best.queue[0].vfinish ||
+			(t.queue[0].vfinish == best.queue[0].vfinish && t.name < best.name) {
+			best = t
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	w := best.queue[0]
+	copy(best.queue, best.queue[1:])
+	best.queue[len(best.queue)-1] = nil
+	best.queue = best.queue[:len(best.queue)-1]
+	if len(best.queue) == 0 {
+		delete(c.active, best)
+	}
+	if w.vfinish > c.vtime {
+		c.vtime = w.vfinish
+	}
+	return w
+}
+
+// remove deletes an abandoned waiter in place. Later vfinishes of the
+// same tenant are left as charged: a cancelled request costs its tenant
+// one virtual unit, which keeps cancellation from being a way to jump
+// the fair queue.
+func (*wfqOrder) remove(c *core, w *waiter) {
+	t := w.t
+	for i, q := range t.queue {
+		if q == w {
+			copy(t.queue[i:], t.queue[i+1:])
+			t.queue[len(t.queue)-1] = nil
+			t.queue = t.queue[:len(t.queue)-1]
+			break
+		}
+	}
+	if len(t.queue) == 0 {
+		delete(c.active, t)
+	}
+}
+
+func (*wfqOrder) chargeImmediate(c *core, t *tenantState) {
+	base := c.vtime
+	if t.vfinish > base {
+		base = t.vfinish
+	}
+	t.vfinish = base + 1/t.weight
+	c.vtime = t.vfinish
+}
+
+func (*wfqOrder) higherQueued(*core, Class) bool { return false }

@@ -30,6 +30,7 @@ import (
 	"determinacy"
 	"determinacy/internal/batch"
 	"determinacy/internal/obs"
+	"determinacy/internal/server/sched"
 	"determinacy/internal/version"
 )
 
@@ -84,6 +85,23 @@ type Config struct {
 	// byte-identical responses; partial/degraded/errored runs never
 	// populate it, so cached facts are always from clean completions.
 	FactCache *determinacy.FactCache
+	// SchedPolicy selects the admission scheduler: "fifo" (default,
+	// byte-compatible with the pre-scheduler admission path), "wfq"
+	// (weighted-fair queueing across tenants), or "priority" (strict
+	// priority classes). See internal/server/sched.
+	SchedPolicy string
+	// Tenants configures per-tenant weights, priority classes, token-bucket
+	// quotas and queue caps for the wfq/priority policies (cmd/detserve
+	// -tenants). The zero Table treats every tenant alike at weight 1.
+	Tenants sched.Table
+	// ClassCaps bounds queued requests per priority class under the
+	// priority policy (0 entries default to QueueDepth).
+	ClassCaps map[sched.Class]int
+	// StreamHeartbeat is the keepalive interval for ?stream= responses:
+	// while an analysis is running, the server emits a heartbeat line
+	// (NDJSON {"type":"heartbeat"} or an SSE comment) so idle-timeout
+	// proxies keep the connection open (0 = 15s, negative = disabled).
+	StreamHeartbeat time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +141,9 @@ func (c Config) withDefaults() Config {
 	if c.TraceEventCap <= 0 {
 		c.TraceEventCap = obs.DefaultTraceEventCap
 	}
+	if c.StreamHeartbeat == 0 {
+		c.StreamHeartbeat = 15 * time.Second
+	}
 	return c
 }
 
@@ -135,17 +156,16 @@ type Server struct {
 	pool    *batch.Pool
 	start   time.Time
 
-	// slots is the in-flight semaphore; queued counts admission waiters.
-	slots  chan struct{}
-	queued atomic.Int64
+	// sched is the pluggable admission layer: it owns the execution slots,
+	// the bounded queues, and every fairness/priority/quota decision.
+	sched sched.Scheduler
 
 	// wg tracks admitted requests so Drain can wait for them.
 	wg sync.WaitGroup
 
-	// draining flips once; drainCh wakes queued waiters; baseCtx is the
-	// force-cancel parent of every run context.
+	// draining flips once; baseCtx is the force-cancel parent of every run
+	// context. The scheduler refuses admission once BeginDrain runs.
 	draining   atomic.Bool
-	drainCh    chan struct{}
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
@@ -154,12 +174,18 @@ type Server struct {
 	consecQuarantine atomic.Int64
 	breakerOpen      atomic.Bool
 
-	// Handles resolved once so hot paths skip registry lookups. Latency
-	// and queue-wait histograms are per route (satellite: {route=...}
-	// labels distinguish /v1/analyze from /v1/batch).
-	gInFlight, gQueued, gDraining, gBreaker *obs.Gauge
-	cRequests, cShed, cQuarantined          *obs.Counter
-	hLatency, hQueueWait                    map[string]*obs.Histogram
+	// Handles resolved once so hot paths skip registry lookups. The
+	// admission series (server_inflight, server_queue_depth,
+	// server_shed_total) are owned by the scheduler. Latency and
+	// queue-wait histograms are per route (satellite: {route=...} labels
+	// distinguish /v1/analyze from /v1/batch).
+	gDraining, gBreaker     *obs.Gauge
+	cRequests, cQuarantined *obs.Counter
+	hLatency, hQueueWait    map[string]*obs.Histogram
+	// tenantLatency enables server_tenant_request_seconds{tenant=...}
+	// histograms (wfq/priority policies only: under fifo every tenant is
+	// anonymous and the series would duplicate server_request_seconds).
+	tenantLatency bool
 
 	// flight retains the last FlightEntries request summaries for
 	// /debug/statusz and /debug/tracez.
@@ -194,25 +220,39 @@ func routedHistograms(m *obs.Metrics, base string, buckets []float64) map[string
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	m := cfg.Metrics
+	policy, err := sched.ParsePolicy(cfg.SchedPolicy)
+	if err != nil {
+		// Config is programmatic here; cmd/detserve validates the flag
+		// before this point, so a bad name is a caller bug.
+		panic(err)
+	}
+	scheduler, err := sched.New(policy, sched.Config{
+		Slots:         cfg.MaxInFlight,
+		QueueDepth:    cfg.QueueDepth,
+		Tenants:       cfg.Tenants,
+		ClassCaps:     cfg.ClassCaps,
+		MaxRetryAfter: cfg.MaxTimeout,
+		Metrics:       m,
+	})
+	if err != nil {
+		panic(err)
+	}
 	s := &Server{
 		cfg:     cfg,
 		metrics: m,
 		cache:   determinacy.NewCache(cfg.CacheEntries).WithMetrics(m),
 		pool:    batch.New(cfg.Workers).WithMetrics(m),
 		start:   time.Now(),
-		slots:   make(chan struct{}, cfg.MaxInFlight),
-		drainCh: make(chan struct{}),
+		sched:   scheduler,
 		flight:  obs.NewFlightRecorder(cfg.FlightEntries),
 
-		gInFlight:    m.Gauge("server_inflight"),
-		gQueued:      m.Gauge("server_queue_depth"),
-		gDraining:    m.Gauge("server_draining"),
-		gBreaker:     m.Gauge("server_breaker_open"),
-		cRequests:    m.Counter("server_requests_total"),
-		cShed:        m.Counter("server_shed_total"),
-		cQuarantined: m.Counter("server_quarantined_requests_total"),
-		hLatency:     routedHistograms(m, "server_request_seconds", latencyBuckets),
-		hQueueWait:   routedHistograms(m, "server_queue_wait_seconds", latencyBuckets),
+		gDraining:     m.Gauge("server_draining"),
+		gBreaker:      m.Gauge("server_breaker_open"),
+		cRequests:     m.Counter("server_requests_total"),
+		cQuarantined:  m.Counter("server_quarantined_requests_total"),
+		hLatency:      routedHistograms(m, "server_request_seconds", latencyBuckets),
+		hQueueWait:    routedHistograms(m, "server_queue_wait_seconds", latencyBuckets),
+		tenantLatency: policy != sched.PolicyFIFO,
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	m.Gauge("server_max_inflight").Set(float64(cfg.MaxInFlight))
@@ -236,63 +276,22 @@ func (s *Server) Metrics() *obs.Metrics { return s.metrics }
 // Draining reports whether drain has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// admissionError classifies why a request was not admitted.
-type admissionError struct {
-	shed     bool // queue full: 429
-	draining bool // server draining: 503
-	ctxErr   error
+// acquire admits a request through the configured scheduler: an execution
+// slot immediately if policy allows, else a bounded queue wait, else a
+// typed refusal (*sched.ShedError, sched.ErrDraining, or the context's
+// error). hWait is the route's queue-wait histogram; it observes exactly
+// the requests that actually waited, as the pre-scheduler path did. Every
+// admitted request must release(req).
+func (s *Server) acquire(ctx context.Context, req *sched.Request, hWait *obs.Histogram) error {
+	err := s.sched.Acquire(ctx, req)
+	if req.Queued {
+		hWait.Observe(req.Wait.Seconds())
+	}
+	return err
 }
 
-func (e *admissionError) Error() string {
-	switch {
-	case e.shed:
-		return "server: admission queue full"
-	case e.draining:
-		return "server: draining, not accepting new work"
-	default:
-		return "server: admission aborted: " + e.ctxErr.Error()
-	}
-}
-
-// acquire admits a request: an execution slot immediately if one is free,
-// else a bounded queue wait, else a typed shed. hWait is the route's
-// queue-wait histogram. Every admitted request must release().
-func (s *Server) acquire(ctx context.Context, hWait *obs.Histogram) error {
-	if s.draining.Load() {
-		return &admissionError{draining: true}
-	}
-	select {
-	case s.slots <- struct{}{}:
-		s.gInFlight.Set(float64(len(s.slots)))
-		return nil
-	default:
-	}
-	q := s.queued.Add(1)
-	s.gQueued.Set(float64(q))
-	if int(q) > s.cfg.QueueDepth {
-		s.gQueued.Set(float64(s.queued.Add(-1)))
-		s.cShed.Inc()
-		return &admissionError{shed: true}
-	}
-	t0 := time.Now()
-	defer func() {
-		s.gQueued.Set(float64(s.queued.Add(-1)))
-		hWait.Observe(time.Since(t0).Seconds())
-	}()
-	select {
-	case s.slots <- struct{}{}:
-		s.gInFlight.Set(float64(len(s.slots)))
-		return nil
-	case <-s.drainCh:
-		return &admissionError{draining: true}
-	case <-ctx.Done():
-		return &admissionError{ctxErr: ctx.Err()}
-	}
-}
-
-func (s *Server) release() {
-	<-s.slots
-	s.gInFlight.Set(float64(len(s.slots)))
+func (s *Server) release(req *sched.Request) {
+	s.sched.Release(req)
 }
 
 // retryAfter estimates when a shed client should try again: the pool's
@@ -344,7 +343,7 @@ func (s *Server) noteSuccess() {
 // with the same refusal. Idempotent.
 func (s *Server) BeginDrain() {
 	if s.draining.CompareAndSwap(false, true) {
-		close(s.drainCh)
+		s.sched.BeginDrain()
 		s.gDraining.Set(1)
 	}
 }

@@ -61,6 +61,9 @@ type streamWriter struct {
 	max   uint64
 	seq   uint64
 	drop  uint64
+	// done flips when the terminal result line is written, so a racing
+	// heartbeat tick can never append to a finished stream.
+	done bool
 }
 
 func newStreamWriter(w http.ResponseWriter, sse bool, maxEvents int) *streamWriter {
@@ -107,11 +110,54 @@ func (sw *streamWriter) writeLine(v any) {
 	}
 }
 
-// finish writes the terminal result line.
+// finish writes the terminal result line and stops heartbeats.
 func (sw *streamWriter) finish(resp *AnalyzeResponse, errBody *ErrorBody) {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
+	sw.done = true
 	sw.writeLine(streamResult{Type: "result", Events: sw.seq, Dropped: sw.drop, Result: resp, Error: errBody})
+}
+
+// heartbeat writes one keepalive frame: an NDJSON {"type":"heartbeat"}
+// line, or an SSE comment (ignored by EventSource clients). Either way
+// idle-timeout proxies between server and client see traffic while a
+// long analysis produces no events.
+func (sw *streamWriter) heartbeat() {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.done {
+		return
+	}
+	if sw.sse {
+		_, _ = sw.w.Write([]byte(": keepalive\n\n"))
+		if sw.f != nil {
+			sw.f.Flush()
+		}
+		return
+	}
+	sw.writeLine(struct {
+		Type string `json:"type"`
+	}{"heartbeat"})
+}
+
+// startHeartbeat emits a keepalive every interval until stop is called.
+func (sw *streamWriter) startHeartbeat(every time.Duration) (stop func()) {
+	t := time.NewTicker(every)
+	quit := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-t.C:
+				sw.heartbeat()
+			case <-quit:
+				return
+			}
+		}
+	}()
+	return func() {
+		t.Stop()
+		close(quit)
+	}
 }
 
 // streamMode interprets the ?stream= query: "" (no streaming), "sse"
@@ -149,7 +195,14 @@ func (s *Server) streamAnalyze(w http.ResponseWriter, r *http.Request, rt *reqTr
 	s.metrics.Counter(`server_responses_total{code="200"}`).Inc()
 
 	sw := newStreamWriter(w, sse, s.cfg.TraceEventCap)
+	if hb := s.cfg.StreamHeartbeat; hb > 0 {
+		defer sw.startHeartbeat(hb)()
+	}
 	tracer := obs.Multi(rt.obsTracer(), sw)
+
+	// The run is parented on the request context: a client that
+	// disconnects mid-stream cancels the analysis at the next guard
+	// checkpoint instead of burning its slot to completion for nobody.
 
 	t0 := time.Now()
 	resp, err := s.runAnalyze(r.Context(), req, rt, tracer)

@@ -176,28 +176,39 @@ func (s *Server) record(rt *reqTrace) {
 // human-readable table; the default is JSON.
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	entries := s.flight.Entries()
+	snap := s.sched.Snapshot()
 	summary := map[string]any{
 		"version":        s.cfg.Version,
 		"uptime_ms":      time.Since(s.start).Milliseconds(),
 		"draining":       s.draining.Load(),
 		"breaker_open":   s.breakerOpen.Load(),
-		"inflight":       len(s.slots),
-		"queued":         s.queued.Load(),
+		"inflight":       snap.InFlight,
+		"queued":         snap.Queued,
 		"goroutines":     runtime.NumGoroutine(),
 		"requests_total": s.cRequests.Value(),
 		"recorded":       s.flight.Total(),
 		"retained":       len(entries),
 	}
 	if r.URL.Query().Get("format") != "text" {
-		s.writeJSON(w, http.StatusOK, map[string]any{"server": summary, "entries": entries})
+		s.writeJSON(w, http.StatusOK, map[string]any{"server": summary, "scheduler": snap, "entries": entries})
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintf(w, "detserve %s  uptime=%s  draining=%v  breaker_open=%v  inflight=%d  queued=%d  goroutines=%d\n",
 		s.cfg.Version, time.Since(s.start).Round(time.Millisecond),
-		s.draining.Load(), s.breakerOpen.Load(), len(s.slots), s.queued.Load(), runtime.NumGoroutine())
+		s.draining.Load(), s.breakerOpen.Load(), snap.InFlight, snap.Queued, runtime.NumGoroutine())
 	fmt.Fprintf(w, "requests=%d  recorded=%d  retained=%d\n\n", s.cRequests.Value(), s.flight.Total(), len(entries))
+	fmt.Fprintf(w, "scheduler=%s", snap.Policy)
+	if snap.P50MS > 0 {
+		fmt.Fprintf(w, "  p50_service=%.1fms", snap.P50MS)
+	}
+	fmt.Fprintln(w)
+	for _, ts := range snap.Tenants {
+		fmt.Fprintf(w, "  tenant=%s weight=%g class=%s queued=%d inflight=%d admitted=%d shed=%d\n",
+			ts.Tenant, ts.Weight, ts.Class, ts.Queued, ts.InFlight, ts.Admitted, ts.Shed)
+	}
+	fmt.Fprintln(w)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "TRACE_ID\tROUTE\tSTATUS\tOUTCOME\tELAPSED\tCACHE\tSTEPS\tFLUSHES\tDEGRADE\tERROR")
 	for _, e := range entries {
