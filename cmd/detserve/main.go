@@ -43,6 +43,7 @@ import (
 
 	"determinacy"
 	"determinacy/internal/cliexit"
+	"determinacy/internal/cluster"
 	"determinacy/internal/obs"
 	"determinacy/internal/server"
 	"determinacy/internal/server/sched"
@@ -70,6 +71,8 @@ func main() {
 		schedPol  = flag.String("scheduler", "fifo", "admission scheduler: fifo (first come first served), wfq (weighted-fair across tenants), or priority (strict interactive > batch > background classes)")
 		tenants   = flag.String("tenants", "", `per-tenant scheduling config, JSON or @file: {"pro":{"weight":4,"rate":50},"bulk":{"weight":1,"class":"batch"},"*":{"weight":1}}`)
 		heartbeat = flag.Duration("stream-heartbeat", 15*time.Second, "keepalive interval on ?stream= responses (0 = disabled)")
+		peers     = flag.String("peers", "", `cluster topology, JSON or @file: {"self":"a","peers":{"a":"http://host-a:8420","b":"http://host-b:8420"}}; requests route to content-hash owners with full local fallback`)
+		drainTO   = flag.Duration("drain-timeout", 0, "graceful-drain budget on SIGTERM/SIGINT before in-flight runs are sealed partial (0 = use -drain)")
 		showVer   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Usage = func() {
@@ -100,6 +103,15 @@ func main() {
 	if *timeout <= 0 || *maxTO <= 0 || *drain <= 0 {
 		badFlag("-timeout, -max-timeout and -drain must be positive")
 	}
+	if *drainTO < 0 {
+		badFlag("-drain-timeout must be non-negative, got %v", *drainTO)
+	}
+	// -drain-timeout is the documented drain knob; -drain is kept for
+	// compatibility and supplies the default when -drain-timeout is unset.
+	drainBudget := *drainTO
+	if drainBudget == 0 {
+		drainBudget = *drain
+	}
 	if *timeout > *maxTO {
 		badFlag("-timeout %v exceeds -max-timeout %v", *timeout, *maxTO)
 	}
@@ -118,6 +130,10 @@ func main() {
 	if tErr != nil {
 		badFlag("%v", tErr)
 	}
+	topology, topErr := cluster.ParseTopologyFlag(*peers)
+	if topErr != nil {
+		badFlag("%v", topErr)
+	}
 	// Flag 0 disables heartbeats; Config 0 means "default", so map it to
 	// the Config's explicit-disable (negative) encoding.
 	streamHB := *heartbeat
@@ -126,6 +142,14 @@ func main() {
 	}
 
 	m := obs.NewMetrics()
+	var router *cluster.Router
+	if topology.Enabled() {
+		var clErr error
+		router, clErr = cluster.New(cluster.Config{Topology: topology, Metrics: m})
+		if clErr != nil {
+			badFlag("%v", clErr)
+		}
+	}
 	var fc *determinacy.FactCache
 	if *factDir != "" {
 		var fcErr error
@@ -153,7 +177,14 @@ func main() {
 		SchedPolicy:      policy,
 		Tenants:          tenantTable,
 		StreamHeartbeat:  streamHB,
+		Cluster:          router,
+		DrainTimeout:     drainBudget,
 	})
+	if router != nil {
+		router.Start()
+		defer router.Close()
+		log.Printf("detserve: cluster node %q with peers %v", router.Self(), router.Peers())
+	}
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -203,7 +234,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "detserve:", err)
 		os.Exit(cliexit.Error)
 	case sig := <-sigCh:
-		log.Printf("detserve: %v: draining (budget %v)", sig, *drain)
+		log.Printf("detserve: %v: draining (budget %v)", sig, drainBudget)
 	}
 
 	// Graceful drain: flip readiness and refuse new work immediately, run
@@ -211,8 +242,8 @@ func main() {
 	// concurrently with the HTTP shutdown that waits on those responses.
 	srv.BeginDrain()
 	drained := make(chan bool, 1)
-	go func() { drained <- srv.Drain(*drain) }()
-	shCtx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
+	go func() { drained <- srv.Drain(drainBudget) }()
+	shCtx, cancel := context.WithTimeout(context.Background(), drainBudget+5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shCtx); err != nil {
 		log.Printf("detserve: shutdown: %v; closing remaining connections", err)

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker's position.
+type State int
+
+const (
+	// StateClosed admits requests; failures are counted.
+	StateClosed State = iota
+	// StateOpen rejects requests until the cooldown elapses.
+	StateOpen
+	// StateHalfOpen admits a single trial request; its outcome decides
+	// whether the circuit re-closes or re-opens.
+	StateHalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-peer circuit breaker: closed → open after threshold
+// consecutive failures → half-open after cooldown, where exactly one
+// in-flight trial is admitted and its outcome decides the next state.
+// Health probes and live requests share one breaker, so a recovered peer
+// re-closes via the prober without risking client traffic.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    State
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	trial    bool      // a half-open trial is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a request may proceed now. In half-open it admits
+// exactly one trial; callers MUST follow an admitted request with Success
+// or Failure (the trial slot is otherwise released by either call).
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = StateHalfOpen
+		b.trial = true
+		return true
+	default: // half-open
+		if b.trial {
+			return false
+		}
+		b.trial = true
+		return true
+	}
+}
+
+// Success records a good round trip: resets the failure count and closes
+// the circuit from half-open.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.trial = false
+	b.state = StateClosed
+}
+
+// Failure records a bad round trip: re-opens from half-open immediately,
+// opens from closed once the consecutive-failure threshold is reached.
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.trial = false
+	switch b.state {
+	case StateHalfOpen:
+		b.state = StateOpen
+		b.openedAt = time.Now()
+		b.fails = b.threshold
+	case StateClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = StateOpen
+			b.openedAt = time.Now()
+		}
+	default: // already open (e.g. a straggler finishing after the trip)
+		b.openedAt = time.Now()
+	}
+}
+
+// Release abandons an admitted request without evidence either way (e.g.
+// rejected by a local cap before any bytes were sent): it clears a
+// half-open trial slot without changing state.
+func (b *breaker) Release() {
+	b.mu.Lock()
+	b.trial = false
+	b.mu.Unlock()
+}
+
+// State reports the current position (open reads as half-open once the
+// cooldown has elapsed, since the next Allow would admit a trial).
+func (b *breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateOpen && time.Since(b.openedAt) >= b.cooldown {
+		return StateHalfOpen
+	}
+	return b.state
+}
+
+// ConsecFails reports the consecutive-failure count (threshold when open).
+func (b *breaker) ConsecFails() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fails
+}

@@ -1,0 +1,163 @@
+// Package chaos is a seeded flaky net layer for cluster tests: an
+// http.RoundTripper wrapper that injects latency, connection drops,
+// mid-body disconnects, and payload bit-flips deterministically from a
+// seed, plus per-host kill/revive switches that simulate a peer process
+// dying and coming back. It lives in the production tree (not _test.go)
+// so the server campaign, clitest, and diffcheck can all drive the same
+// faults, but nothing outside tests imports it.
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrDropped is the connection-level error injected for a dropped
+// request, standing in for ECONNREFUSED / RST on a real network.
+var ErrDropped = errors.New("chaos: connection dropped")
+
+// Config sets the per-request fault probabilities, each in [0,1] and
+// checked independently in order: kill, drop, latency, partial, corrupt.
+type Config struct {
+	Seed uint64
+	// DropProb fails the round trip outright with ErrDropped.
+	DropProb float64
+	// LatencyProb delays the round trip by up to MaxLatency (uniform).
+	LatencyProb float64
+	MaxLatency  time.Duration
+	// PartialProb truncates the response body partway and ends it with
+	// an io.ErrUnexpectedEOF, simulating a peer hanging up mid-body.
+	PartialProb float64
+	// CorruptProb flips one bit of the response body, simulating wire or
+	// peer-side corruption that CRC validation must catch.
+	CorruptProb float64
+}
+
+// Transport wraps a base RoundTripper with seeded fault injection. Safe
+// for concurrent use; the fault stream is deterministic for a given seed
+// and sequence of calls (concurrency interleaves draws, so campaigns
+// assert on invariants, not exact fault placement).
+type Transport struct {
+	Base http.RoundTripper
+	cfg  Config
+
+	mu     sync.Mutex
+	rng    uint64
+	killed map[string]bool
+}
+
+// New builds a chaos transport over base (nil = http.DefaultTransport).
+func New(base http.RoundTripper, cfg Config) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{Base: base, cfg: cfg, rng: cfg.Seed, killed: make(map[string]bool)}
+}
+
+// splitmix64 — the same generator the fault campaigns use.
+func (t *Transport) next() uint64 {
+	t.mu.Lock()
+	t.rng += 0x9e3779b97f4a7c15
+	z := t.rng
+	t.mu.Unlock()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// roll draws a uniform float in [0,1).
+func (t *Transport) roll() float64 {
+	return float64(t.next()>>11) / (1 << 53)
+}
+
+// Kill makes every request to host fail as dropped until Revive, the
+// in-process stand-in for SIGKILLing a peer.
+func (t *Transport) Kill(host string) {
+	t.mu.Lock()
+	t.killed[host] = true
+	t.mu.Unlock()
+}
+
+// Revive undoes Kill.
+func (t *Transport) Revive(host string) {
+	t.mu.Lock()
+	delete(t.killed, host)
+	t.mu.Unlock()
+}
+
+func (t *Transport) isKilled(host string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.killed[host]
+}
+
+// RoundTrip applies the armed faults, then delegates to Base for the
+// surviving requests.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.isKilled(req.URL.Host) {
+		return nil, fmt.Errorf("chaos: host %s is down: %w", req.URL.Host, ErrDropped)
+	}
+	if t.cfg.DropProb > 0 && t.roll() < t.cfg.DropProb {
+		return nil, ErrDropped
+	}
+	if t.cfg.LatencyProb > 0 && t.roll() < t.cfg.LatencyProb && t.cfg.MaxLatency > 0 {
+		delay := time.Duration(t.next() % uint64(t.cfg.MaxLatency))
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(delay):
+		}
+	}
+	resp, err := t.Base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if t.cfg.PartialProb > 0 && t.roll() < t.cfg.PartialProb {
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		resp.Body = &partialBody{data: body[:len(body)/2]}
+		resp.ContentLength = -1
+		resp.Header.Del("Content-Length")
+		return resp, nil
+	}
+	if t.cfg.CorruptProb > 0 && t.roll() < t.cfg.CorruptProb {
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if len(body) > 0 {
+			i := int(t.next() % uint64(len(body)))
+			body[i] ^= 1 << (t.next() % 8)
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		resp.ContentLength = int64(len(body))
+		return resp, nil
+	}
+	return resp, nil
+}
+
+// partialBody serves a prefix then fails like a torn connection.
+type partialBody struct {
+	data []byte
+	off  int
+}
+
+func (b *partialBody) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	return n, nil
+}
+
+func (b *partialBody) Close() error { return nil }

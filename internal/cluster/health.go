@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// probeTimeout bounds one /readyz round trip; probes are cheap and a peer
+// that cannot answer readiness in a second is not a peer worth routing to.
+const probeTimeout = time.Second
+
+// ProbeOnce health-checks every remote peer concurrently and feeds the
+// results into the per-peer breakers. An open circuit is probed too —
+// Allow admits the probe as the half-open trial once the cooldown
+// elapses, which is exactly how a recovered peer's circuit re-closes
+// without gambling live traffic on it.
+func (r *Router) ProbeOnce() {
+	var wg sync.WaitGroup
+	for _, p := range r.peers {
+		if !p.br.Allow() {
+			p.publishState()
+			continue
+		}
+		wg.Add(1)
+		go func(p *peer) {
+			defer wg.Done()
+			r.probe(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+func (r *Router) probe(p *peer) {
+	ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url+"/readyz", nil)
+	if err != nil {
+		p.healthy.Store(false)
+		p.failure(err)
+		return
+	}
+	resp, err := r.do(req)
+	if err != nil {
+		p.healthy.Store(false)
+		p.failure(err)
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	// A 503 from /readyz is a peer that is up but draining or tripped; it
+	// answers traffic with 503s too, so treat it as a breaker failure and
+	// keep routing around it until it reports ready again.
+	if resp.StatusCode != http.StatusOK {
+		p.healthy.Store(false)
+		p.failure(fmt.Errorf("readyz: HTTP %d", resp.StatusCode))
+		return
+	}
+	p.success()
+}
+
+// do issues one round trip through the configured transport. Responses
+// are closed by the caller.
+func (r *Router) do(req *http.Request) (*http.Response, error) {
+	return r.cfg.Transport.RoundTrip(req)
+}

@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+)
+
+// HashKey is the routing key for a program: the hex sha256 of its source,
+// the same content hash progcache and factcache key on, so the ring owner
+// is exactly the node whose caches are warm for that program.
+func HashKey(source string) string {
+	sum := sha256.Sum256([]byte(source))
+	return hex.EncodeToString(sum[:])
+}
+
+// ring is a consistent-hash ring over peer names with virtual nodes.
+// Points are the first 8 bytes of sha256("name#i"); a key hashes the same
+// way and is owned by the first point clockwise. Immutable after build.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	name string
+}
+
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+func newRing(names []string, vnodes int) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(names)*vnodes)}
+	for _, name := range names {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{
+				hash: ringHash(fmt.Sprintf("%s#%d", name, i)),
+				name: name,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on name so every node sorts identically.
+		return r.points[i].name < r.points[j].name
+	})
+	return r
+}
+
+// owner reports the peer owning key (first point at or after the key's
+// hash, wrapping).
+func (r *ring) owner(key string) string {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].name
+}

@@ -1,0 +1,44 @@
+package cluster
+
+import "sync"
+
+// singleflight collapses concurrent calls with the same key into one
+// execution whose result every waiter shares. Used on the remote cache
+// fetch path so a stampede of local misses for one viral program issues
+// a single peer round trip from this node.
+type singleflight struct {
+	mu    sync.Mutex
+	calls map[string]*sfCall
+}
+
+type sfCall struct {
+	done chan struct{}
+	data []byte
+	ok   bool
+}
+
+// Do runs fn once per concurrent key; duplicate callers block until the
+// winner finishes and receive its result.
+func (s *singleflight) Do(key string, fn func() ([]byte, bool)) ([]byte, bool) {
+	s.mu.Lock()
+	if s.calls == nil {
+		s.calls = make(map[string]*sfCall)
+	}
+	if c, ok := s.calls[key]; ok {
+		s.mu.Unlock()
+		<-c.done
+		return c.data, c.ok
+	}
+	c := &sfCall{done: make(chan struct{})}
+	s.calls[key] = c
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		delete(s.calls, key)
+		s.mu.Unlock()
+		close(c.done)
+	}()
+	c.data, c.ok = fn()
+	return c.data, c.ok
+}

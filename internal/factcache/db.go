@@ -10,6 +10,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sync"
 )
 
 // On-disk record framing. Every file in the DB — content-addressed objects
@@ -57,6 +58,12 @@ var ErrVersion = errors.New("factcache: format version mismatch")
 // corruption, which reads detect and report.
 type DB struct {
 	dir string
+	// putMu serializes PutObject's validate-or-rewrite check so that when
+	// several goroutines repair the same damaged object, exactly one write
+	// happens: the first put rewrites, the rest observe the now-valid file
+	// and dedup. Object writes are rare (stores only), so one mutex for
+	// the whole DB costs nothing on the read path.
+	putMu sync.Mutex
 }
 
 // OpenDB creates or opens the database rooted at dir.
@@ -154,6 +161,8 @@ func ObjectID(payload []byte) string {
 // validates — a corrupt or truncated object is rewritten, so one Store
 // always repairs whatever external damage reads have detected.
 func (db *DB) PutObject(kind byte, payload []byte) (id string, created bool, err error) {
+	db.putMu.Lock()
+	defer db.putMu.Unlock()
 	id = ObjectID(payload)
 	path := db.objectPath(id)
 	if b, rerr := os.ReadFile(path); rerr == nil {
@@ -187,6 +196,39 @@ func (db *DB) GetObject(id string, wantKind byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: content does not match address", ErrCorrupt)
 	}
 	return payload, nil
+}
+
+// RawObject reads an object's framed bytes exactly as stored, with no
+// validation. The cluster's remote cache endpoint serves these, so every
+// defect — a bit flip on this node's disk, corruption in transit, version
+// skew between nodes — reaches the importing node's own unframe/CRC
+// validation and is discarded there, counted by reason.
+func (db *DB) RawObject(id string) ([]byte, error) {
+	if len(id) < 2 {
+		return nil, fmt.Errorf("%w: malformed object id %q", ErrCorrupt, id)
+	}
+	return os.ReadFile(db.objectPath(id))
+}
+
+// SplitFrames cuts a concatenated stream of framed records back into
+// individual frames using the self-delimiting length field. It validates
+// only enough structure to delimit (magic + length); full validation
+// happens per-frame in unframe.
+func SplitFrames(b []byte) ([][]byte, error) {
+	var frames [][]byte
+	for len(b) > 0 {
+		if len(b) < headerSize || string(b[:4]) != dbMagic {
+			return nil, ErrCorrupt
+		}
+		n := binary.LittleEndian.Uint32(b[11:])
+		end := uint64(headerSize) + uint64(n)
+		if uint64(len(b)) < end {
+			return nil, fmt.Errorf("%w: truncated frame", ErrCorrupt)
+		}
+		frames = append(frames, b[:end])
+		b = b[end:]
+	}
+	return frames, nil
 }
 
 // RemoveObject deletes an object (no-op if absent); used to clear records

@@ -1,0 +1,128 @@
+package factcache
+
+import (
+	"os"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSelfRepair pins the repair contract under contention: two
+// goroutines hit the same bit-flipped chunk at once, both degrade to a
+// clean miss, both re-store the run concurrently — and the damaged object
+// is rewritten exactly ONCE (the second store dedups against the repaired
+// file), after which both observers read warm results byte-identical to
+// the cold run. Run under -race, this also pins the Cache/DB locking.
+func TestConcurrentSelfRepair(t *testing.T) {
+	dir := t.TempDir()
+	cold := runCold(t, testSrc, 7)
+	key := KeyFor("cache.js", testSrc, Sig{Seed: 7})
+	storeRun(t, mustOpen(t, dir), key, cold)
+	wantRender := renderStore(cold.store)
+
+	// Flip one payload bit in the first chunk object on disk (the frame
+	// kind byte identifies chunks among manifests and heads).
+	var chunkFiles int
+	for _, path := range dbFiles(t, dir) {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) <= headerSize || b[6] != KindChunk {
+			continue
+		}
+		if chunkFiles == 0 {
+			bad := append([]byte(nil), b...)
+			bad[headerSize] ^= 0x01
+			if err := os.WriteFile(path, bad, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		chunkFiles++
+	}
+	if chunkFiles == 0 {
+		t.Fatal("no chunk object found on disk")
+	}
+
+	// One shared fresh handle: the empty memory LRU forces both goroutines
+	// through the disk path where the damage lives.
+	c := mustOpen(t, dir)
+
+	// Phase 1: both goroutines look up concurrently. Each must see a
+	// clean miss — one invalidates the damaged chunk, the other races it
+	// into either a second invalidation or a missing-head miss.
+	var phase sync.WaitGroup
+	gate := make(chan struct{})
+	var hits [2]bool
+	for g := 0; g < 2; g++ {
+		phase.Add(1)
+		go func(g int) {
+			defer phase.Done()
+			<-gate
+			_, hits[g] = c.Lookup(key)
+		}(g)
+	}
+	close(gate)
+	phase.Wait()
+	if hits[0] || hits[1] {
+		t.Fatalf("lookup hit on a corrupted chunk (hits=%v)", hits)
+	}
+	if st := c.Stats(); st.Invalidations == 0 {
+		t.Fatalf("stats = %+v: no invalidation recorded for the damaged chunk", st)
+	}
+
+	// Phase 2: both re-analyze (precomputed — the runs are deterministic)
+	// and store concurrently, as two request handlers would after the
+	// shared miss.
+	reruns := [2]*coldRun{runCold(t, testSrc, 7), runCold(t, testSrc, 7)}
+	written0 := c.Stats().ChunksWritten
+	gate = make(chan struct{})
+	for g := 0; g < 2; g++ {
+		phase.Add(1)
+		go func(g int) {
+			defer phase.Done()
+			<-gate
+			r := reruns[g]
+			if err := c.Store(key, r.mod, r.store, r.rec, r.output, r.stats, 0); err != nil {
+				t.Errorf("goroutine %d: store: %v", g, err)
+			}
+		}(g)
+	}
+	close(gate)
+	phase.Wait()
+	// Exactly one repair: only the invalidated chunk is rewritten; every
+	// other object — and the second store's copy of the repaired one —
+	// dedups against the valid file already at its content address.
+	if got := c.Stats().ChunksWritten - written0; got != 1 {
+		t.Fatalf("chunks written during concurrent repair = %d, want exactly 1", got)
+	}
+
+	// Phase 3: both observers (and a fresh process) read warm results
+	// byte-identical to the cold run.
+	renders := [2]string{}
+	gate = make(chan struct{})
+	for g := 0; g < 2; g++ {
+		phase.Add(1)
+		go func(g int) {
+			defer phase.Done()
+			<-gate
+			hit, ok := c.Lookup(key)
+			if !ok {
+				t.Errorf("goroutine %d: lookup missed after repair", g)
+				return
+			}
+			renders[g] = renderStore(hit.Store)
+		}(g)
+	}
+	close(gate)
+	phase.Wait()
+	for g, got := range renders {
+		if got != wantRender {
+			t.Errorf("goroutine %d: warm render differs from cold run", g)
+		}
+	}
+	if hit, ok := mustOpen(t, dir).Lookup(key); !ok {
+		t.Fatal("fresh-process lookup missed after repair")
+	} else if renderStore(hit.Store) != wantRender {
+		t.Fatal("fresh-process warm render differs from cold run")
+	}
+}

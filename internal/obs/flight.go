@@ -191,6 +191,9 @@ type FlightEntry struct {
 	DegradeReason string `json:"degrade_reason,omitempty"`
 	ErrorKind     string `json:"error_kind,omitempty"`
 	CacheHit      bool   `json:"cache_hit,omitempty"`
+	// Peer names the cluster peer that actually served a relayed request
+	// (empty for locally served ones).
+	Peer string `json:"peer,omitempty"`
 
 	// Tenant and Class identify the admitted request under the wfq and
 	// priority scheduler policies; empty under fifo, where admission is

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -204,6 +205,87 @@ func splitName(name string) (base, labels string) {
 	return name[:i], strings.TrimSuffix(name[i+1:], "}")
 }
 
+// promEscape renders a raw label value with exactly the three escapes the
+// text exposition format defines: backslash, double quote, and line feed.
+// Every other byte — tabs, control characters, non-ASCII — passes through
+// raw, which the format allows.
+func promEscape(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// normalizeLabelValues rewrites each label value in a `k="v",...` list
+// with promEscape. Metric names are built with %q, whose Go quoting
+// escapes more than the exposition format allows (\t, \xNN, \uNNNN …); a
+// hostile value — a tenant ID with a tab, say — would otherwise render a
+// page strict scrapers reject. Well-formed values round-trip unchanged,
+// so existing pages stay byte-identical.
+func normalizeLabelValues(labels string) string {
+	var b strings.Builder
+	for i := 0; i < len(labels); {
+		eq := strings.IndexByte(labels[i:], '=')
+		if eq < 0 || i+eq+1 >= len(labels) || labels[i+eq+1] != '"' {
+			b.WriteString(labels[i:]) // malformed; emit as-is
+			break
+		}
+		b.WriteString(labels[i : i+eq+1])
+		i += eq + 1
+		j := i + 1 // scan the Go-quoted value
+		for j < len(labels) && labels[j] != '"' {
+			if labels[j] == '\\' {
+				j++
+			}
+			j++
+		}
+		if j >= len(labels) {
+			b.WriteString(labels[i:]) // unterminated; emit as-is
+			break
+		}
+		quoted := labels[i : j+1]
+		if v, err := strconv.Unquote(quoted); err == nil {
+			b.WriteByte('"')
+			b.WriteString(promEscape(v))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(quoted)
+		}
+		i = j + 1
+		if i < len(labels) && labels[i] == ',' {
+			b.WriteByte(',')
+			i++
+		}
+	}
+	return b.String()
+}
+
+// promName renders a metric name for the exposition page, with its label
+// values normalized.
+func promName(name string) string {
+	if !strings.HasSuffix(name, "}") {
+		return name
+	}
+	base, labels := splitName(name)
+	if labels == "" {
+		return name
+	}
+	return base + "{" + normalizeLabelValues(labels) + "}"
+}
+
 // WriteProm writes a Prometheus-style text dump, sorted by metric name so
 // the output is byte-for-byte deterministic. HELP and TYPE comments are
 // emitted once per metric family; histogram label sets are spliced into
@@ -235,16 +317,19 @@ func (m *Metrics) WriteProm(w io.Writer) error {
 	lastFamily := ""
 	for _, n := range cnames {
 		header(baseName(n), "counter", &lastFamily)
-		fmt.Fprintf(&b, "%s %d\n", n, counters[n].Value())
+		fmt.Fprintf(&b, "%s %d\n", promName(n), counters[n].Value())
 	}
 	lastFamily = ""
 	for _, n := range gnames {
 		header(baseName(n), "gauge", &lastFamily)
-		fmt.Fprintf(&b, "%s %s\n", n, formatFloat(gauges[n].Value()))
+		fmt.Fprintf(&b, "%s %s\n", promName(n), formatFloat(gauges[n].Value()))
 	}
 	lastFamily = ""
 	for _, n := range hnames {
 		base, labels := splitName(n)
+		if labels != "" {
+			labels = normalizeLabelValues(labels)
+		}
 		sep := ""
 		if labels != "" {
 			sep = ","

@@ -13,6 +13,7 @@ import (
 
 	"determinacy"
 	"determinacy/internal/batch"
+	"determinacy/internal/cluster"
 	"determinacy/internal/guard"
 	"determinacy/internal/guard/faultinject"
 	"determinacy/internal/obs"
@@ -130,8 +131,9 @@ type BatchResponse struct {
 // the request's trace ID and records its flight-recorder entry.
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST "+routeAnalyze, s.traced(routeAnalyze, s.handleAnalyze))
+	mux.HandleFunc("POST "+routeAnalyze, s.traced(routeAnalyze, s.digested(s.handleAnalyze)))
 	mux.HandleFunc("POST "+routeBatch, s.traced(routeBatch, s.handleBatch))
+	mux.HandleFunc("GET "+cluster.CachePath, s.handleClusterCache)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -316,6 +318,12 @@ func (s *Server) writeAdmissionError(w http.ResponseWriter, rt *reqTrace, err er
 	var shed *sched.ShedError
 	switch {
 	case errors.As(err, &shed):
+		// With owning peers down, this node absorbs their keyspace: shed
+		// guidance stretches by the cluster's degraded factor so clients
+		// back off proportionally instead of hammering the survivors.
+		if s.cluster != nil {
+			shed.ScaleRetryAfter(s.cluster.DegradedFactor(), s.cfg.MaxTimeout)
+		}
 		s.writeErrRetry(w, rt, http.StatusTooManyRequests, ErrorBody{
 			Kind:    "shed",
 			Message: fmt.Sprintf("admission refused (%s); retry later", shed.Reason),
@@ -402,6 +410,17 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request, rt *reqTr
 		return
 	}
 	stream, sse := streamMode(r)
+	// Sharded serving: a non-streaming request whose content-hash owner is
+	// a healthy remote peer is relayed there (warm caches, cluster-wide
+	// compile-once). Requests already forwarded once are always served
+	// here (loop prevention), as is everything while draining, and every
+	// peer failure mode falls through to the local path below.
+	if s.cluster != nil && !stream && !s.draining.Load() &&
+		r.Header.Get(cluster.ForwardedHeader) == "" {
+		if s.tryForward(w, r, rt, &req) {
+			return
+		}
+	}
 	sreq := s.schedRequest(r, sched.Interactive, req.TimeoutMS)
 	s.wg.Add(1)
 	defer s.wg.Done()
@@ -749,13 +768,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // and the drain state with the remaining in-flight count, so operators
 // watching a drain can see it empty out.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"version":   s.cfg.Version,
-		"uptime_ms": time.Since(s.start).Milliseconds(),
-		"draining":  s.draining.Load(),
-		"inflight":  s.sched.Snapshot().InFlight,
-	})
+	body := map[string]any{
+		"status":           "ok",
+		"version":          s.cfg.Version,
+		"uptime_ms":        time.Since(s.start).Milliseconds(),
+		"draining":         s.draining.Load(),
+		"inflight":         s.sched.Snapshot().InFlight,
+		"drain_timeout_ms": s.cfg.DrainTimeout.Milliseconds(),
+	}
+	if s.cluster != nil {
+		body["cluster_self"] = s.cluster.Self()
+	}
+	s.writeJSON(w, http.StatusOK, body)
 }
 
 // handleReadyz is readiness: 503 while draining or while the quarantine

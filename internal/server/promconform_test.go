@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"determinacy/internal/obs"
 )
 
 // promSample is one parsed exposition-format sample.
@@ -62,7 +64,11 @@ func parsePromLine(t *testing.T, line string, n int) promSample {
 					if esc != '"' && esc != '\\' && esc != 'n' {
 						t.Fatalf("line %d: invalid escape \\%c in %q", n, esc, line)
 					}
-					out.WriteByte(esc)
+					if esc == 'n' {
+						out.WriteByte('\n')
+					} else {
+						out.WriteByte(esc)
+					}
 					i += 2
 					continue
 				}
@@ -300,5 +306,63 @@ func TestMetricsPromConformance(t *testing.T) {
 	// name{label}_bucket{le=...}.
 	if strings.Contains(page, `}_bucket`) || strings.Contains(page, `}_sum`) || strings.Contains(page, `}_count`) {
 		t.Fatal("labeled histogram rendered with label set before the series suffix")
+	}
+}
+
+// TestPromLabelValueEscaping pins WriteProm's label-value normalization:
+// names are registered with %q, whose Go quoting emits \t/\xNN/\uNNNN
+// escapes the exposition format forbids. The page must use only the
+// format's three escapes (\\ \" \n), every hostile value must survive a
+// strict parse round-trip intact, and well-formed names must render
+// byte-identically to their registered form.
+func TestPromLabelValueEscaping(t *testing.T) {
+	hostile := []string{
+		`back\slash`,
+		`qu"ote`,
+		"new\nline",
+		"tab\tsep",
+		"\x01ctl",
+		"ünïcøde",
+		"rtl‮override",
+		`all three \ " ` + "\n" + ` at once`,
+	}
+	m := obs.NewMetrics()
+	for i, v := range hostile {
+		m.Counter(fmt.Sprintf("esc_test_total{v=%q}", v)).Add(int64(i + 1))
+		m.Gauge(fmt.Sprintf("esc_gauge{v=%q}", v)).Set(float64(i))
+		m.Histogram(fmt.Sprintf("esc_hist_seconds{v=%q}", v), 1, 2).Observe(float64(i))
+	}
+	var buf strings.Builder
+	if err := m.WriteProm(&buf); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+
+	seen := map[string]bool{}
+	for i, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s := parsePromLine(t, line, i+1) // fails the test on any illegal escape
+		if s.name == "esc_test_total" {
+			seen[s.labels["v"]] = true
+		}
+	}
+	for _, v := range hostile {
+		if !seen[v] {
+			t.Errorf("hostile value %q did not survive the escape round-trip (got %v)", v, seen)
+		}
+	}
+
+	// Already-well-formed names stay byte-identical.
+	m2 := obs.NewMetrics()
+	name := `server_requests_total{route="/v1/analyze",kind="a-b_c.d",msg="say \"hi\" twice"}`
+	m2.Counter(name).Inc()
+	var buf2 strings.Builder
+	if err := m2.WriteProm(&buf2); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	want := "# TYPE server_requests_total counter\n" + name + " 1\n"
+	if buf2.String() != want {
+		t.Errorf("well-formed name changed:\ngot:  %q\nwant: %q", buf2.String(), want)
 	}
 }

@@ -244,6 +244,22 @@ func (e *ShedError) Error() string {
 	return fmt.Sprintf("sched: request shed (%s); retry after %v", e.Reason, e.RetryAfter)
 }
 
+// ScaleRetryAfter stretches the refusal's guidance by factor, clamped to
+// max (0 = no clamp). The server applies it when the cluster is degraded:
+// with owning peers down this node absorbs their share of the keyspace,
+// so shed clients should back off proportionally instead of hammering the
+// survivors. factor <= 1 is a no-op.
+func (e *ShedError) ScaleRetryAfter(factor float64, max time.Duration) {
+	if factor <= 1 || e.RetryAfter <= 0 {
+		return
+	}
+	d := time.Duration(float64(e.RetryAfter) * factor)
+	if max > 0 && d > max {
+		d = max
+	}
+	e.RetryAfter = d
+}
+
 // ErrDraining refuses admission while the server drains.
 var ErrDraining = errors.New("sched: draining, not accepting new work")
 

@@ -29,6 +29,7 @@ import (
 
 	"determinacy"
 	"determinacy/internal/batch"
+	"determinacy/internal/cluster"
 	"determinacy/internal/obs"
 	"determinacy/internal/server/sched"
 	"determinacy/internal/version"
@@ -102,6 +103,18 @@ type Config struct {
 	// (NDJSON {"type":"heartbeat"} or an SSE comment) so idle-timeout
 	// proxies keep the connection open (0 = 15s, negative = disabled).
 	StreamHeartbeat time.Duration
+	// Cluster, when set, makes this node part of a sharded fleet:
+	// non-streaming /v1/analyze requests whose content-hash owner is a
+	// healthy remote peer are forwarded there, the peer fleet serves as a
+	// remote L3 fact tier behind FactCache (wired automatically when both
+	// are set), and GET /v1/cluster/cache serves this node's records to
+	// peers. Every peer failure mode degrades to local analysis.
+	Cluster *cluster.Router
+	// DrainTimeout is the graceful-drain budget: how long Drain (and the
+	// SIGTERM path in cmd/detserve) waits for in-flight runs before
+	// force-cancelling them into sound partials (0 = 10s). Reported on
+	// /healthz as drain_timeout_ms.
+	DrainTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +156,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StreamHeartbeat == 0 {
 		c.StreamHeartbeat = 15 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
 	}
 	return c
 }
@@ -190,6 +206,10 @@ type Server struct {
 	// flight retains the last FlightEntries request summaries for
 	// /debug/statusz and /debug/tracez.
 	flight *obs.FlightRecorder
+
+	// cluster is the peer router when this node is part of a sharded
+	// fleet (nil for a single node — every cluster code path gates on it).
+	cluster *cluster.Router
 
 	mux http.Handler
 }
@@ -253,6 +273,13 @@ func New(cfg Config) *Server {
 		hLatency:      routedHistograms(m, "server_request_seconds", latencyBuckets),
 		hQueueWait:    routedHistograms(m, "server_queue_wait_seconds", latencyBuckets),
 		tenantLatency: policy != sched.PolicyFIFO,
+		cluster:       cfg.Cluster,
+	}
+	// The peer fleet is the L3 fact tier: a local factcache miss consults
+	// the owning peer's records (CRC-validated on import) before falling
+	// back to a cold analysis.
+	if cfg.Cluster != nil && cfg.FactCache != nil {
+		cfg.FactCache.Internal().WithRemote(cfg.Cluster)
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	m.Gauge("server_max_inflight").Set(float64(cfg.MaxInFlight))
@@ -275,6 +302,10 @@ func (s *Server) Metrics() *obs.Metrics { return s.metrics }
 
 // Draining reports whether drain has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// DrainBudget reports the configured graceful-drain budget (the effective
+// value of Config.DrainTimeout).
+func (s *Server) DrainBudget() time.Duration { return s.cfg.DrainTimeout }
 
 // acquire admits a request through the configured scheduler: an execution
 // slot immediately if policy allows, else a bounded queue wait, else a

@@ -190,7 +190,11 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		"retained":       len(entries),
 	}
 	if r.URL.Query().Get("format") != "text" {
-		s.writeJSON(w, http.StatusOK, map[string]any{"server": summary, "scheduler": snap, "entries": entries})
+		body := map[string]any{"server": summary, "scheduler": snap, "entries": entries}
+		if s.cluster != nil {
+			body["cluster"] = s.cluster.Snapshot()
+		}
+		s.writeJSON(w, http.StatusOK, body)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -207,6 +211,18 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	for _, ts := range snap.Tenants {
 		fmt.Fprintf(w, "  tenant=%s weight=%g class=%s queued=%d inflight=%d admitted=%d shed=%d\n",
 			ts.Tenant, ts.Weight, ts.Class, ts.Queued, ts.InFlight, ts.Admitted, ts.Shed)
+	}
+	if s.cluster != nil {
+		cs := s.cluster.Snapshot()
+		fmt.Fprintf(w, "cluster self=%s\n", cs.Self)
+		for _, ps := range cs.Peers {
+			fmt.Fprintf(w, "  peer=%s url=%s state=%s healthy=%v forwards=%d failures=%d cache_gets=%d cache_hits=%d",
+				ps.Name, ps.URL, ps.State, ps.Healthy, ps.Forwards, ps.Failures, ps.CacheGets, ps.CacheHits)
+			if ps.LastError != "" {
+				fmt.Fprintf(w, " last_error=%q", ps.LastError)
+			}
+			fmt.Fprintln(w)
+		}
 	}
 	fmt.Fprintln(w)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
